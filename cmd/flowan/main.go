@@ -1,0 +1,133 @@
+// Command flowan runs the §7 type-based flow analyses on a program in the
+// mini functional language, answering label-flow queries.
+//
+// Usage:
+//
+//	flowan [-dual] [-pn] [-query FROM:TO]... prog.flow
+//
+// Without -query flags, every ordered pair of user labels is queried.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rasc/internal/flow"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, ",") }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	dual := flag.Bool("dual", false, "use the dual analysis of §7.6")
+	pn := flag.Bool("pn", false, "use PN (partially matched) reachability for queries")
+	var queries queryList
+	flag.Var(&queries, "query", "FROM:TO label query (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flowan [flags] prog.flow")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	type flowQuerier interface {
+		Flows(from, to string) (bool, error)
+	}
+	var q flowQuerier
+	var labels []string
+	var primal *flow.Analysis
+
+	if *dual {
+		a, err := flow.AnalyzeDual(string(src), flow.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		q = a
+		labels = labelNames(string(src))
+		fmt.Printf("dual analysis: call-depth bound %d, |F^≡| = %d\n", a.CallDepth, a.Mon.Size())
+	} else {
+		a, err := flow.Analyze(string(src), flow.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		q = a
+		primal = a
+		labels = labelNames(string(src))
+		fmt.Printf("primal analysis: max type depth %d, |F^≡| = %d\n", a.MaxDepth, a.Mon.Size())
+	}
+
+	var pairs [][2]string
+	if len(queries) > 0 {
+		for _, s := range queries {
+			parts := strings.SplitN(s, ":", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad query %q (want FROM:TO)", s))
+			}
+			pairs = append(pairs, [2]string{parts[0], parts[1]})
+		}
+	} else {
+		for _, a := range labels {
+			for _, b := range labels {
+				if a != b {
+					pairs = append(pairs, [2]string{a, b})
+				}
+			}
+		}
+	}
+	for _, p := range pairs {
+		var ans bool
+		var err error
+		if *pn {
+			if primal == nil {
+				fatal(fmt.Errorf("-pn requires the primal analysis"))
+			}
+			ans, err = primal.FlowsPN(p[0], p[1])
+		} else {
+			ans, err = q.Flows(p[0], p[1])
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s -> %s: %v\n", p[0], p[1], ans)
+	}
+}
+
+// labelNames extracts ^Label annotations from source order-independently.
+func labelNames(src string) []string {
+	set := map[string]bool{}
+	for i := 0; i < len(src); i++ {
+		if src[i] != '^' {
+			continue
+		}
+		j := i + 1
+		for j < len(src) && (isIdent(src[j])) {
+			j++
+		}
+		if j > i+1 {
+			set[src[i+1:j]] = true
+		}
+	}
+	var out []string
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isIdent(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flowan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command rasc solves a regularly annotated set constraint system written
+// in the textual language of internal/clang and answers its queries.
+//
+// Usage:
+//
+//	rasc [-no-cycle-elim] [-no-proj-merge] [-no-hashcons] file.rasc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rasc/internal/clang"
+	"rasc/internal/core"
+)
+
+func main() {
+	noCE := flag.Bool("no-cycle-elim", false, "disable online cycle elimination")
+	noPM := flag.Bool("no-proj-merge", false, "disable projection merging")
+	noHC := flag.Bool("no-hashcons", false, "disable hash-consing of constructor expressions")
+	dot := flag.Bool("dot", false, "print the solved constraint graph in Graphviz dot format and exit")
+	dotMachine := flag.Bool("dot-machine", false, "print the property automaton in Graphviz dot format and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rasc [flags] file.rasc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rasc:", err)
+		os.Exit(1)
+	}
+	opts := core.Options{NoCycleElim: *noCE, NoProjMerge: *noPM, NoHashCons: *noHC}
+	f, err := clang.Load(string(src), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rasc:", err)
+		os.Exit(1)
+	}
+	if *dotMachine {
+		fmt.Print(f.Prop.Machine.DOT("property"))
+		return
+	}
+	if *dot {
+		fmt.Print(f.Sys.DOT("constraints"))
+		return
+	}
+	results, err := f.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rasc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(f.Report(results))
+	if !f.Sys.Consistent() {
+		os.Exit(3)
+	}
+}

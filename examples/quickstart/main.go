@@ -1,0 +1,60 @@
+// Quickstart: build a property automaton, generate a few annotated
+// constraints by hand, solve, and query — the smallest end-to-end use of
+// the library (Example 2.4 of the paper, over the 1-bit gen/kill language
+// of Figure 1).
+package main
+
+import (
+	"fmt"
+
+	"rasc"
+)
+
+func main() {
+	// The 1-bit machine M_1bit: g turns the fact on, k turns it off; a
+	// word is accepted when the fact ends up on. Symbols not mentioned
+	// in a state self-loop.
+	prop := rasc.MustCompileSpec(`
+start state Off :
+    | g -> On;
+
+accept state On :
+    | k -> Off;
+`)
+	fmt.Printf("automaton: %d states; representative functions |F^≡| = %d\n",
+		prop.Machine.NumStates, prop.Mon.Size()) // 3: f_ε, f_g, f_k
+
+	// Constructors: a constant c and a unary o (Example 2.4).
+	sig := rasc.NewSignature()
+	cCons := sig.MustDeclare("c", 0)
+	oCons := sig.MustDeclare("o", 1)
+
+	sys := rasc.NewSystem(rasc.FuncAlgebra{Mon: prop.Mon}, sig, rasc.Options{})
+	W, X, Y, Z := sys.Var("W"), sys.Var("X"), sys.Var("Y"), sys.Var("Z")
+
+	g, _ := prop.Mon.SymbolFuncByName("g")
+	fg := rasc.Annot(g)
+
+	c := sys.Constant(cCons)
+	sys.AddLower(c, W, fg)                  // c ⊆^g W
+	sys.AddLower(sys.Cons(oCons, W), X, fg) // o(W) ⊆^g X
+	sys.AddUpperE(X, sys.Cons(oCons, Y))    // X ⊆ o(Y)
+	sys.AddLowerE(sys.Cons(oCons, Y), Z)    // o(Y) ⊆ Z
+	sys.Solve()
+
+	// The structural rule derives W ⊆^g Y, and the transitive-closure
+	// rule composes f_g ∘ f_g = f_g, so c is in Y annotated f_g — an
+	// accepting function (g ∈ L(M)).
+	fmt.Println("c entailed in W:", sys.ConstEntailed(c, W)) // true
+	fmt.Println("c entailed in Y:", sys.ConstEntailed(c, Y)) // true
+	fmt.Println("c entailed in Z:", sys.ConstEntailed(c, Z)) // false: c is inside o(...) in Z
+
+	// Enumerate Z's least solution: the annotated term o^g(c^g).
+	bank := rasc.NewBank(sig)
+	for _, t := range sys.TermsIn(Z, bank, 3, 0) {
+		fmt.Println("Z contains:", bank.String(t, prop.Mon))
+	}
+
+	st := sys.Stats()
+	fmt.Printf("solved: %d vars, %d facts, %d edges\n", st.Vars, st.Reach, st.Edges)
+}

@@ -1,0 +1,92 @@
+// Stackalias: the §7.5 stack-aware alias query. foo is called twice with
+// its arguments swapped; a context-insensitive points-to comparison says x
+// and y may alias, but intersecting the constraint *solutions* — terms
+// whose constructors record the call stack — proves they cannot.
+//
+// The C program being modeled:
+//
+//	void main() {
+//	    int a, b;
+//	    foo¹(&a, &b);   // constructor o1
+//	    foo²(&b, &a);   // constructor o2
+//	}
+//	void foo(int *x, int *y) { /* may x and y alias? */ }
+package main
+
+import (
+	"fmt"
+
+	"rasc"
+	"rasc/internal/core"
+	"rasc/internal/flow"
+	"rasc/internal/minic"
+	"rasc/internal/pointsto"
+)
+
+func main() {
+	// First, straight from source with the points-to analysis package.
+	prog := minic.MustParse(`
+void foo(int *x, int *y) {
+    nop(x, y);
+}
+void main() {
+    int a;
+    int b;
+    foo(&a, &b);
+    foo(&b, &a);
+}
+`)
+	res := pointsto.MustAnalyze(prog, core.Options{})
+	fmt.Println("from source:")
+	fmt.Println("  pt(foo.x) =", res.PointsTo("foo", "x"))
+	fmt.Println("  pt(foo.y) =", res.PointsTo("foo", "y"))
+	fmt.Println("  location may-alias:  ", res.MayAlias("foo", "x", "foo", "y"))
+	fmt.Println("  stack-aware may-alias:", res.MayAliasStackAware("foo", "x", "foo", "y"))
+	fmt.Println()
+
+	// And the same query built from raw constraints, to show the encoding.
+	fmt.Println("raw constraint encoding:")
+	rawEncoding()
+}
+
+func rawEncoding() {
+	sig := rasc.NewSignature()
+	locA := sig.MustDeclare("a", 0)
+	locB := sig.MustDeclare("b", 0)
+	o1 := sig.MustDeclare("o1", 1)
+	o2 := sig.MustDeclare("o2", 1)
+
+	sys := rasc.NewSystem(rasc.TrivialAlgebra{}, sig, rasc.Options{})
+	// The actual arguments at each call site.
+	a1, b1 := sys.Var("arg1@site1"), sys.Var("arg2@site1")
+	a2, b2 := sys.Var("arg1@site2"), sys.Var("arg2@site2")
+	x, y := sys.Var("x"), sys.Var("y")
+	sys.AddLowerE(sys.Constant(locA), a1)
+	sys.AddLowerE(sys.Constant(locB), b1)
+	sys.AddLowerE(sys.Constant(locB), a2)
+	sys.AddLowerE(sys.Constant(locA), b2)
+	// Parameters receive the per-site wrapped arguments.
+	sys.AddLowerE(sys.Cons(o1, a1), x)
+	sys.AddLowerE(sys.Cons(o2, a2), x)
+	sys.AddLowerE(sys.Cons(o1, b1), y)
+	sys.AddLowerE(sys.Cons(o2, b2), y)
+	sys.Solve()
+
+	bank := rasc.NewBank(sig)
+	fmt.Println("pt(x):")
+	for _, t := range sys.TermsIn(x, bank, 3, 0) {
+		fmt.Println("  ", bank.String(t, nil))
+	}
+	fmt.Println("pt(y):")
+	for _, t := range sys.TermsIn(y, bank, 3, 0) {
+		fmt.Println("  ", bank.String(t, nil))
+	}
+
+	locAlias := flow.LocationAlias(sys, x, y, bank, 3, 0)
+	stackAlias, common := flow.StackAwareAlias(sys, x, y, bank, 3, 0)
+	fmt.Printf("\nlocation-based (context-insensitive) may-alias: %v\n", locAlias)
+	fmt.Printf("stack-aware may-alias:                          %v (common terms: %d)\n",
+		stackAlias, len(common))
+	fmt.Println("\nthe solutions themselves encode context-sensitive points-to sets (§7.5):")
+	fmt.Println("x={o1(a),o2(b)} and y={o1(b),o2(a)} share locations but no terms.")
+}

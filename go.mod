@@ -1,0 +1,3 @@
+module rasc
+
+go 1.22

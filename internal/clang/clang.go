@@ -1,0 +1,311 @@
+// Package clang implements a small textual language for regularly
+// annotated set constraint systems, used by cmd/rasc. A file declares the
+// property automaton (in the spec DSL of §8), constructors, constraints
+// and queries:
+//
+//	automaton {
+//	    start state Off : | g -> On;
+//	    accept state On : | k -> Off;
+//	}
+//
+//	cons c 0;
+//	cons o 1;
+//
+//	c <= W @ g;          # c ⊆^g W
+//	o(W) <= X @ g;       # o(W) ⊆^g X
+//	X <= o(Y);           # X ⊆ o(Y)
+//	o(Y) <= Z;
+//	proj(o, 1, X) <= P;  # o^-1(X) ⊆ P (1-based component)
+//
+//	query c in Z;        # entailment with an accepting annotation
+//	query reaches c in Z;# any annotation
+//
+// Annotations after @ are words over the automaton's alphabet; they are
+// converted to representative functions at load time.
+package clang
+
+import (
+	"fmt"
+	"strings"
+
+	"rasc/internal/core"
+	"rasc/internal/spec"
+	"rasc/internal/terms"
+)
+
+// File is a parsed constraint file.
+type File struct {
+	Prop    *spec.Property
+	Sys     *core.System
+	Sig     *terms.Signature
+	Queries []Query
+
+	consts map[string]core.CNode
+}
+
+// Query is one query line.
+type Query struct {
+	// Kind is "entail" (accepting annotation required) or "reaches".
+	Kind  string
+	Const string
+	Var   string
+	Line  int
+}
+
+// QueryResult pairs a query with its answer.
+type QueryResult struct {
+	Query  Query
+	Answer bool
+}
+
+// ParseError reports a syntax or semantic error with a line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("clang:%d: %s", e.Line, e.Msg) }
+
+// Load parses and solves a constraint file.
+func Load(src string, opts core.Options) (*File, error) {
+	// Extract the automaton block.
+	autoSrc, rest, err := splitAutomaton(src)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := spec.Compile(autoSrc, spec.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("clang: automaton: %w", err)
+	}
+	f := &File{
+		Prop:   prop,
+		Sig:    terms.NewSignature(),
+		consts: map[string]core.CNode{},
+	}
+	f.Sys = core.NewSystem(core.FuncAlgebra{Mon: prop.Mon}, f.Sig, opts)
+
+	for lineNo, raw := range strings.Split(rest, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if !strings.HasSuffix(line, ";") {
+			return nil, &ParseError{lineNo + 1, "missing ';'"}
+		}
+		line = strings.TrimSpace(strings.TrimSuffix(line, ";"))
+		if err := f.statement(line, lineNo+1); err != nil {
+			return nil, err
+		}
+	}
+	f.Sys.Solve()
+	return f, nil
+}
+
+// splitAutomaton extracts the "automaton { ... }" block.
+func splitAutomaton(src string) (auto, rest string, err error) {
+	i := strings.Index(src, "automaton")
+	if i < 0 {
+		return "", "", &ParseError{1, "missing 'automaton { ... }' block"}
+	}
+	open := strings.IndexByte(src[i:], '{')
+	if open < 0 {
+		return "", "", &ParseError{1, "automaton block missing '{'"}
+	}
+	open += i
+	close := strings.IndexByte(src[open:], '}')
+	if close < 0 {
+		return "", "", &ParseError{1, "automaton block missing '}'"}
+	}
+	close += open
+	return src[open+1 : close], src[:i] + src[close+1:], nil
+}
+
+func (f *File) statement(line string, n int) error {
+	switch {
+	case strings.HasPrefix(line, "cons "):
+		fields := strings.Fields(line[5:])
+		if len(fields) != 2 {
+			return &ParseError{n, "usage: cons <name> <arity>;"}
+		}
+		arity := 0
+		if _, err := fmt.Sscanf(fields[1], "%d", &arity); err != nil {
+			return &ParseError{n, "bad arity " + fields[1]}
+		}
+		if _, err := f.Sig.Declare(fields[0], arity); err != nil {
+			return &ParseError{n, err.Error()}
+		}
+		return nil
+	case strings.HasPrefix(line, "query "):
+		q := strings.TrimSpace(line[6:])
+		kind := "entail"
+		if strings.HasPrefix(q, "reaches ") {
+			kind = "reaches"
+			q = strings.TrimSpace(q[8:])
+		}
+		parts := strings.Split(q, " in ")
+		if len(parts) != 2 {
+			return &ParseError{n, "usage: query [reaches] <const> in <var>;"}
+		}
+		f.Queries = append(f.Queries, Query{
+			Kind:  kind,
+			Const: strings.TrimSpace(parts[0]),
+			Var:   strings.TrimSpace(parts[1]),
+			Line:  n,
+		})
+		return nil
+	default:
+		return f.constraint(line, n)
+	}
+}
+
+// constraint parses "<lhs> <= <rhs> [@ word]".
+func (f *File) constraint(line string, n int) error {
+	annot := core.Annot(f.Prop.Mon.Identity())
+	if i := strings.Index(line, "@"); i >= 0 {
+		word := strings.Fields(line[i+1:])
+		fid, ok := f.Prop.Mon.FuncOfNames(word...)
+		if !ok {
+			return &ParseError{n, fmt.Sprintf("unknown symbol in annotation %v", word)}
+		}
+		annot = core.Annot(fid)
+		line = strings.TrimSpace(line[:i])
+	}
+	parts := strings.Split(line, "<=")
+	if len(parts) != 2 {
+		return &ParseError{n, "expected '<='"}
+	}
+	lhs, rhs := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+
+	switch {
+	case strings.HasPrefix(lhs, "proj(") && strings.HasSuffix(lhs, ")"):
+		args := splitArgs(lhs[5 : len(lhs)-1])
+		if len(args) != 3 {
+			return &ParseError{n, "usage: proj(<cons>, <index>, <var>) <= <var>"}
+		}
+		cid, ok := f.Sig.Lookup(args[0])
+		if !ok {
+			return &ParseError{n, "unknown constructor " + args[0]}
+		}
+		idx := 0
+		if _, err := fmt.Sscanf(args[1], "%d", &idx); err != nil || idx < 1 || idx > f.Sig.Arity(cid) {
+			return &ParseError{n, "bad projection index " + args[1]}
+		}
+		f.Sys.AddProj(cid, idx-1, f.Sys.Var(args[2]), f.Sys.Var(rhs), annot)
+		return nil
+	default:
+		lcn, lvar, lerr := f.side(lhs, n)
+		if lerr != nil {
+			return lerr
+		}
+		rcn, rvar, rerr := f.side(rhs, n)
+		if rerr != nil {
+			return rerr
+		}
+		switch {
+		case lcn >= 0 && rcn >= 0:
+			f.Sys.AddConsCons(lcn, rcn, annot)
+		case lcn >= 0:
+			f.Sys.AddLower(lcn, rvar, annot)
+		case rcn >= 0:
+			f.Sys.AddUpper(lvar, rcn, annot)
+		default:
+			f.Sys.AddVar(lvar, rvar, annot)
+		}
+		return nil
+	}
+}
+
+// side parses a constraint side: a constructor application, a declared
+// constant, or a variable. Returns (cnode, -1) or (-1, var).
+func (f *File) side(s string, n int) (core.CNode, core.VarID, error) {
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return -1, 0, &ParseError{n, "missing ')'"}
+		}
+		name := strings.TrimSpace(s[:i])
+		cid, ok := f.Sig.Lookup(name)
+		if !ok {
+			return -1, 0, &ParseError{n, "unknown constructor " + name}
+		}
+		args := splitArgs(s[i+1 : len(s)-1])
+		if len(args) != f.Sig.Arity(cid) {
+			return -1, 0, &ParseError{n, fmt.Sprintf("%s takes %d args", name, f.Sig.Arity(cid))}
+		}
+		vars := make([]core.VarID, len(args))
+		for j, a := range args {
+			vars[j] = f.Sys.Var(a)
+		}
+		return f.Sys.Cons(cid, vars...), 0, nil
+	}
+	// Declared zero-ary constructor: a constant.
+	if cid, ok := f.Sig.Lookup(s); ok && f.Sig.Arity(cid) == 0 {
+		cn := f.Sys.Constant(cid)
+		f.consts[s] = cn
+		return cn, 0, nil
+	}
+	return -1, f.Sys.Var(s), nil
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Run answers the file's queries in order. "query c in X" is the
+// accepting entailment of §3.2; "query reaches c in X" asks whether c
+// occurs in X at all — at any constructor depth and along partially
+// matched paths (PN reachability).
+func (f *File) Run() ([]QueryResult, error) {
+	var out []QueryResult
+	pnCache := map[core.CNode]*core.PNResult{}
+	for _, q := range f.Queries {
+		cid, ok := f.Sig.Lookup(q.Const)
+		if !ok || f.Sig.Arity(cid) != 0 {
+			return nil, &ParseError{q.Line, "query needs a declared constant: " + q.Const}
+		}
+		cn := f.Sys.Constant(cid)
+		v := f.Sys.Var(q.Var)
+		var ans bool
+		if q.Kind == "reaches" {
+			pn, ok := pnCache[cn]
+			if !ok {
+				pn = f.Sys.PNReach(cn)
+				pnCache[cn] = pn
+			}
+			ans = len(pn.At(v)) > 0
+		} else {
+			ans = f.Sys.ConstEntailed(cn, v)
+		}
+		out = append(out, QueryResult{q, ans})
+	}
+	return out, nil
+}
+
+// Report renders query results and solver diagnostics as text.
+func (f *File) Report(results []QueryResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		verb := "in"
+		if r.Query.Kind == "reaches" {
+			verb = "reaches"
+		}
+		fmt.Fprintf(&b, "query %s %s %s: %v\n", r.Query.Const, verb, r.Query.Var, r.Answer)
+	}
+	st := f.Sys.Stats()
+	fmt.Fprintf(&b, "-- %d vars, %d constructor nodes, %d facts, %d edges, |F|=%d",
+		st.Vars, st.ConsNodes, st.Reach, st.Edges, f.Prop.Mon.Size())
+	if !f.Sys.Consistent() {
+		fmt.Fprintf(&b, ", %d CLASHES", st.Clashes)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package clang
+
+import (
+	"strings"
+	"testing"
+
+	"rasc/internal/core"
+)
+
+// Example 2.4 in the textual language.
+const example24 = `
+automaton {
+    start state Off :
+        | g -> On;
+    accept state On :
+        | k -> Off;
+}
+
+cons c 0;
+cons o 1;
+
+c <= W @ g;
+o(W) <= X @ g;
+X <= o(Y);
+o(Y) <= Z;
+
+query c in W;        # c is in W with word g: accepting
+query c in Y;        # derived W ⊆^g Y
+query reaches c in Y;
+`
+
+func load(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Load(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestExample24File(t *testing.T) {
+	f := load(t, example24)
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, want := range []bool{true, true, true} {
+		if res[i].Answer != want {
+			t.Errorf("query %d = %v, want %v", i, res[i].Answer, want)
+		}
+	}
+	rep := f.Report(res)
+	if !strings.Contains(rep, "query c in W: true") {
+		t.Errorf("report = %q", rep)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	f := load(t, `
+automaton {
+    start state Off : | g -> On;
+    accept state On;
+}
+cons a 0;
+cons pair 2;
+a <= X @ g;
+pair(X, X2) <= P;
+proj(pair, 1, P) <= Out;
+query a in Out;
+`)
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Answer {
+		t.Error("projection flow lost")
+	}
+}
+
+func TestNonAcceptingQuery(t *testing.T) {
+	f := load(t, `
+automaton {
+    start state Off : | g -> On;
+    accept state On : | k -> Off;
+}
+cons c 0;
+c <= X @ g;
+X <= Y @ k;
+query c in Y;
+query reaches c in Y;
+`)
+	res, _ := f.Run()
+	if res[0].Answer {
+		t.Error("g·k is not accepting")
+	}
+	if !res[1].Answer {
+		t.Error("c still reaches Y")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"c <= X;", "missing 'automaton"},
+		{"automaton { accept start state A : | g -> A; }\nc <= X", "missing ';'"},
+		{"automaton { accept start state A : | g -> A; }\ncons c;", "usage: cons"},
+		{"automaton { accept start state A : | g -> A; }\ncons c 0;\nc <= X @ zz;", "unknown symbol"},
+		{"automaton { accept start state A : | g -> A; }\nX Y;", "expected '<='"},
+		{"automaton { accept start state A : | g -> A; }\nf(X) <= Y;", "unknown constructor"},
+		{"automaton { accept start state A : | g -> A; }\ncons f 2;\nf(X) <= Y;", "takes 2 args"},
+		{"automaton { accept start state A : | g -> A; }\nproj(f, 1, X) <= Y;", "unknown constructor"},
+		{"automaton { bogus }", "automaton:"},
+	}
+	for _, c := range cases {
+		if _, err := Load(c.src, core.Options{}); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Load(%q) error = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestQueryNeedsConstant(t *testing.T) {
+	f := load(t, `
+automaton { accept start state A : | g -> A; }
+cons c 0;
+X <= Y;
+query nosuch in Y;
+`)
+	if _, err := f.Run(); err == nil {
+		t.Error("query on undeclared constant should error")
+	}
+}
+
+func TestClashReport(t *testing.T) {
+	f := load(t, `
+automaton { accept start state A : | g -> A; }
+cons c 1;
+cons d 1;
+c(X) <= V;
+V <= d(Y);
+`)
+	rep := f.Report(nil)
+	if !strings.Contains(rep, "CLASHES") {
+		t.Errorf("report should mention clashes: %q", rep)
+	}
+}
+
+func TestConsConsDirect(t *testing.T) {
+	f := load(t, `
+automaton { accept start state A : | g -> A; }
+cons a 0;
+cons o 1;
+a <= X @ g;
+o(X) <= o(Y);
+query a in Y;
+`)
+	res, _ := f.Run()
+	if !res[0].Answer {
+		t.Error("direct constructor-constructor constraint lost the component flow")
+	}
+}

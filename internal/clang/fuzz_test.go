@@ -1,0 +1,29 @@
+package clang
+
+import (
+	"testing"
+
+	"rasc/internal/core"
+)
+
+// FuzzLoad checks the textual constraint language front end is total.
+func FuzzLoad(f *testing.F) {
+	seeds := []string{
+		example24,
+		"automaton { accept start state A : | g -> A; }\ncons c 0;\nc <= X @ g;\nquery c in X;",
+		"automaton { }",
+		"automaton { accept start state A : | g -> A; }\nproj(o, 1, X) <= Y;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fl, err := Load(src, core.Options{})
+		if err != nil {
+			return
+		}
+		if _, err := fl.Run(); err != nil {
+			return
+		}
+	})
+}

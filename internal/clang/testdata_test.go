@@ -1,0 +1,36 @@
+package clang
+
+import (
+	"os"
+	"testing"
+
+	"rasc/internal/core"
+)
+
+// The shipped sample file (also used to demo cmd/rasc) loads and answers
+// as documented.
+func TestExample24Fixture(t *testing.T) {
+	src, err := os.ReadFile("testdata/example24.rasc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(string(src), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d query results", len(res))
+	}
+	for i, r := range res {
+		if !r.Answer {
+			t.Errorf("query %d (%s in %s) = false, want true", i, r.Query.Const, r.Query.Var)
+		}
+	}
+	if !f.Sys.Consistent() {
+		t.Error("fixture should be consistent")
+	}
+}

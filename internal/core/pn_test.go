@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"rasc/internal/terms"
+)
+
+// N-paths: a value originating inside a callee escapes through an
+// unmatched return (a projection crossed by a top-level fact).
+func TestPNUnmatchedReturn(t *testing.T) {
+	mon := privMonoid(t)
+	alg := FuncAlgebra{mon}
+	sig := terms.NewSignature()
+	val := sig.MustDeclare("val", 0)
+	o1 := sig.MustDeclare("o1", 1)
+
+	s := NewSystem(alg, sig, Options{})
+	ret, caller := s.Var("FexitBody"), s.Var("CallerRet")
+	v := s.Constant(val)
+	// The callee produces val at its exit; the call site projects the
+	// exit. val is never wrapped (it did not come from the caller).
+	s.AddLower(v, ret, annotOf(mon, "seteuid0"))
+	s.AddProjE(o1, 0, ret, caller)
+	s.Solve()
+
+	// Matched-only: nothing flows (no o1-term contains val).
+	if s.Flows(v, caller) {
+		t.Fatal("val should not reach caller at top level")
+	}
+	// PN: the unmatched return carries it out with its annotation.
+	pn := s.PNReach(v)
+	got := pn.At(caller)
+	if len(got) != 1 || got[0] != annotOf(mon, "seteuid0") {
+		t.Fatalf("PN at caller = %v, want [f_0]", got)
+	}
+}
+
+// The N*-M-P* discipline: after a wrap (unmatched call), no more
+// unmatched returns may be taken.
+func TestPNDisciplineNoPopAfterPush(t *testing.T) {
+	mon := privMonoid(t)
+	alg := FuncAlgebra{mon}
+	sig := terms.NewSignature()
+	val := sig.MustDeclare("val", 0)
+	o1 := sig.MustDeclare("o1", 1)
+	o2 := sig.MustDeclare("o2", 1)
+
+	s := NewSystem(alg, sig, Options{})
+	a, b, c := s.Var("A"), s.Var("B"), s.Var("C")
+	v := s.Constant(val)
+	s.AddLowerE(v, a)
+	// Wrap into o1 (unmatched call): o1(A) ⊆ B.
+	s.AddLowerE(s.Cons(o1, a), b)
+	// An unrelated projection on B for a DIFFERENT constructor o2.
+	s.AddProjE(o2, 0, b, c)
+	s.Solve()
+
+	pn := s.PNReach(v)
+	// val occurs (wrapped) at B.
+	if len(pn.At(b)) == 0 {
+		t.Fatal("val should occur at B inside o1")
+	}
+	// A P-phase fact must not cross the projection: C stays empty.
+	if len(pn.At(c)) != 0 {
+		t.Errorf("PN at C = %v, want none (no pops after pushes)", pn.At(c))
+	}
+}
+
+// But a pop before any push is allowed, and matched pairs in between are
+// fine: N then matched then P.
+func TestPNPopThenMatchedThenPush(t *testing.T) {
+	mon := privMonoid(t)
+	alg := FuncAlgebra{mon}
+	sig := terms.NewSignature()
+	val := sig.MustDeclare("val", 0)
+	oRet := sig.MustDeclare("oRet", 1)
+	oCall := sig.MustDeclare("oCall", 1)
+
+	s := NewSystem(alg, sig, Options{})
+	inner, escaped, wrapped := s.Var("Inner"), s.Var("Escaped"), s.Var("Wrapped")
+	v := s.Constant(val)
+	s.AddLowerE(v, inner)
+	// N step: unmatched return out of the original context.
+	s.AddProj(oRet, 0, inner, escaped, annotOf(mon, "seteuid0"))
+	// P step: unmatched call into a new context.
+	s.AddLower(s.Cons(oCall, escaped), wrapped, annotOf(mon, "execl"))
+	s.Solve()
+
+	pn := s.PNReach(v)
+	ann := pn.At(wrapped)
+	if len(ann) != 1 {
+		t.Fatalf("PN at Wrapped = %v, want one annotation", ann)
+	}
+	// The composed word seteuid0·execl is accepting.
+	if !alg.Accepting(ann[0]) {
+		t.Error("composed N-then-P word should be accepting")
+	}
+	// And the trace records both the pop and the wrap.
+	steps := pn.Trace(wrapped, ann[0])
+	var pops, wraps int
+	for _, st := range steps {
+		if st.Popped {
+			pops++
+		}
+		if st.Wrapped >= 0 {
+			wraps++
+		}
+	}
+	if pops != 1 || wraps != 1 {
+		t.Errorf("trace pops=%d wraps=%d, want 1 and 1: %+v", pops, wraps, steps)
+	}
+}
+
+// N-phase facts keep flowing along ordinary edges after a pop.
+func TestPNEdgesAfterPop(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	sig := terms.NewSignature()
+	val := sig.MustDeclare("val", 0)
+	o1 := sig.MustDeclare("o1", 1)
+
+	s := NewSystem(alg, sig, Options{})
+	a, b, c := s.Var("A"), s.Var("B"), s.Var("C")
+	v := s.Constant(val)
+	s.AddLowerE(v, a)
+	s.AddProjE(o1, 0, a, b)           // pop
+	s.AddVar(b, c, annotOf(mon, "g")) // then an ordinary edge
+	s.Solve()
+
+	pn := s.PNReach(v)
+	ann := pn.At(c)
+	if len(ann) != 1 || ann[0] != annotOf(mon, "g") {
+		t.Errorf("PN at C = %v, want [f_g]", ann)
+	}
+	if _, acc := pn.AcceptingAt(c); !acc {
+		t.Error("g is accepting for the 1-bit machine")
+	}
+}
+
+// PN facts deduplicate across the two phases in At().
+func TestPNPhaseDedup(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	sig := terms.NewSignature()
+	val := sig.MustDeclare("val", 0)
+
+	s := NewSystem(alg, sig, Options{})
+	a := s.Var("A")
+	v := s.Constant(val)
+	s.AddLowerE(v, a)
+	s.Solve()
+	pn := s.PNReach(v)
+	if got := pn.At(a); len(got) != 1 {
+		t.Errorf("At = %v, want one entry", got)
+	}
+	if got := pn.Facts(); len(got) != 1 {
+		t.Errorf("Facts = %v, want one", got)
+	}
+}
+
+func TestPNAcceptingList(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	sig := terms.NewSignature()
+	val := sig.MustDeclare("val", 0)
+
+	s := NewSystem(alg, sig, Options{})
+	a, b := s.Var("A"), s.Var("B")
+	v := s.Constant(val)
+	s.AddLowerE(v, a)
+	s.AddVar(a, b, annotOf(mon, "g"))
+	s.Solve()
+	pn := s.PNReach(v)
+	acc := pn.Accepting()
+	if len(acc) != 1 {
+		t.Fatalf("Accepting = %v, want one fact", acc)
+	}
+	if s.Rep(acc[0].V) != s.Rep(b) {
+		t.Error("accepting fact should be at B")
+	}
+	if got := pn.Trace(acc[0].V, acc[0].A); len(got) != 2 {
+		t.Errorf("trace = %+v, want 2 steps", got)
+	}
+}
+
+func TestTraceUnknownFact(t *testing.T) {
+	mon := oneBitMonoid(t)
+	sig := terms.NewSignature()
+	val := sig.MustDeclare("val", 0)
+	s := NewSystem(FuncAlgebra{mon}, sig, Options{})
+	a := s.Var("A")
+	v := s.Constant(val)
+	s.AddLowerE(v, a)
+	s.Solve()
+	pn := s.PNReach(v)
+	if got := pn.Trace(a, Annot(999)); got != nil {
+		t.Errorf("unknown fact should trace to nil, got %+v", got)
+	}
+}

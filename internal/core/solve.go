@@ -1,0 +1,315 @@
+package core
+
+import "rasc/internal/terms"
+
+// AddVar adds the constraint x ⊆^a y.
+func (s *System) AddVar(x, y VarID, a Annot) {
+	s.raw = append(s.raw, rawConstraint{kind: rawVarVar, x: x, y: y, a: a})
+	s.addEdge(s.find(x), s.find(y), a)
+}
+
+// AddVarE adds the unannotated constraint x ⊆ y.
+func (s *System) AddVarE(x, y VarID) { s.AddVar(x, y, s.Alg.Identity()) }
+
+// AddLower adds the constraint cn ⊆^a y (a constructed lower bound).
+func (s *System) AddLower(cn CNode, y VarID, a Annot) {
+	s.raw = append(s.raw, rawConstraint{kind: rawLower, cn: cn, y: y, a: a})
+	s.addReach(s.find(y), cn, a, parent{fromVar: -1, step: stepSeed})
+}
+
+// AddLowerE adds cn ⊆ y.
+func (s *System) AddLowerE(cn CNode, y VarID) { s.AddLower(cn, y, s.Alg.Identity()) }
+
+// AddUpper adds the constraint x ⊆^a cn (a constructed upper bound).
+func (s *System) AddUpper(x VarID, cn CNode, a Annot) {
+	s.raw = append(s.raw, rawConstraint{kind: rawUpper, x: x, cn: cn, a: a})
+	x = s.find(x)
+	k := edgeKey{int32(x), int32(cn), a}
+	if _, dup := s.sinkSeen[k]; dup {
+		return
+	}
+	s.sinkSeen[k] = struct{}{}
+	s.vars[x].sinks = append(s.vars[x].sinks, sinkRef{cn, a})
+	// Meet with sources already known to reach x.
+	for rk := range s.vars[x].reach {
+		s.meet(rk.cn, s.Alg.Then(rk.a, a), cn)
+	}
+}
+
+// AddUpperE adds x ⊆ cn.
+func (s *System) AddUpperE(x VarID, cn CNode) { s.AddUpper(x, cn, s.Alg.Identity()) }
+
+// AddConsCons adds the constraint l ⊆^a r between two constructor
+// expressions. It is decomposed through a fresh variable
+// (l ⊆^a W, W ⊆ r), which has the same solutions, resolves immediately
+// through the structural rule, and keeps the recorded constraint system
+// in the form the unidirectional solvers consume.
+func (s *System) AddConsCons(l, r CNode, a Annot) {
+	w := s.Fresh("conscons")
+	s.AddLower(l, w, a)
+	s.AddUpperE(w, r)
+}
+
+// AddProj adds the projection constraint c^-idx(x) ⊆^a z.
+func (s *System) AddProj(c terms.ConsID, idx int, x, z VarID, a Annot) {
+	if idx < 0 || idx >= s.Sig.Arity(c) {
+		panic("core: projection index out of range")
+	}
+	if s.Sig.VarianceOf(c, idx) == terms.Contravariant {
+		panic("core: projection on a contravariant argument")
+	}
+	s.raw = append(s.raw, rawConstraint{kind: rawProj, cons: c, idx: idx, x: x, y: z, a: a})
+	x, z = s.find(x), s.find(z)
+
+	if !s.opts.NoProjMerge {
+		// Projection merging: all projections of (x, c, idx) share one
+		// intermediate variable, so each source reaching x fires the
+		// projection rule once instead of once per sink.
+		if s.vars[x].projMerge == nil {
+			s.vars[x].projMerge = make(map[projMergeKey]VarID)
+		}
+		key := projMergeKey{c, idx}
+		w, ok := s.vars[x].projMerge[key]
+		if !ok {
+			w = s.Fresh("projmerge")
+			s.vars[x].projMerge[key] = w
+			s.addProjDirect(x, projRef{c, idx, w, s.Alg.Identity()})
+		}
+		s.addEdge(s.find(w), z, a)
+		return
+	}
+	s.addProjDirect(x, projRef{c, idx, z, a})
+}
+
+// AddProjE adds c^-idx(x) ⊆ z.
+func (s *System) AddProjE(c terms.ConsID, idx int, x, z VarID) {
+	s.AddProj(c, idx, x, z, s.Alg.Identity())
+}
+
+func (s *System) addProjDirect(x VarID, pr projRef) {
+	k := projKey{x, pr.cons, pr.idx, pr.to, pr.a}
+	if _, dup := s.projSeen[k]; dup {
+		return
+	}
+	s.projSeen[k] = struct{}{}
+	s.vars[x].projs = append(s.vars[x].projs, pr)
+	for rk := range s.vars[x].reach {
+		if s.cons[rk.cn].cons == pr.cons {
+			s.addEdge(s.find(s.cons[rk.cn].args[pr.idx]), s.find(pr.to), s.Alg.Then(rk.a, pr.a))
+		}
+	}
+}
+
+// addEdge inserts the (representative-level) edge x ⊆^a y, propagating
+// sources already reaching x and running cycle elimination on ε edges.
+func (s *System) addEdge(x, y VarID, a Annot) {
+	if s.opts.PruneDead && s.Alg.Dead(a) {
+		return
+	}
+	x, y = s.find(x), s.find(y)
+	ident := a == s.Alg.Identity()
+	if x == y && ident {
+		return
+	}
+	k := edgeKey{int32(x), int32(y), a}
+	if _, dup := s.edgeSeen[k]; dup {
+		return
+	}
+	s.edgeSeen[k] = struct{}{}
+	s.vars[x].out = append(s.vars[x].out, edge{y, a})
+	s.nEdges++
+
+	for rk, p := range s.vars[x].reach {
+		_ = p
+		s.addReach(y, rk.cn, s.Alg.Then(rk.a, a), parent{fromVar: x, annot: rk.a, step: stepEdge})
+	}
+
+	if ident && !s.opts.NoCycleElim {
+		s.tryCollapse(x, y)
+	}
+}
+
+// tryCollapse looks for an ε-path from y back to x (bounded DFS); if one
+// exists, the whole cycle is collapsed into one representative.
+func (s *System) tryCollapse(x, y VarID) {
+	x, y = s.find(x), s.find(y)
+	if x == y {
+		return
+	}
+	ident := s.Alg.Identity()
+	budget := s.opts.CycleBudget
+	prev := map[VarID]VarID{y: y}
+	stack := []VarID{y}
+	found := false
+	for len(stack) > 0 && budget > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		budget--
+		for _, e := range s.vars[v].out {
+			if e.a != ident {
+				continue
+			}
+			t := s.find(e.to)
+			if t == x {
+				prev[x] = v
+				found = true
+				stack = nil
+				break
+			}
+			if _, seen := prev[t]; !seen {
+				prev[t] = v
+				stack = append(stack, t)
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	// Collapse the path y → … → x (plus the new edge x → y) into x.
+	var cycle []VarID
+	for v := prev[x]; ; v = prev[v] {
+		cycle = append(cycle, v)
+		if v == y {
+			break
+		}
+	}
+	for _, v := range cycle {
+		s.union(x, v)
+	}
+}
+
+// union merges loser into winner, replaying the loser's constraints and
+// facts on the representative.
+func (s *System) union(winner, loser VarID) {
+	winner, loser = s.find(winner), s.find(loser)
+	if winner == loser {
+		return
+	}
+	s.nCollapsed++
+	// Detach the loser's state first so replay sees the merged var.
+	ld := s.vars[loser]
+	s.vars[loser].out = nil
+	s.vars[loser].sinks = nil
+	s.vars[loser].projs = nil
+	s.vars[loser].reach = nil
+	s.vars[loser].projMerge = nil
+	s.vars[loser].uf = winner
+
+	for _, e := range ld.out {
+		s.addEdge(winner, s.find(e.to), e.a)
+	}
+	for _, sk := range ld.sinks {
+		k := edgeKey{int32(winner), int32(sk.cn), sk.a}
+		if _, dup := s.sinkSeen[k]; !dup {
+			s.sinkSeen[k] = struct{}{}
+			s.vars[winner].sinks = append(s.vars[winner].sinks, sk)
+			for rk := range s.vars[winner].reach {
+				s.meet(rk.cn, s.Alg.Then(rk.a, sk.a), sk.cn)
+			}
+		}
+	}
+	for _, pr := range ld.projs {
+		s.addProjDirect(winner, pr)
+	}
+	for rk, p := range ld.reach {
+		if p.step != stepSeed && p.fromVar >= 0 {
+			p = parent{fromVar: p.fromVar, annot: p.annot, step: stepMerged}
+		}
+		s.addReach(winner, rk.cn, rk.a, p)
+	}
+	for key, w := range ld.projMerge {
+		if s.vars[winner].projMerge == nil {
+			s.vars[winner].projMerge = make(map[projMergeKey]VarID)
+		}
+		if _, exists := s.vars[winner].projMerge[key]; !exists {
+			s.vars[winner].projMerge[key] = w
+		}
+	}
+	// Constructor-argument occurrences must follow the representative so
+	// that PN-reachability wrap steps see them.
+	s.vars[winner].argOf = append(s.vars[winner].argOf, ld.argOf...)
+	s.vars[loser].argOf = nil
+}
+
+// addReach records that constructor expression cn reaches v with composed
+// annotation a, and schedules rule application.
+func (s *System) addReach(v VarID, cn CNode, a Annot, par parent) {
+	if s.opts.PruneDead && s.Alg.Dead(a) {
+		return
+	}
+	v = s.find(v)
+	k := reachKey{cn, a}
+	if _, dup := s.vars[v].reach[k]; dup {
+		return
+	}
+	if s.opts.NoWitness {
+		par = parent{fromVar: -1, step: par.step}
+	}
+	s.vars[v].reach[k] = par
+	s.nReach++
+	s.cons[cn].occur = append(s.cons[cn].occur, varAnnot{v, a})
+	s.work = append(s.work, workItem{v, cn, a})
+}
+
+// meet applies the structural/clash rule to a flow src ⊆^h dst between
+// constructor expressions. Covariant components flow forward with the
+// composed annotation; contravariant components (Banshee-style, e.g. the
+// "set" side of a points-to ref) flow backward. The annotated semantics
+// (§2.3) does not define appending a word to a contravariant component,
+// so a non-ε flow into a contravariant position is reported as a clash.
+func (s *System) meet(src CNode, h Annot, dst CNode) {
+	sd, dd := &s.cons[src], &s.cons[dst]
+	if sd.cons != dd.cons {
+		s.recordClash(Clash{src, dst, h})
+		return
+	}
+	for i := range sd.args {
+		if s.Sig.VarianceOf(sd.cons, i) == terms.Contravariant {
+			if h != s.Alg.Identity() {
+				s.recordClash(Clash{src, dst, h})
+				continue
+			}
+			s.addEdge(s.find(dd.args[i]), s.find(sd.args[i]), h)
+			continue
+		}
+		s.addEdge(s.find(sd.args[i]), s.find(dd.args[i]), h)
+	}
+}
+
+func (s *System) recordClash(c Clash) {
+	if _, dup := s.clashSeen[c]; !dup {
+		s.clashSeen[c] = struct{}{}
+		s.clashes = append(s.clashes, c)
+	}
+}
+
+// Solve drains the work queue, running resolution to a fixed point. It is
+// idempotent and may be interleaved with constraint additions (online
+// solving). It returns the number of facts processed.
+func (s *System) Solve() int {
+	n := 0
+	for len(s.work) > 0 {
+		it := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		n++
+		v := s.find(it.v)
+		// Snapshot the lists: they may grow while we iterate, and growth
+		// is handled by the inserting call itself.
+		out := s.vars[v].out
+		sinks := s.vars[v].sinks
+		projs := s.vars[v].projs
+		for _, e := range out {
+			s.addReach(s.find(e.to), it.cn, s.Alg.Then(it.a, e.a), parent{fromVar: v, annot: it.a, step: stepEdge})
+		}
+		for _, sk := range sinks {
+			s.meet(it.cn, s.Alg.Then(it.a, sk.a), sk.cn)
+		}
+		cd := s.cons[it.cn]
+		for _, pr := range projs {
+			if cd.cons == pr.cons {
+				s.addEdge(s.find(cd.args[pr.idx]), s.find(pr.to), s.Alg.Then(it.a, pr.a))
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rasc/internal/terms"
+)
+
+// VarID identifies a set variable.
+type VarID int32
+
+// CNode identifies a constructor expression c(X1,…,Xn); constants are
+// constructor expressions of arity zero. Constructor expressions are
+// hash-consed by default (§8).
+type CNode int32
+
+// Options configures a System; the zero value enables all optimizations.
+type Options struct {
+	// NoCycleElim disables partial online cycle elimination (Fähndrich et
+	// al., PLDI 1998): collapsing variables connected by cycles of
+	// ε-annotated edges.
+	NoCycleElim bool
+	// NoProjMerge disables projection merging (Su et al., POPL 2000):
+	// routing all projections c^-i(Y) ⊆ Z through one intermediate
+	// variable per (Y, c, i).
+	NoProjMerge bool
+	// NoHashCons disables hash-consing of constructor expressions.
+	NoHashCons bool
+	// NoWitness disables parent tracking for witness extraction, saving
+	// memory in benchmarks.
+	NoWitness bool
+	// CycleBudget bounds the depth-first search used to detect ε-cycles
+	// on edge insertion; 0 means the default (64 nodes).
+	CycleBudget int
+	// PruneDead discards facts and edges whose annotation is dead (not a
+	// substring of L(M)): the §3.1 optimization, equivalent to solving
+	// over T^{M^sub}. Off by default so that raw reachability queries see
+	// every flow; analyses that only ask accepting queries should turn it
+	// on.
+	PruneDead bool
+}
+
+// Clash records a manifestly inconsistent constraint discovered during
+// resolution: a flow from constructor Src to an incompatible constructor
+// sink Dst (the "no solution" rule).
+type Clash struct {
+	Src, Dst CNode
+	Annot    Annot
+}
+
+// stepKind tags the provenance of a derived fact for witness extraction.
+type stepKind uint8
+
+const (
+	stepSeed   stepKind = iota // original lower-bound constraint
+	stepEdge                   // propagated across a variable edge
+	stepMerged                 // carried over by cycle elimination
+)
+
+// parent records how a reach fact was first derived.
+type parent struct {
+	fromVar VarID
+	annot   Annot // annotation the source had at fromVar
+	step    stepKind
+}
+
+// reachKey identifies a (source, annotation) fact at a variable.
+type reachKey struct {
+	cn CNode
+	a  Annot
+}
+
+// edge is an annotated successor edge X ⊆^a Y.
+type edge struct {
+	to VarID
+	a  Annot
+}
+
+// sinkRef is an upper bound X ⊆^a c(Y1,…,Yn).
+type sinkRef struct {
+	cn CNode
+	a  Annot
+}
+
+// projRef is a projection constraint c^-i(X) ⊆^a Z attached at X.
+type projRef struct {
+	cons terms.ConsID
+	idx  int
+	to   VarID
+	a    Annot
+}
+
+type varData struct {
+	name string
+	// union-find parent; self when representative.
+	uf VarID
+
+	out   []edge
+	sinks []sinkRef
+	projs []projRef
+	reach map[reachKey]parent
+
+	// occurrences of this var as an argument of constructor expressions,
+	// used by PN-reachability queries (wrap steps).
+	argOf []argUse
+
+	// projection-merge intermediates: key (cons, idx) -> intermediate var.
+	projMerge map[projMergeKey]VarID
+}
+
+type projMergeKey struct {
+	cons terms.ConsID
+	idx  int
+}
+
+type argUse struct {
+	cn  CNode
+	idx int
+}
+
+type consData struct {
+	cons terms.ConsID
+	args []VarID
+	// occur lists the (variable, annotation) pairs this expression has
+	// reached, for PN queries; it mirrors reach entries.
+	occur []varAnnot
+}
+
+type varAnnot struct {
+	v VarID
+	a Annot
+}
+
+// workItem is a newly added reach fact awaiting rule application.
+type workItem struct {
+	v  VarID
+	cn CNode
+	a  Annot
+}
+
+// rawKind enumerates the surface constraint forms for the unidirectional
+// solvers, which run over the recorded constraints independently of the
+// bidirectional engine's state.
+type rawKind uint8
+
+const (
+	rawVarVar rawKind = iota
+	rawLower          // cn ⊆^a y
+	rawUpper          // x ⊆^a cn
+	rawProj           // cons^-idx(x) ⊆^a z
+)
+
+type rawConstraint struct {
+	kind rawKind
+	x, y VarID
+	cn   CNode
+	cons terms.ConsID
+	idx  int
+	a    Annot
+}
+
+// System is a system of regularly annotated set constraints together with
+// the bidirectional solver's state. Constraints may be added at any time
+// (online solving); Solve drains the work queue and is idempotent.
+type System struct {
+	Alg Algebra
+	Sig *terms.Signature
+
+	opts Options
+
+	vars      []varData
+	varIndex  map[string]VarID
+	cons      []consData
+	consIndex map[string]CNode
+
+	edgeSeen map[edgeKey]struct{}
+	sinkSeen map[edgeKey]struct{}
+	projSeen map[projKey]struct{}
+
+	work      []workItem
+	clashes   []Clash
+	clashSeen map[Clash]struct{}
+
+	raw []rawConstraint
+
+	// stats
+	nEdges, nReach, nCollapsed int
+}
+
+type edgeKey struct {
+	x, y int32 // y is a VarID for edges, a CNode for sinks
+	a    Annot
+}
+
+type projKey struct {
+	x    VarID
+	cons terms.ConsID
+	idx  int
+	to   VarID
+	a    Annot
+}
+
+// NewSystem returns an empty constraint system over the given annotation
+// algebra and constructor signature.
+func NewSystem(alg Algebra, sig *terms.Signature, opts Options) *System {
+	if opts.CycleBudget == 0 {
+		opts.CycleBudget = 64
+	}
+	return &System{
+		Alg:       alg,
+		Sig:       sig,
+		opts:      opts,
+		varIndex:  make(map[string]VarID),
+		consIndex: make(map[string]CNode),
+		edgeSeen:  make(map[edgeKey]struct{}),
+		sinkSeen:  make(map[edgeKey]struct{}),
+		projSeen:  make(map[projKey]struct{}),
+		clashSeen: make(map[Clash]struct{}),
+	}
+}
+
+// Var interns a set variable by name.
+func (s *System) Var(name string) VarID {
+	if v, ok := s.varIndex[name]; ok {
+		return v
+	}
+	v := s.newVar(name)
+	s.varIndex[name] = v
+	return v
+}
+
+// Fresh creates an anonymous variable with a unique diagnostic name.
+func (s *System) Fresh(prefix string) VarID {
+	return s.newVar(fmt.Sprintf("%s#%d", prefix, len(s.vars)))
+}
+
+func (s *System) newVar(name string) VarID {
+	v := VarID(len(s.vars))
+	s.vars = append(s.vars, varData{
+		name:  name,
+		uf:    v,
+		reach: make(map[reachKey]parent),
+	})
+	return v
+}
+
+// NumVars returns the number of variables (including projection-merge
+// intermediates).
+func (s *System) NumVars() int { return len(s.vars) }
+
+// VarName returns the diagnostic name of v.
+func (s *System) VarName(v VarID) string { return s.vars[v].name }
+
+// Rep returns the union-find representative of v; variables collapsed by
+// cycle elimination share one representative.
+func (s *System) Rep(v VarID) VarID { return s.find(v) }
+
+// find returns the union-find representative of v, with path compression.
+func (s *System) find(v VarID) VarID {
+	root := v
+	for s.vars[root].uf != root {
+		root = s.vars[root].uf
+	}
+	for s.vars[v].uf != v {
+		next := s.vars[v].uf
+		s.vars[v].uf = root
+		v = next
+	}
+	return root
+}
+
+// Cons interns the constructor expression c(args...). With hash-consing
+// disabled every call creates a fresh node.
+func (s *System) Cons(c terms.ConsID, args ...VarID) CNode {
+	if got, want := len(args), s.Sig.Arity(c); got != want {
+		panic(fmt.Sprintf("core: %s applied to %d args, want %d", s.Sig.Name(c), got, want))
+	}
+	var key string
+	if !s.opts.NoHashCons {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d(", c)
+		for i, a := range args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", a)
+		}
+		b.WriteByte(')')
+		key = b.String()
+		if cn, ok := s.consIndex[key]; ok {
+			return cn
+		}
+	}
+	cn := CNode(len(s.cons))
+	s.cons = append(s.cons, consData{cons: c, args: append([]VarID{}, args...)})
+	for i, a := range args {
+		s.vars[a].argOf = append(s.vars[a].argOf, argUse{cn, i})
+	}
+	if !s.opts.NoHashCons {
+		s.consIndex[key] = cn
+	}
+	return cn
+}
+
+// Constant interns a constant (arity-0 constructor expression).
+func (s *System) Constant(c terms.ConsID) CNode { return s.Cons(c) }
+
+// ConsOf returns the constructor of cn.
+func (s *System) ConsOf(cn CNode) terms.ConsID { return s.cons[cn].cons }
+
+// ArgsOf returns the argument variables of cn (do not mutate).
+func (s *System) ArgsOf(cn CNode) []VarID { return s.cons[cn].args }
+
+// ConsString renders cn for diagnostics.
+func (s *System) ConsString(cn CNode) string {
+	d := s.cons[cn]
+	if len(d.args) == 0 {
+		return s.Sig.Name(d.cons)
+	}
+	var b strings.Builder
+	b.WriteString(s.Sig.Name(d.cons))
+	b.WriteByte('(')
+	for i, a := range d.args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.vars[a].name)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Clashes returns the inconsistencies discovered so far.
+func (s *System) Clashes() []Clash { return s.clashes }
+
+// Consistent reports whether no clash has been discovered.
+func (s *System) Consistent() bool { return len(s.clashes) == 0 }
+
+// Stats reports solver counters: variables, constructor expressions,
+// distinct propagated facts, distinct edges, and variables eliminated by
+// cycle collapsing.
+type Stats struct {
+	Vars      int
+	ConsNodes int
+	Reach     int
+	Edges     int
+	Collapsed int
+	Clashes   int
+}
+
+// Stats returns current solver statistics.
+func (s *System) Stats() Stats {
+	return Stats{
+		Vars:      len(s.vars),
+		ConsNodes: len(s.cons),
+		Reach:     s.nReach,
+		Edges:     s.nEdges,
+		Collapsed: s.nCollapsed,
+		Clashes:   len(s.clashes),
+	}
+}

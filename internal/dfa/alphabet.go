@@ -1,0 +1,81 @@
+// Package dfa implements the finite automata substrate for regularly
+// annotated set constraints: deterministic and nondeterministic finite
+// automata over interned alphabets, subset construction, Hopcroft
+// minimization, product machines, and the derived prefix, suffix, and
+// substring machines used by the forward, backward, and bidirectional
+// solving strategies of Kodumal and Aiken (PLDI 2007).
+package dfa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symbol is an interned alphabet symbol. Symbols are small non-negative
+// integers assigned by an Alphabet in order of interning.
+type Symbol int
+
+// Alphabet interns symbol names. Machines that share an Alphabet can be
+// combined with product constructions; the zero value is empty and ready
+// to use via Intern.
+type Alphabet struct {
+	names []string
+	index map[string]Symbol
+}
+
+// NewAlphabet returns an alphabet containing the given symbol names in
+// order. Duplicate names are interned once.
+func NewAlphabet(names ...string) *Alphabet {
+	a := &Alphabet{}
+	for _, n := range names {
+		a.Intern(n)
+	}
+	return a
+}
+
+// Intern returns the symbol for name, assigning a fresh symbol if the name
+// has not been seen before.
+func (a *Alphabet) Intern(name string) Symbol {
+	if a.index == nil {
+		a.index = make(map[string]Symbol)
+	}
+	if s, ok := a.index[name]; ok {
+		return s
+	}
+	s := Symbol(len(a.names))
+	a.names = append(a.names, name)
+	a.index[name] = s
+	return s
+}
+
+// Lookup returns the symbol for name and whether it is interned.
+func (a *Alphabet) Lookup(name string) (Symbol, bool) {
+	s, ok := a.index[name]
+	return s, ok
+}
+
+// Name returns the name of symbol s.
+func (a *Alphabet) Name(s Symbol) string {
+	if s < 0 || int(s) >= len(a.names) {
+		return fmt.Sprintf("sym#%d", int(s))
+	}
+	return a.names[s]
+}
+
+// Size returns the number of interned symbols.
+func (a *Alphabet) Size() int { return len(a.names) }
+
+// Names returns a copy of the symbol names in interning order.
+func (a *Alphabet) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// SortedNames returns the symbol names sorted lexicographically; useful for
+// deterministic output.
+func (a *Alphabet) SortedNames() []string {
+	out := a.Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,61 @@
+package dfa
+
+// This file builds the derived machines of §2.3 and §5 of the paper:
+//
+//   M^sub — accepts all substrings of words in L(M); the bidirectional
+//           solver works over the annotated domain T^{M^sub}.
+//   M^pre — accepts all prefixes of words in L(M); the forward solver works
+//           over T^{M^pre}.
+//   M^suf — accepts all suffixes; the backward solver's domain.
+//
+// All three constructions start from the trimmed machine (useful states
+// only) so that every partial word really extends to a word in L(M).
+
+// PrefixMachine returns the minimal DFA accepting prefixes of L(M):
+// {w | ∃y. wy ∈ L(M)}. A prefix is a word whose run stays within
+// co-reachable states, so the construction marks every useful state
+// accepting in the trimmed machine.
+func PrefixMachine(m *DFA) *DFA {
+	t := m.Trim()
+	if !t.HasAccept() {
+		return Minimize(t)
+	}
+	out := t.Clone()
+	for s := 0; s < out.NumStates; s++ {
+		out.Accept[s] = true
+	}
+	return Minimize(out)
+}
+
+// SuffixMachine returns the minimal DFA accepting suffixes of L(M):
+// {w | ∃x. xw ∈ L(M)}. Construction: NFA whose start set is every
+// reachable state of the trimmed machine, determinized and minimized.
+func SuffixMachine(m *DFA) *DFA {
+	t := m.Trim()
+	if !t.HasAccept() {
+		return Minimize(t)
+	}
+	n := FromDFA(t)
+	n.Start = nil
+	for s := 0; s < t.NumStates; s++ {
+		n.AddStart(State(s))
+	}
+	return Minimize(n.Determinize())
+}
+
+// SubstringMachine returns the minimal DFA accepting substrings of L(M):
+// {w | ∃x,y. xwy ∈ L(M)}. Construction: NFA over the trimmed (useful)
+// machine with every state both initial and accepting.
+func SubstringMachine(m *DFA) *DFA {
+	t := m.Trim()
+	if !t.HasAccept() {
+		return Minimize(t)
+	}
+	n := FromDFA(t)
+	n.Start = nil
+	for s := 0; s < t.NumStates; s++ {
+		n.AddStart(State(s))
+		n.SetAccept(State(s))
+	}
+	return Minimize(n.Determinize())
+}

@@ -1,0 +1,349 @@
+package dfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State is a state of a DFA or NFA, numbered from 0.
+type State int
+
+// None marks the absence of a state (a missing transition in a partial DFA).
+const None State = -1
+
+// DFA is a deterministic finite automaton. The transition function is
+// total unless a transition is None; Complete fills missing transitions
+// with a dead state. States are 0..NumStates-1.
+type DFA struct {
+	Alpha     *Alphabet
+	NumStates int
+	Start     State
+	Accept    []bool    // len NumStates
+	Delta     [][]State // [state][symbol]; len NumStates x Alpha.Size()
+	// StateName optionally names states for diagnostics; may be nil.
+	StateName []string
+}
+
+// NewDFA returns a DFA with n states over alpha, with all transitions
+// missing (None) and no accept states.
+func NewDFA(alpha *Alphabet, n int, start State) *DFA {
+	d := &DFA{
+		Alpha:     alpha,
+		NumStates: n,
+		Start:     start,
+		Accept:    make([]bool, n),
+		Delta:     make([][]State, n),
+	}
+	for i := range d.Delta {
+		row := make([]State, alpha.Size())
+		for j := range row {
+			row[j] = None
+		}
+		d.Delta[i] = row
+	}
+	return d
+}
+
+// SetTransition sets delta(from, sym) = to.
+func (d *DFA) SetTransition(from State, sym Symbol, to State) {
+	d.Delta[from][sym] = to
+}
+
+// SetAccept marks s as accepting.
+func (d *DFA) SetAccept(s State) { d.Accept[s] = true }
+
+// IsTotal reports whether every transition is defined.
+func (d *DFA) IsTotal() bool {
+	for _, row := range d.Delta {
+		for _, t := range row {
+			if t == None {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Complete returns a total DFA accepting the same language. If d is already
+// total it is returned unchanged; otherwise a dead state is appended and
+// all missing transitions point to it.
+func (d *DFA) Complete() *DFA {
+	if d.IsTotal() {
+		return d
+	}
+	n := d.NumStates
+	out := NewDFA(d.Alpha, n+1, d.Start)
+	copy(out.Accept, d.Accept)
+	for s := 0; s < n; s++ {
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t == None {
+				t = State(n)
+			}
+			out.Delta[s][sym] = t
+		}
+	}
+	for sym := 0; sym < d.Alpha.Size(); sym++ {
+		out.Delta[n][sym] = State(n)
+	}
+	if d.StateName != nil {
+		out.StateName = append(append([]string{}, d.StateName...), "⊥")
+	}
+	return out
+}
+
+// CompleteSelfLoop returns a total DFA in which every missing transition is
+// a self loop. This is the default-stuttering semantics used by the
+// annotation specification language: symbols not mentioned in a state leave
+// the state unchanged.
+func (d *DFA) CompleteSelfLoop() *DFA {
+	out := NewDFA(d.Alpha, d.NumStates, d.Start)
+	copy(out.Accept, d.Accept)
+	if d.StateName != nil {
+		out.StateName = append([]string{}, d.StateName...)
+	}
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t == None {
+				t = State(s)
+			}
+			out.Delta[s][sym] = t
+		}
+	}
+	return out
+}
+
+// Step returns delta(s, sym), or None if the transition is missing.
+func (d *DFA) Step(s State, sym Symbol) State {
+	if s == None {
+		return None
+	}
+	return d.Delta[s][sym]
+}
+
+// Run returns the state reached from s on the given word, or None if the
+// run dies.
+func (d *DFA) Run(s State, word []Symbol) State {
+	for _, sym := range word {
+		s = d.Step(s, sym)
+		if s == None {
+			return None
+		}
+	}
+	return s
+}
+
+// Accepts reports whether the DFA accepts the word from the start state.
+func (d *DFA) Accepts(word []Symbol) bool {
+	s := d.Run(d.Start, word)
+	return s != None && d.Accept[s]
+}
+
+// AcceptsNames is Accepts on symbol names; unknown names are rejected.
+func (d *DFA) AcceptsNames(names ...string) bool {
+	word := make([]Symbol, 0, len(names))
+	for _, n := range names {
+		s, ok := d.Alpha.Lookup(n)
+		if !ok {
+			return false
+		}
+		word = append(word, s)
+	}
+	return d.Accepts(word)
+}
+
+// AcceptStates returns the accepting states in increasing order.
+func (d *DFA) AcceptStates() []State {
+	var out []State
+	for s, a := range d.Accept {
+		if a {
+			out = append(out, State(s))
+		}
+	}
+	return out
+}
+
+// HasAccept reports whether the DFA has at least one accepting state.
+func (d *DFA) HasAccept() bool {
+	for _, a := range d.Accept {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of states reachable from the start state.
+func (d *DFA) Reachable() []bool {
+	seen := make([]bool, d.NumStates)
+	stack := []State{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t != None && !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachable returns the set of states from which some accepting state is
+// reachable.
+func (d *DFA) CoReachable() []bool {
+	// Build reverse adjacency.
+	rev := make([][]State, d.NumStates)
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t != None {
+				rev[t] = append(rev[t], State(s))
+			}
+		}
+	}
+	seen := make([]bool, d.NumStates)
+	var stack []State
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			seen[s] = true
+			stack = append(stack, State(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// Trim returns an equivalent partial DFA containing only states that are
+// both reachable and co-reachable ("useful"). If the start state is not
+// useful the result is a one-state machine accepting nothing.
+func (d *DFA) Trim() *DFA {
+	reach := d.Reachable()
+	co := d.CoReachable()
+	remap := make([]State, d.NumStates)
+	n := 0
+	for s := 0; s < d.NumStates; s++ {
+		if reach[s] && co[s] {
+			remap[s] = State(n)
+			n++
+		} else {
+			remap[s] = None
+		}
+	}
+	if n == 0 || remap[d.Start] == None {
+		out := NewDFA(d.Alpha, 1, 0)
+		return out
+	}
+	out := NewDFA(d.Alpha, n, remap[d.Start])
+	if d.StateName != nil {
+		out.StateName = make([]string, n)
+	}
+	for s := 0; s < d.NumStates; s++ {
+		ns := remap[s]
+		if ns == None {
+			continue
+		}
+		out.Accept[ns] = d.Accept[s]
+		if d.StateName != nil {
+			out.StateName[ns] = d.StateName[s]
+		}
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t != None && remap[t] != None {
+				out.Delta[ns][sym] = remap[t]
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of d.
+func (d *DFA) Clone() *DFA {
+	out := NewDFA(d.Alpha, d.NumStates, d.Start)
+	copy(out.Accept, d.Accept)
+	for i := range d.Delta {
+		copy(out.Delta[i], d.Delta[i])
+	}
+	if d.StateName != nil {
+		out.StateName = append([]string{}, d.StateName...)
+	}
+	return out
+}
+
+// NameOf returns a printable name for state s.
+func (d *DFA) NameOf(s State) string {
+	if s == None {
+		return "∅"
+	}
+	if d.StateName != nil && int(s) < len(d.StateName) && d.StateName[s] != "" {
+		return d.StateName[s]
+	}
+	return fmt.Sprintf("q%d", int(s))
+}
+
+// String renders the machine as a transition table for diagnostics.
+func (d *DFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DFA(states=%d, start=%s, accept={", d.NumStates, d.NameOf(d.Start))
+	first := true
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			if !first {
+				b.WriteString(",")
+			}
+			b.WriteString(d.NameOf(State(s)))
+			first = false
+		}
+	}
+	b.WriteString("})\n")
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t != None {
+				fmt.Fprintf(&b, "  %s --%s--> %s\n", d.NameOf(State(s)), d.Alpha.Name(Symbol(sym)), d.NameOf(t))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Validate checks internal consistency and returns an error describing the
+// first problem found.
+func (d *DFA) Validate() error {
+	if d.Alpha == nil {
+		return fmt.Errorf("dfa: nil alphabet")
+	}
+	if d.NumStates <= 0 {
+		return fmt.Errorf("dfa: no states")
+	}
+	if d.Start < 0 || int(d.Start) >= d.NumStates {
+		return fmt.Errorf("dfa: start state %d out of range", d.Start)
+	}
+	if len(d.Accept) != d.NumStates || len(d.Delta) != d.NumStates {
+		return fmt.Errorf("dfa: table sizes disagree with NumStates=%d", d.NumStates)
+	}
+	for s, row := range d.Delta {
+		if len(row) != d.Alpha.Size() {
+			return fmt.Errorf("dfa: state %d has %d transitions, want %d", s, len(row), d.Alpha.Size())
+		}
+		for sym, t := range row {
+			if t != None && (t < 0 || int(t) >= d.NumStates) {
+				return fmt.Errorf("dfa: delta(%d,%s)=%d out of range", s, d.Alpha.Name(Symbol(sym)), t)
+			}
+		}
+	}
+	return nil
+}

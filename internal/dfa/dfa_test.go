@@ -1,0 +1,521 @@
+package dfa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// oneBit builds the 1-bit gen/kill machine of Figure 1: states 0 (off) and
+// 1 (on); g sends both states to 1, k sends both to 0; accept when on.
+func oneBit(t *testing.T) *DFA {
+	t.Helper()
+	alpha := NewAlphabet("g", "k")
+	d := NewDFA(alpha, 2, 0)
+	g, _ := alpha.Lookup("g")
+	k, _ := alpha.Lookup("k")
+	d.SetTransition(0, g, 1)
+	d.SetTransition(1, g, 1)
+	d.SetTransition(0, k, 0)
+	d.SetTransition(1, k, 0)
+	d.SetAccept(1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return d
+}
+
+// privilege builds the Figure 3 process-privilege machine with stuttering
+// self loops on unmentioned symbols.
+func privilege(t *testing.T) *DFA {
+	t.Helper()
+	alpha := NewAlphabet("seteuid0", "seteuidN", "execl")
+	d := NewDFA(alpha, 3, 0) // 0=Unpriv 1=Priv 2=Error
+	s0, _ := alpha.Lookup("seteuid0")
+	sN, _ := alpha.Lookup("seteuidN")
+	ex, _ := alpha.Lookup("execl")
+	d.SetTransition(0, s0, 1)
+	d.SetTransition(1, sN, 0)
+	d.SetTransition(1, ex, 2)
+	d.SetAccept(2)
+	d.StateName = []string{"Unpriv", "Priv", "Error"}
+	return d.CompleteSelfLoop()
+}
+
+func TestOneBitAccepts(t *testing.T) {
+	d := oneBit(t)
+	cases := []struct {
+		word []string
+		want bool
+	}{
+		{[]string{}, false},
+		{[]string{"g"}, true},
+		{[]string{"k"}, false},
+		{[]string{"g", "k"}, false},
+		{[]string{"k", "g"}, true},
+		{[]string{"g", "g"}, true},
+		{[]string{"g", "k", "g"}, true},
+	}
+	for _, c := range cases {
+		if got := d.AcceptsNames(c.word...); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestPrivilegeAccepts(t *testing.T) {
+	d := privilege(t)
+	if !d.AcceptsNames("seteuid0", "execl") {
+		t.Error("priv then execl should reach Error")
+	}
+	if d.AcceptsNames("seteuid0", "seteuidN", "execl") {
+		t.Error("dropping privilege before execl should be safe")
+	}
+	if d.AcceptsNames("execl") {
+		t.Error("unprivileged execl should be safe")
+	}
+	if !d.AcceptsNames("seteuid0", "execl", "seteuidN") {
+		t.Error("Error is a sink: suffixes stay accepting")
+	}
+}
+
+func TestCompleteAddsDeadState(t *testing.T) {
+	alpha := NewAlphabet("a")
+	d := NewDFA(alpha, 1, 0)
+	d.SetAccept(0)
+	if d.IsTotal() {
+		t.Fatal("expected partial machine")
+	}
+	c := d.Complete()
+	if !c.IsTotal() {
+		t.Fatal("Complete did not totalize")
+	}
+	if c.NumStates != 2 {
+		t.Fatalf("NumStates = %d, want 2", c.NumStates)
+	}
+	if c.AcceptsNames("a") {
+		t.Error("dead state must not accept")
+	}
+	if !c.AcceptsNames() {
+		t.Error("empty word should still accept")
+	}
+}
+
+func TestTrimRemovesUseless(t *testing.T) {
+	alpha := NewAlphabet("a")
+	d := NewDFA(alpha, 4, 0)
+	a, _ := alpha.Lookup("a")
+	// 0 -> 1 -> 2(accept); 3 unreachable; 2 has no out (so any word past
+	// "aa" dies). State 1 and 0 are useful, 3 is not.
+	d.SetTransition(0, a, 1)
+	d.SetTransition(1, a, 2)
+	d.SetTransition(3, a, 2)
+	d.SetAccept(2)
+	tr := d.Trim()
+	if tr.NumStates != 3 {
+		t.Fatalf("trimmed NumStates = %d, want 3", tr.NumStates)
+	}
+	if !tr.AcceptsNames("a", "a") {
+		t.Error("trim changed the language")
+	}
+}
+
+func TestMinimizeOneBit(t *testing.T) {
+	d := oneBit(t)
+	m := Minimize(d)
+	if m.NumStates != 2 {
+		t.Fatalf("minimal 1-bit machine has %d states, want 2", m.NumStates)
+	}
+	if !Equivalent(d, m) {
+		t.Error("Minimize changed the language")
+	}
+}
+
+func TestMinimizeCollapsesCopies(t *testing.T) {
+	// Two redundant copies of the 1-bit "on" state must collapse.
+	alpha := NewAlphabet("g", "k")
+	d := NewDFA(alpha, 3, 0)
+	g, _ := alpha.Lookup("g")
+	k, _ := alpha.Lookup("k")
+	d.SetTransition(0, g, 1)
+	d.SetTransition(0, k, 0)
+	d.SetTransition(1, g, 2) // goes to the copy
+	d.SetTransition(1, k, 0)
+	d.SetTransition(2, g, 1)
+	d.SetTransition(2, k, 0)
+	d.SetAccept(1)
+	d.SetAccept(2)
+	m := Minimize(d)
+	if m.NumStates != 2 {
+		t.Fatalf("minimized to %d states, want 2", m.NumStates)
+	}
+}
+
+func TestMinimizeEmptyLanguage(t *testing.T) {
+	alpha := NewAlphabet("a")
+	d := NewDFA(alpha, 2, 0)
+	a, _ := alpha.Lookup("a")
+	d.SetTransition(0, a, 1)
+	d.SetTransition(1, a, 0)
+	m := Minimize(d)
+	if !Empty(m) {
+		t.Error("empty language not preserved")
+	}
+	if m.NumStates != 1 {
+		t.Errorf("minimal empty machine has %d states, want 1", m.NumStates)
+	}
+}
+
+func TestDeterminizeSimple(t *testing.T) {
+	// NFA for (a|b)*a: accepts words ending in a.
+	alpha := NewAlphabet("a", "b")
+	n := NewNFA(alpha, 2)
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	n.AddStart(0)
+	n.AddTransition(0, a, 0)
+	n.AddTransition(0, b, 0)
+	n.AddTransition(0, a, 1)
+	n.SetAccept(1)
+	d := Minimize(n.Determinize())
+	if d.NumStates != 2 {
+		t.Fatalf("minimal machine for (a|b)*a has %d states, want 2", d.NumStates)
+	}
+	if !d.AcceptsNames("b", "a") || d.AcceptsNames("a", "b") || d.AcceptsNames() {
+		t.Error("wrong language for (a|b)*a")
+	}
+}
+
+func TestDeterminizeEpsilon(t *testing.T) {
+	// NFA with epsilon: start -ε-> s1 -a-> accept.
+	alpha := NewAlphabet("a")
+	n := NewNFA(alpha, 3)
+	a, _ := alpha.Lookup("a")
+	n.AddStart(0)
+	n.AddEps(0, 1)
+	n.AddTransition(1, a, 2)
+	n.SetAccept(2)
+	d := n.Determinize()
+	if !d.AcceptsNames("a") || d.AcceptsNames() || d.AcceptsNames("a", "a") {
+		t.Error("epsilon closure handled incorrectly")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	// L1 = words with at least one a (2-state machine).
+	d1 := NewDFA(alpha, 2, 0)
+	d1.SetTransition(0, a, 1)
+	d1.SetTransition(0, b, 0)
+	d1.SetTransition(1, a, 1)
+	d1.SetTransition(1, b, 1)
+	d1.SetAccept(1)
+	// L2 = words with at least one b.
+	d2 := NewDFA(alpha, 2, 0)
+	d2.SetTransition(0, b, 1)
+	d2.SetTransition(0, a, 0)
+	d2.SetTransition(1, a, 1)
+	d2.SetTransition(1, b, 1)
+	d2.SetAccept(1)
+
+	inter := Intersect(d1, d2)
+	if !inter.AcceptsNames("a", "b") || inter.AcceptsNames("a") || inter.AcceptsNames("b") {
+		t.Error("intersection wrong")
+	}
+	un := Union(d1, d2)
+	if !un.AcceptsNames("a") || !un.AcceptsNames("b") || un.AcceptsNames() {
+		t.Error("union wrong")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := oneBit(t)
+	c := Complement(d)
+	if c.AcceptsNames("g") || !c.AcceptsNames("k") || !c.AcceptsNames() {
+		t.Error("complement wrong")
+	}
+	// L ∩ ¬L = ∅
+	if !Empty(Intersect(d, c)) {
+		t.Error("L ∩ ¬L should be empty")
+	}
+}
+
+func TestPrefixMachine(t *testing.T) {
+	// L = {ab} exactly.
+	alpha := NewAlphabet("a", "b")
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	d := NewDFA(alpha, 3, 0)
+	d.SetTransition(0, a, 1)
+	d.SetTransition(1, b, 2)
+	d.SetAccept(2)
+	p := PrefixMachine(d)
+	for _, c := range []struct {
+		w    []string
+		want bool
+	}{
+		{[]string{}, true},
+		{[]string{"a"}, true},
+		{[]string{"a", "b"}, true},
+		{[]string{"b"}, false},
+		{[]string{"a", "b", "a"}, false},
+		{[]string{"a", "a"}, false},
+	} {
+		if got := p.AcceptsNames(c.w...); got != c.want {
+			t.Errorf("prefix Accepts(%v) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestSuffixMachine(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	d := NewDFA(alpha, 3, 0)
+	d.SetTransition(0, a, 1)
+	d.SetTransition(1, b, 2)
+	d.SetAccept(2)
+	s := SuffixMachine(d)
+	for _, c := range []struct {
+		w    []string
+		want bool
+	}{
+		{[]string{}, true},
+		{[]string{"b"}, true},
+		{[]string{"a", "b"}, true},
+		{[]string{"a"}, false},
+		{[]string{"b", "a"}, false},
+	} {
+		if got := s.AcceptsNames(c.w...); got != c.want {
+			t.Errorf("suffix Accepts(%v) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestSubstringMachine(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	// L = {aba} exactly.
+	d := NewDFA(alpha, 4, 0)
+	d.SetTransition(0, a, 1)
+	d.SetTransition(1, b, 2)
+	d.SetTransition(2, a, 3)
+	d.SetAccept(3)
+	sub := SubstringMachine(d)
+	for _, c := range []struct {
+		w    []string
+		want bool
+	}{
+		{[]string{}, true},
+		{[]string{"a"}, true},
+		{[]string{"b"}, true},
+		{[]string{"a", "b"}, true},
+		{[]string{"b", "a"}, true},
+		{[]string{"a", "b", "a"}, true},
+		{[]string{"b", "b"}, false},
+		{[]string{"a", "a"}, false},
+	} {
+		if got := sub.AcceptsNames(c.w...); got != c.want {
+			t.Errorf("substring Accepts(%v) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestDerivedMachinesEmptyLanguage(t *testing.T) {
+	alpha := NewAlphabet("a")
+	d := NewDFA(alpha, 1, 0) // no accepts: empty language
+	for name, m := range map[string]*DFA{
+		"prefix":    PrefixMachine(d),
+		"suffix":    SuffixMachine(d),
+		"substring": SubstringMachine(d),
+	} {
+		if !Empty(m) {
+			t.Errorf("%s machine of empty language should be empty", name)
+		}
+	}
+}
+
+// randomDFA builds a random total DFA for property tests.
+func randomDFA(r *rand.Rand, alpha *Alphabet, maxStates int) *DFA {
+	n := 1 + r.Intn(maxStates)
+	d := NewDFA(alpha, n, State(r.Intn(n)))
+	for s := 0; s < n; s++ {
+		if r.Intn(3) == 0 {
+			d.SetAccept(State(s))
+		}
+		for sym := 0; sym < alpha.Size(); sym++ {
+			d.SetTransition(State(s), Symbol(sym), State(r.Intn(n)))
+		}
+	}
+	return d
+}
+
+func randomWord(r *rand.Rand, alpha *Alphabet, maxLen int) []Symbol {
+	n := r.Intn(maxLen + 1)
+	w := make([]Symbol, n)
+	for i := range w {
+		w[i] = Symbol(r.Intn(alpha.Size()))
+	}
+	return w
+}
+
+// Property: minimization preserves the language on random words.
+func TestQuickMinimizePreservesLanguage(t *testing.T) {
+	alpha := NewAlphabet("a", "b", "c")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDFA(r, alpha, 8)
+		m := Minimize(d)
+		for i := 0; i < 50; i++ {
+			w := randomWord(r, alpha, 10)
+			if d.Accepts(w) != m.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Minimize is idempotent in state count.
+func TestQuickMinimizeIdempotent(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDFA(r, alpha, 10)
+		m1 := Minimize(d)
+		m2 := Minimize(m1)
+		return m1.NumStates == m2.NumStates && Equivalent(m1, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: substring machine accepts every infix of every accepted word.
+func TestQuickSubstringContainsInfixes(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDFA(r, alpha, 6)
+		sub := SubstringMachine(d)
+		for i := 0; i < 30; i++ {
+			w := randomWord(r, alpha, 8)
+			if !d.Accepts(w) {
+				continue
+			}
+			for lo := 0; lo <= len(w); lo++ {
+				for hi := lo; hi <= len(w); hi++ {
+					if !sub.Accepts(w[lo:hi]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefix machine = substrings anchored at the left.
+func TestQuickPrefixContainsPrefixes(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDFA(r, alpha, 6)
+		p := PrefixMachine(d)
+		for i := 0; i < 30; i++ {
+			w := randomWord(r, alpha, 8)
+			if !d.Accepts(w) {
+				continue
+			}
+			for hi := 0; hi <= len(w); hi++ {
+				if !p.Accepts(w[:hi]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinize(FromDFA(d)) is language-equivalent to d.
+func TestQuickDeterminizeRoundTrip(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDFA(r, alpha, 7)
+		d2 := FromDFA(d).Determinize()
+		return Equivalent(d, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: complement twice is the original language.
+func TestQuickComplementInvolution(t *testing.T) {
+	alpha := NewAlphabet("a", "b")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDFA(r, alpha, 7)
+		return Equivalent(d, Complement(Complement(d)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphabetIntern(t *testing.T) {
+	a := NewAlphabet("x", "y", "x")
+	if a.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", a.Size())
+	}
+	sx, ok := a.Lookup("x")
+	if !ok || a.Name(sx) != "x" {
+		t.Error("intern/lookup mismatch")
+	}
+	if _, ok := a.Lookup("z"); ok {
+		t.Error("z should be unknown")
+	}
+	if a.Intern("z") != Symbol(2) {
+		t.Error("new symbol should get next id")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	alpha := NewAlphabet("a")
+	d := NewDFA(alpha, 2, 0)
+	d.Delta[0][0] = 7
+	if err := d.Validate(); err == nil {
+		t.Error("out-of-range transition not caught")
+	}
+	d2 := NewDFA(alpha, 2, 5)
+	if err := d2.Validate(); err == nil {
+		t.Error("out-of-range start not caught")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	d := oneBit(t)
+	dot := d.DOT("onebit")
+	for _, want := range []string{"digraph \"onebit\"", "doublecircle", "label=\"g\"", "__start"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if d.DOT("") == "" {
+		t.Error("empty name should still render")
+	}
+}

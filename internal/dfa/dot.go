@@ -1,0 +1,57 @@
+package dfa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the machine in Graphviz dot format: accepting states are
+// doublecircles, the start state is marked with an entry arrow, and
+// parallel transitions between the same pair of states are folded into
+// one comma-separated edge label.
+func (d *DFA) DOT(name string) string {
+	var b strings.Builder
+	if name == "" {
+		name = "M"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> n%d;\n", int(d.Start))
+	for s := 0; s < d.NumStates; s++ {
+		shape := "circle"
+		if d.Accept[s] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", s, d.NameOf(State(s)), shape)
+	}
+	// Fold parallel edges.
+	type pair struct{ from, to State }
+	labels := map[pair][]string{}
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t == None {
+				continue
+			}
+			p := pair{State(s), t}
+			labels[p] = append(labels[p], d.Alpha.Name(Symbol(sym)))
+		}
+	}
+	var pairs []pair
+	for p := range labels {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n",
+			int(p.from), int(p.to), strings.Join(labels[p], ","))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

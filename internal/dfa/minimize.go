@@ -1,0 +1,224 @@
+package dfa
+
+// Minimize returns the minimal total DFA for d's language using Hopcroft's
+// partition-refinement algorithm. The input is completed first; unreachable
+// states are dropped. The result is total and has a canonical state
+// numbering (BFS order from the start state), so two calls on
+// language-equivalent machines over the same alphabet yield structurally
+// identical results.
+func Minimize(d *DFA) *DFA {
+	d = d.Complete()
+	// Drop unreachable states first; Hopcroft assumes all states matter.
+	reach := d.Reachable()
+	remap := make([]State, d.NumStates)
+	n := 0
+	for s := 0; s < d.NumStates; s++ {
+		if reach[s] {
+			remap[s] = State(n)
+			n++
+		} else {
+			remap[s] = None
+		}
+	}
+	m := NewDFA(d.Alpha, n, remap[d.Start])
+	for s := 0; s < d.NumStates; s++ {
+		ns := remap[s]
+		if ns == None {
+			continue
+		}
+		m.Accept[ns] = d.Accept[s]
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			m.Delta[ns][sym] = remap[d.Delta[s][sym]]
+		}
+	}
+	d = m
+
+	nsym := d.Alpha.Size()
+	// Reverse transition lists: rev[sym][state] = predecessors.
+	rev := make([][][]State, nsym)
+	for sym := 0; sym < nsym; sym++ {
+		rev[sym] = make([][]State, d.NumStates)
+	}
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < nsym; sym++ {
+			t := d.Delta[s][sym]
+			rev[sym][t] = append(rev[sym][t], State(s))
+		}
+	}
+
+	// Partition as slice of blocks; each state knows its block.
+	blockOf := make([]int, d.NumStates)
+	var blocks [][]State
+	var acc, rej []State
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			acc = append(acc, State(s))
+		} else {
+			rej = append(rej, State(s))
+		}
+	}
+	addBlock := func(states []State) int {
+		id := len(blocks)
+		blocks = append(blocks, states)
+		for _, s := range states {
+			blockOf[s] = id
+		}
+		return id
+	}
+	if len(acc) > 0 {
+		addBlock(acc)
+	}
+	if len(rej) > 0 {
+		addBlock(rej)
+	}
+
+	// Worklist of (block, symbol) splitters.
+	type splitter struct {
+		block int
+		sym   Symbol
+	}
+	inWork := make(map[splitter]bool)
+	var work []splitter
+	push := func(b int, sym Symbol) {
+		sp := splitter{b, sym}
+		if !inWork[sp] {
+			inWork[sp] = true
+			work = append(work, sp)
+		}
+	}
+	smaller := 0
+	if len(blocks) == 2 && len(blocks[1]) < len(blocks[0]) {
+		smaller = 1
+	}
+	for sym := 0; sym < nsym; sym++ {
+		push(smaller, Symbol(sym))
+		// Pushing both initial blocks is also correct and keeps the code
+		// simple for the single-block case.
+		if len(blocks) == 2 {
+			push(1-smaller, Symbol(sym))
+		}
+	}
+
+	for len(work) > 0 {
+		sp := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[sp] = false
+
+		// X = set of states with a transition on sym into sp.block.
+		members := blocks[sp.block]
+		inX := make(map[State]bool)
+		for _, t := range members {
+			for _, p := range rev[sp.sym][t] {
+				inX[p] = true
+			}
+		}
+		if len(inX) == 0 {
+			continue
+		}
+		// Group affected states by their current block.
+		affected := make(map[int][]State)
+		for p := range inX {
+			affected[blockOf[p]] = append(affected[blockOf[p]], p)
+		}
+		for b, hit := range affected {
+			if len(hit) == len(blocks[b]) {
+				continue // block entirely inside X: no split
+			}
+			// Split block b into hit and rest.
+			hitSet := make(map[State]bool, len(hit))
+			for _, s := range hit {
+				hitSet[s] = true
+			}
+			var rest []State
+			for _, s := range blocks[b] {
+				if !hitSet[s] {
+					rest = append(rest, s)
+				}
+			}
+			blocks[b] = hit
+			for _, s := range hit {
+				blockOf[s] = b
+			}
+			nb := addBlock(rest)
+			// Update the worklist per Hopcroft: if (b,sym) pending, add
+			// (nb,sym) too; otherwise add the smaller of the two.
+			for sym := 0; sym < nsym; sym++ {
+				if inWork[splitter{b, Symbol(sym)}] {
+					push(nb, Symbol(sym))
+				} else if len(hit) <= len(rest) {
+					push(b, Symbol(sym))
+				} else {
+					push(nb, Symbol(sym))
+				}
+			}
+		}
+	}
+
+	// Build quotient machine, then renumber canonically via BFS.
+	q := NewDFA(d.Alpha, len(blocks), State(blockOf[d.Start]))
+	for b, states := range blocks {
+		s0 := states[0]
+		q.Accept[b] = d.Accept[s0]
+		for sym := 0; sym < nsym; sym++ {
+			q.Delta[b][sym] = State(blockOf[d.Delta[s0][sym]])
+		}
+	}
+	return canonicalize(q)
+}
+
+// canonicalize renumbers a total DFA's states in BFS order from the start
+// state (symbols in interning order), dropping unreachable states.
+func canonicalize(d *DFA) *DFA {
+	order := make([]State, 0, d.NumStates)
+	remap := make([]State, d.NumStates)
+	for i := range remap {
+		remap[i] = None
+	}
+	remap[d.Start] = 0
+	order = append(order, d.Start)
+	for i := 0; i < len(order); i++ {
+		s := order[i]
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t != None && remap[t] == None {
+				remap[t] = State(len(order))
+				order = append(order, t)
+			}
+		}
+	}
+	out := NewDFA(d.Alpha, len(order), 0)
+	for i, s := range order {
+		out.Accept[i] = d.Accept[s]
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			t := d.Delta[s][sym]
+			if t != None {
+				out.Delta[i][sym] = remap[t]
+			}
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether two total (or completable) DFAs over the same
+// alphabet accept the same language, by checking isomorphism of their
+// minimized, canonicalized forms.
+func Equivalent(a, b *DFA) bool {
+	if a.Alpha != b.Alpha {
+		return false
+	}
+	ma, mb := Minimize(a), Minimize(b)
+	if ma.NumStates != mb.NumStates || ma.Start != mb.Start {
+		return false
+	}
+	for s := 0; s < ma.NumStates; s++ {
+		if ma.Accept[s] != mb.Accept[s] {
+			return false
+		}
+		for sym := 0; sym < ma.Alpha.Size(); sym++ {
+			if ma.Delta[s][sym] != mb.Delta[s][sym] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package dfa
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NFA is a nondeterministic finite automaton with epsilon transitions and a
+// set of start states. It exists chiefly as an intermediate form for the
+// derived machines (substring, suffix) and for the subset construction.
+type NFA struct {
+	Alpha     *Alphabet
+	NumStates int
+	Start     []State
+	Accept    []bool
+	// Trans[state][symbol] is the list of successor states.
+	Trans [][][]State
+	// Eps[state] is the list of epsilon-successors.
+	Eps [][]State
+}
+
+// NewNFA returns an NFA with n states over alpha and no transitions.
+func NewNFA(alpha *Alphabet, n int) *NFA {
+	nf := &NFA{
+		Alpha:     alpha,
+		NumStates: n,
+		Accept:    make([]bool, n),
+		Trans:     make([][][]State, n),
+		Eps:       make([][]State, n),
+	}
+	for i := range nf.Trans {
+		nf.Trans[i] = make([][]State, alpha.Size())
+	}
+	return nf
+}
+
+// AddStart adds a start state.
+func (n *NFA) AddStart(s State) { n.Start = append(n.Start, s) }
+
+// AddTransition adds from --sym--> to.
+func (n *NFA) AddTransition(from State, sym Symbol, to State) {
+	n.Trans[from][sym] = append(n.Trans[from][sym], to)
+}
+
+// AddEps adds an epsilon transition from --ε--> to.
+func (n *NFA) AddEps(from, to State) {
+	n.Eps[from] = append(n.Eps[from], to)
+}
+
+// SetAccept marks s accepting.
+func (n *NFA) SetAccept(s State) { n.Accept[s] = true }
+
+// epsClosure extends set (a sorted slice of states, mutated) with all
+// epsilon-reachable states and returns the closure sorted and deduplicated.
+func (n *NFA) epsClosure(set []State) []State {
+	seen := make(map[State]bool, len(set))
+	stack := make([]State, 0, len(set))
+	for _, s := range set {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	out := make([]State, 0, len(stack))
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, s)
+		for _, t := range n.Eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func stateSetKey(set []State) string {
+	var b strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(s)))
+	}
+	return b.String()
+}
+
+// Determinize performs the subset construction and returns an equivalent
+// total DFA. The empty subset becomes an explicit dead state when needed.
+func (n *NFA) Determinize() *DFA {
+	index := make(map[string]State)
+	var sets [][]State
+
+	intern := func(set []State) State {
+		key := stateSetKey(set)
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := State(len(sets))
+		index[key] = id
+		sets = append(sets, set)
+		return id
+	}
+
+	start := intern(n.epsClosure(append([]State{}, n.Start...)))
+
+	type trans struct {
+		from State
+		sym  Symbol
+		to   State
+	}
+	var transitions []trans
+	processed := 0
+	for processed < len(sets) {
+		cur := sets[processed]
+		curID := State(processed)
+		processed++
+		for sym := 0; sym < n.Alpha.Size(); sym++ {
+			var next []State
+			seen := map[State]bool{}
+			for _, s := range cur {
+				for _, t := range n.Trans[s][Symbol(sym)] {
+					if !seen[t] {
+						seen[t] = true
+						next = append(next, t)
+					}
+				}
+			}
+			next = n.epsClosure(next)
+			id := intern(next)
+			transitions = append(transitions, trans{curID, Symbol(sym), id})
+		}
+	}
+
+	d := NewDFA(n.Alpha, len(sets), start)
+	for id, set := range sets {
+		for _, s := range set {
+			if n.Accept[s] {
+				d.Accept[id] = true
+				break
+			}
+		}
+	}
+	for _, t := range transitions {
+		d.Delta[t.from][t.sym] = t.to
+	}
+	return d
+}
+
+// FromDFA returns an NFA with the same states and transitions as d
+// (missing transitions omitted), preserving start and accept states.
+func FromDFA(d *DFA) *NFA {
+	n := NewNFA(d.Alpha, d.NumStates)
+	n.AddStart(d.Start)
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			n.SetAccept(State(s))
+		}
+		for sym := 0; sym < d.Alpha.Size(); sym++ {
+			if t := d.Delta[s][sym]; t != None {
+				n.AddTransition(State(s), Symbol(sym), t)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package dfa
+
+// productOp combines accept flags of component states.
+type productOp func(a, b bool) bool
+
+// product builds the synchronous product of two total DFAs over the same
+// alphabet, restricted to reachable pairs.
+func product(a, b *DFA, op productOp) *DFA {
+	if a.Alpha != b.Alpha {
+		panic("dfa: product over different alphabets")
+	}
+	a, b = a.Complete(), b.Complete()
+	type pair struct{ x, y State }
+	index := map[pair]State{}
+	var pairs []pair
+	intern := func(p pair) State {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		id := State(len(pairs))
+		index[p] = id
+		pairs = append(pairs, p)
+		return id
+	}
+	start := intern(pair{a.Start, b.Start})
+	type trans struct {
+		from State
+		sym  Symbol
+		to   State
+	}
+	var transitions []trans
+	for i := 0; i < len(pairs); i++ {
+		p := pairs[i]
+		for sym := 0; sym < a.Alpha.Size(); sym++ {
+			np := pair{a.Delta[p.x][sym], b.Delta[p.y][sym]}
+			transitions = append(transitions, trans{State(i), Symbol(sym), intern(np)})
+		}
+	}
+	d := NewDFA(a.Alpha, len(pairs), start)
+	for id, p := range pairs {
+		d.Accept[id] = op(a.Accept[p.x], b.Accept[p.y])
+	}
+	for _, t := range transitions {
+		d.Delta[t.from][t.sym] = t.to
+	}
+	return d
+}
+
+// Intersect returns a DFA for L(a) ∩ L(b). Both machines must share an
+// alphabet. The paper (§2.2) deals with a single machine representing the
+// product of all regular reachability properties; Intersect (and
+// ProductAll) build that machine.
+func Intersect(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns a DFA for L(a) ∪ L(b).
+func Union(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// ProductAll intersects all machines (which must share an alphabet),
+// minimizing after each step. With no arguments it returns nil.
+func ProductAll(machines ...*DFA) *DFA {
+	if len(machines) == 0 {
+		return nil
+	}
+	cur := Minimize(machines[0])
+	for _, m := range machines[1:] {
+		cur = Minimize(Intersect(cur, m))
+	}
+	return cur
+}
+
+// Complement returns a DFA for the complement of L(d) (over d's alphabet).
+func Complement(d *DFA) *DFA {
+	c := d.Complete().Clone()
+	for s := range c.Accept {
+		c.Accept[s] = !c.Accept[s]
+	}
+	return c
+}
+
+// Empty reports whether L(d) is empty.
+func Empty(d *DFA) bool {
+	reach := d.Reachable()
+	for s, r := range reach {
+		if r && d.Accept[s] {
+			return false
+		}
+	}
+	return true
+}

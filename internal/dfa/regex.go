@@ -1,0 +1,324 @@
+package dfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompileRegex builds the minimal DFA for a regular expression over
+// whitespace-separated symbol names. Supported syntax:
+//
+//	a b        concatenation (juxtaposition)
+//	a | b      alternation
+//	a*  a+  a? repetition
+//	( ... )    grouping
+//	.          any symbol of the alphabet
+//	ε (or "eps") the empty word
+//
+// Symbol names are identifiers ([A-Za-z0-9_]+) and may be multi-character
+// ("seteuid_zero k1 | execl*"). If alpha is nil a fresh alphabet is
+// created from the mentioned symbols; otherwise names are interned into
+// alpha ('.' requires a non-empty alphabet).
+//
+// The construction is Thompson's (regex → ε-NFA), followed by the subset
+// construction and Hopcroft minimization.
+func CompileRegex(expr string, alpha *Alphabet) (*DFA, error) {
+	if alpha == nil {
+		alpha = &Alphabet{}
+	}
+	toks, err := lexRegex(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &regexParser{toks: toks, alpha: alpha}
+	ast, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("dfa: regex: unexpected %q", p.toks[p.pos])
+	}
+	// '.' needs the final alphabet, so build the NFA after parsing.
+	b := &thompson{nfa: NewNFA(alpha, 0), alpha: alpha}
+	frag, err := b.build(ast)
+	if err != nil {
+		return nil, err
+	}
+	b.nfa.AddStart(frag.start)
+	b.nfa.SetAccept(frag.accept)
+	return Minimize(b.nfa.Determinize()), nil
+}
+
+// MustCompileRegex panics on error.
+func MustCompileRegex(expr string, alpha *Alphabet) *DFA {
+	d, err := CompileRegex(expr, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// --- lexing ---------------------------------------------------------------
+
+func lexRegex(s string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == '|' || c == '*' || c == '+' || c == '?' || c == '.':
+			out = append(out, string(c))
+			i++
+		case strings.HasPrefix(s[i:], "ε"):
+			out = append(out, "ε")
+			i += len("ε")
+		case isRegexIdent(c):
+			j := i
+			for j < len(s) && isRegexIdent(s[j]) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("dfa: regex: unexpected character %q", string(c))
+		}
+	}
+	return out, nil
+}
+
+func isRegexIdent(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// --- parsing to a small AST -------------------------------------------------
+
+type reNode struct {
+	kind reKind
+	sym  string
+	kids []*reNode
+}
+
+type reKind int
+
+const (
+	reSym reKind = iota
+	reAny
+	reEps
+	reCat
+	reAlt
+	reStar
+	rePlus
+	reOpt
+)
+
+type regexParser struct {
+	toks  []string
+	pos   int
+	alpha *Alphabet
+}
+
+func (p *regexParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *regexParser) alt() (*reNode, error) {
+	left, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.pos++
+		right, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		left = &reNode{kind: reAlt, kids: []*reNode{left, right}}
+	}
+	return left, nil
+}
+
+func (p *regexParser) concat() (*reNode, error) {
+	var parts []*reNode
+	for {
+		t := p.peek()
+		if t == "" || t == ")" || t == "|" {
+			break
+		}
+		part, err := p.rep()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 0 {
+		// Implicitly-empty branches are almost always mistakes; the
+		// empty word must be written explicitly as ε (or "eps").
+		return nil, fmt.Errorf("dfa: regex: empty (sub)expression; write ε for the empty word")
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &reNode{kind: reCat, kids: parts}, nil
+}
+
+func (p *regexParser) rep() (*reNode, error) {
+	prim, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case "*":
+			p.pos++
+			prim = &reNode{kind: reStar, kids: []*reNode{prim}}
+		case "+":
+			p.pos++
+			prim = &reNode{kind: rePlus, kids: []*reNode{prim}}
+		case "?":
+			p.pos++
+			prim = &reNode{kind: reOpt, kids: []*reNode{prim}}
+		default:
+			return prim, nil
+		}
+	}
+}
+
+func (p *regexParser) primary() (*reNode, error) {
+	t := p.peek()
+	switch t {
+	case "":
+		return nil, fmt.Errorf("dfa: regex: unexpected end of expression")
+	case "(":
+		p.pos++
+		inner, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("dfa: regex: missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case ".":
+		p.pos++
+		return &reNode{kind: reAny}, nil
+	case "ε", "eps":
+		p.pos++
+		return &reNode{kind: reEps}, nil
+	case ")", "|", "*", "+", "?":
+		return nil, fmt.Errorf("dfa: regex: unexpected %q", t)
+	default:
+		p.pos++
+		p.alpha.Intern(t)
+		return &reNode{kind: reSym, sym: t}, nil
+	}
+}
+
+// --- Thompson construction ---------------------------------------------------
+
+type frag struct {
+	start, accept State
+}
+
+type thompson struct {
+	nfa   *NFA
+	alpha *Alphabet
+}
+
+func (b *thompson) state() State {
+	s := State(b.nfa.NumStates)
+	b.nfa.NumStates++
+	b.nfa.Accept = append(b.nfa.Accept, false)
+	b.nfa.Trans = append(b.nfa.Trans, make([][]State, b.alpha.Size()))
+	b.nfa.Eps = append(b.nfa.Eps, nil)
+	return s
+}
+
+func (b *thompson) build(n *reNode) (frag, error) {
+	switch n.kind {
+	case reSym:
+		s, a := b.state(), b.state()
+		sym, _ := b.alpha.Lookup(n.sym)
+		b.nfa.AddTransition(s, sym, a)
+		return frag{s, a}, nil
+	case reAny:
+		if b.alpha.Size() == 0 {
+			return frag{}, fmt.Errorf("dfa: regex: '.' with an empty alphabet")
+		}
+		s, a := b.state(), b.state()
+		for sym := 0; sym < b.alpha.Size(); sym++ {
+			b.nfa.AddTransition(s, Symbol(sym), a)
+		}
+		return frag{s, a}, nil
+	case reEps:
+		s, a := b.state(), b.state()
+		b.nfa.AddEps(s, a)
+		return frag{s, a}, nil
+	case reCat:
+		cur, err := b.build(n.kids[0])
+		if err != nil {
+			return frag{}, err
+		}
+		for _, k := range n.kids[1:] {
+			next, err := b.build(k)
+			if err != nil {
+				return frag{}, err
+			}
+			b.nfa.AddEps(cur.accept, next.start)
+			cur = frag{cur.start, next.accept}
+		}
+		return cur, nil
+	case reAlt:
+		l, err := b.build(n.kids[0])
+		if err != nil {
+			return frag{}, err
+		}
+		r, err := b.build(n.kids[1])
+		if err != nil {
+			return frag{}, err
+		}
+		s, a := b.state(), b.state()
+		b.nfa.AddEps(s, l.start)
+		b.nfa.AddEps(s, r.start)
+		b.nfa.AddEps(l.accept, a)
+		b.nfa.AddEps(r.accept, a)
+		return frag{s, a}, nil
+	case reStar:
+		inner, err := b.build(n.kids[0])
+		if err != nil {
+			return frag{}, err
+		}
+		s, a := b.state(), b.state()
+		b.nfa.AddEps(s, a)
+		b.nfa.AddEps(s, inner.start)
+		b.nfa.AddEps(inner.accept, inner.start)
+		b.nfa.AddEps(inner.accept, a)
+		return frag{s, a}, nil
+	case rePlus:
+		inner, err := b.build(n.kids[0])
+		if err != nil {
+			return frag{}, err
+		}
+		s, a := b.state(), b.state()
+		b.nfa.AddEps(s, inner.start)
+		b.nfa.AddEps(inner.accept, inner.start)
+		b.nfa.AddEps(inner.accept, a)
+		return frag{s, a}, nil
+	case reOpt:
+		inner, err := b.build(n.kids[0])
+		if err != nil {
+			return frag{}, err
+		}
+		s, a := b.state(), b.state()
+		b.nfa.AddEps(s, a)
+		b.nfa.AddEps(s, inner.start)
+		b.nfa.AddEps(inner.accept, a)
+		return frag{s, a}, nil
+	}
+	return frag{}, fmt.Errorf("dfa: regex: internal error (kind %d)", n.kind)
+}

@@ -1,0 +1,108 @@
+package dfa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegexBasics(t *testing.T) {
+	cases := []struct {
+		expr   string
+		accept [][]string
+		reject [][]string
+	}{
+		{"a", [][]string{{"a"}}, [][]string{{}, {"a", "a"}}},
+		{"a b", [][]string{{"a", "b"}}, [][]string{{"a"}, {"b", "a"}}},
+		{"a | b", [][]string{{"a"}, {"b"}}, [][]string{{}, {"a", "b"}}},
+		{"a*", [][]string{{}, {"a"}, {"a", "a", "a"}}, [][]string{{"b"}}},
+		{"a+", [][]string{{"a"}, {"a", "a"}}, [][]string{{}}},
+		{"a?", [][]string{{}, {"a"}}, [][]string{{"a", "a"}}},
+		{"(a | b)* a", [][]string{{"a"}, {"b", "a"}, {"a", "b", "a"}}, [][]string{{}, {"b"}, {"a", "b"}}},
+		{"g (k g)*", [][]string{{"g"}, {"g", "k", "g"}}, [][]string{{}, {"g", "k"}, {"k", "g"}}},
+		{"ε", [][]string{{}}, [][]string{{"x"}}},
+		{"eps | a", [][]string{{}, {"a"}}, [][]string{{"a", "a"}}},
+	}
+	for _, c := range cases {
+		d, err := CompileRegex(c.expr, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		for _, w := range c.accept {
+			if !d.AcceptsNames(w...) {
+				t.Errorf("%q should accept %v", c.expr, w)
+			}
+		}
+		for _, w := range c.reject {
+			if d.AcceptsNames(w...) {
+				t.Errorf("%q should reject %v", c.expr, w)
+			}
+		}
+	}
+}
+
+func TestRegexMultiCharSymbols(t *testing.T) {
+	d := MustCompileRegex("seteuid_zero execl", nil)
+	if !d.AcceptsNames("seteuid_zero", "execl") {
+		t.Error("multi-character symbols should work")
+	}
+	if d.AcceptsNames("seteuid_zero") {
+		t.Error("prefix must not accept")
+	}
+}
+
+func TestRegexAny(t *testing.T) {
+	alpha := NewAlphabet("a", "b", "c")
+	d := MustCompileRegex(". .", alpha)
+	if !d.AcceptsNames("a", "c") || !d.AcceptsNames("b", "b") {
+		t.Error("dot should match any symbol")
+	}
+	if d.AcceptsNames("a") {
+		t.Error("length must be two")
+	}
+	// '.' with no alphabet at all is an error.
+	if _, err := CompileRegex(".", nil); err == nil {
+		t.Error("dot over empty alphabet should error")
+	}
+}
+
+func TestRegexErrors(t *testing.T) {
+	for _, expr := range []string{"(a", "a)", "|", "*", "a | | b", "a $"} {
+		if _, err := CompileRegex(expr, nil); err == nil {
+			t.Errorf("%q should fail to compile", expr)
+		}
+	}
+}
+
+func TestRegexMinimality(t *testing.T) {
+	// (a|b)* a has a known 2-state minimal DFA.
+	d := MustCompileRegex("(a | b)* a", nil)
+	if d.NumStates > 3 { // 2 live + possibly a dead completion state
+		t.Errorf("machine has %d states, expected minimal", d.NumStates)
+	}
+}
+
+// Property: the regex machine agrees with a reference matcher on random
+// words for a fixed expression set.
+func TestQuickRegexAgainstReference(t *testing.T) {
+	// Reference: (ab)* matched by counting.
+	d := MustCompileRegex("(a b)*", nil)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(8)
+		var w []string
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				w = append(w, "a")
+			} else {
+				w = append(w, "b")
+			}
+		}
+		want := len(w)%2 == 0 && strings.Join(w, "") == strings.Repeat("ab", len(w)/2)
+		return d.AcceptsNames(w...) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

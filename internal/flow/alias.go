@@ -1,0 +1,67 @@
+package flow
+
+import (
+	"rasc/internal/core"
+	"rasc/internal/terms"
+)
+
+// StackAwareAlias implements the §7.5 query: two expressions may alias
+// only when the *term* intersection of their points-to solutions is
+// non-empty. Because solutions are terms whose unary constructors record
+// the call stack (o_1(a) "a reached through call site 1"), intersecting
+// terms rather than erased abstract locations distinguishes contexts: for
+// the paper's example, pt(x) = {o1(a), o2(b)} and pt(y) = {o2(a), o1(b)}
+// intersect as location sets but not as term sets, proving x and y
+// unaliased inside foo.
+//
+// The system must be solved. maxDepth bounds term enumeration (use at
+// least the deepest call chain + 1); limit caps the enumerated set
+// (0 = unlimited).
+func StackAwareAlias(sys *core.System, x, y core.VarID, bank *terms.Bank, maxDepth, limit int) (bool, []terms.TermID) {
+	tx := sys.TermsIn(x, bank, maxDepth, limit)
+	ty := sys.TermsIn(y, bank, maxDepth, limit)
+	inY := make(map[terms.TermID]bool, len(ty))
+	for _, t := range ty {
+		inY[t] = true
+	}
+	var common []terms.TermID
+	for _, t := range tx {
+		if inY[t] {
+			common = append(common, t)
+		}
+	}
+	return len(common) > 0, common
+}
+
+// LocationAlias is the classic context-insensitive alias query used as
+// the §7.5 foil: intersect the sets of abstract locations (term leaves),
+// erasing the call-stack constructors.
+func LocationAlias(sys *core.System, x, y core.VarID, bank *terms.Bank, maxDepth, limit int) bool {
+	lx := leafSet(sys, x, bank, maxDepth, limit)
+	ly := leafSet(sys, y, bank, maxDepth, limit)
+	for l := range lx {
+		if ly[l] {
+			return true
+		}
+	}
+	return false
+}
+
+func leafSet(sys *core.System, v core.VarID, bank *terms.Bank, maxDepth, limit int) map[terms.ConsID]bool {
+	out := map[terms.ConsID]bool{}
+	for _, t := range sys.TermsIn(v, bank, maxDepth, limit) {
+		collectLeaves(bank, t, out)
+	}
+	return out
+}
+
+func collectLeaves(bank *terms.Bank, t terms.TermID, acc map[terms.ConsID]bool) {
+	args := bank.Args(t)
+	if len(args) == 0 {
+		acc[bank.Cons(t)] = true
+		return
+	}
+	for _, a := range args {
+		collectLeaves(bank, a, acc)
+	}
+}

@@ -1,0 +1,479 @@
+package flow
+
+import (
+	"fmt"
+
+	"rasc/internal/core"
+	"rasc/internal/monoid"
+	"rasc/internal/terms"
+)
+
+// Analysis is the primal flow analysis of §7: polymorphic recursion
+// context sensitivity through call-site constructors, pair flow through
+// bracket annotations.
+type Analysis struct {
+	Prog *Program
+	Sys  *core.System
+	Mon  *monoid.Monoid
+	Sig  *terms.Signature
+	// MaxDepth is the depth of the largest pair type: the bound of the
+	// Figure 10 annotation machine.
+	MaxDepth int
+
+	labelVar map[int]core.VarID
+	named    map[string]int // user label name -> label id
+	probes   map[string]core.CNode
+	exprTy   map[Expr]*lty
+	defs     map[string]*fnInfo
+	nextLbl  int
+	recs     []rec
+	solved   bool
+}
+
+type fnInfo struct {
+	param *lty // nil for nullary functions
+	ret   *lty
+}
+
+type recKind int
+
+const (
+	recSub recKind = iota
+	recPair
+	recProj
+	recCall
+)
+
+type rec struct {
+	kind recKind
+	// sub
+	from, to *lty
+	// pair: ty with components
+	ty *lty
+	// proj
+	xTy, resTy *lty
+	idx        int
+	// call
+	site   string
+	argTy  *lty
+	fn     *fnInfo
+	callTy *lty
+}
+
+// Options configures Analyze.
+type Options struct {
+	// Solver is passed to the constraint system.
+	Solver core.Options
+	// MonoidLimit caps the bracket machine's monoid (<=0: default). The
+	// paper observes (§9) that the bidirectional solver's monoid grows
+	// with the largest type, so deep programs can exceed sane limits.
+	MonoidLimit int
+}
+
+// Analyze parses and analyzes a program.
+func Analyze(src string, opts Options) (*Analysis, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(prog, opts)
+}
+
+// MustAnalyze panics on error.
+func MustAnalyze(src string) *Analysis {
+	a, err := Analyze(src, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AnalyzeProgram analyzes a parsed program: types it (pass 1), derives
+// the bracket machine bound (the largest type), and generates the
+// annotated constraints of Figure 9 (pass 2).
+func AnalyzeProgram(prog *Program, opts Options) (*Analysis, error) {
+	a := &Analysis{
+		Prog:     prog,
+		labelVar: map[int]core.VarID{},
+		named:    map[string]int{},
+		probes:   map[string]core.CNode{},
+		exprTy:   map[Expr]*lty{},
+		defs:     map[string]*fnInfo{},
+	}
+	// Declare all signatures first (allows forward references and
+	// recursion).
+	for _, d := range prog.Defs {
+		scope := map[string]*lty{}
+		fi := &fnInfo{}
+		if d.Param != "" {
+			fi.param = a.spread(d.ParamTy, scope)
+		}
+		fi.ret = a.spread(d.RetTy, scope)
+		a.defs[d.Name] = fi
+	}
+	// Type bodies.
+	for _, d := range prog.Defs {
+		fi := a.defs[d.Name]
+		env := map[string]*lty{}
+		if d.Param != "" {
+			env[d.Param] = fi.param
+		}
+		bodyTy, err := a.typeExpr(d.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.sub(bodyTy, fi.ret, d.Line); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: the largest type bounds the annotation machine (Fig 10).
+	for _, r := range a.recs {
+		for _, t := range []*lty{r.from, r.to, r.ty, r.xTy, r.resTy, r.argTy, r.callTy} {
+			if t != nil {
+				if d := t.depth(); d > a.MaxDepth {
+					a.MaxDepth = d
+				}
+			}
+		}
+	}
+	for _, fi := range a.defs {
+		for _, t := range []*lty{fi.param, fi.ret} {
+			if t != nil {
+				if d := t.depth(); d > a.MaxDepth {
+					a.MaxDepth = d
+				}
+			}
+		}
+	}
+	machine := BracketMachine(a.MaxDepth)
+	mon, err := monoid.Build(machine, opts.MonoidLimit)
+	if err != nil {
+		return nil, err
+	}
+	a.Mon = mon
+	a.Sig = terms.NewSignature()
+	// Dead-class pruning (§3.1): bracket compositions that can never
+	// cancel (e.g. [1 followed by ]2) are absorbing and useless; pruning
+	// them restricts solving to the substring domain T^{M^sub}.
+	solverOpts := opts.Solver
+	solverOpts.PruneDead = true
+	a.Sys = core.NewSystem(core.FuncAlgebra{Mon: mon}, a.Sig, solverOpts)
+
+	ident := core.Annot(mon.Identity())
+	annot := func(sym string) core.Annot {
+		f, ok := mon.SymbolFuncByName(sym)
+		if !ok {
+			panic("flow: missing bracket symbol " + sym)
+		}
+		return core.Annot(f)
+	}
+
+	for _, r := range a.recs {
+		switch r.kind {
+		case recSub:
+			if r.from.label != r.to.label {
+				a.Sys.AddVar(a.varOf(r.from.label), a.varOf(r.to.label), ident)
+			}
+		case recPair:
+			lvl := r.ty.depth()
+			a.Sys.AddVar(a.varOf(r.ty.resolve().fst.label), a.varOf(r.ty.label), annot(openSym(1, lvl)))
+			a.Sys.AddVar(a.varOf(r.ty.resolve().snd.label), a.varOf(r.ty.label), annot(openSym(2, lvl)))
+		case recProj:
+			lvl := r.xTy.depth()
+			a.Sys.AddVar(a.varOf(r.xTy.label), a.varOf(r.resTy.label), annot(closeSym(r.idx, lvl)))
+		case recCall:
+			oc := a.Sig.MustDeclare("o@"+r.site, 1)
+			if r.argTy != nil && r.fn.param != nil {
+				a.Sys.AddLowerE(a.Sys.Cons(oc, a.varOf(r.argTy.label)), a.varOf(r.fn.param.label))
+			}
+			a.Sys.AddProjE(oc, 0, a.varOf(r.fn.ret.label), a.varOf(r.callTy.label))
+		}
+	}
+	a.Sys.Solve()
+	a.solved = true
+	return a, nil
+}
+
+func (a *Analysis) freshLbl() int {
+	a.nextLbl++
+	return a.nextLbl
+}
+
+func (a *Analysis) varOf(lbl int) core.VarID {
+	if v, ok := a.labelVar[lbl]; ok {
+		return v
+	}
+	v := a.Sys.Var(fmt.Sprintf("L%d", lbl))
+	a.labelVar[lbl] = v
+	return v
+}
+
+// spread implements the spread operator of §7.1: fresh labels on every
+// type node. Type variables are scoped to the definition's signature.
+func (a *Analysis) spread(te *TypeExpr, scope map[string]*lty) *lty {
+	switch te.Kind {
+	case "int":
+		return &lty{kind: tyInt, label: a.freshLbl()}
+	case "var":
+		if v, ok := scope[te.Name]; ok {
+			return v
+		}
+		v := &lty{kind: tyVar, label: a.freshLbl(), name: te.Name}
+		scope[te.Name] = v
+		return v
+	default:
+		return &lty{
+			kind:  tyPair,
+			label: a.freshLbl(),
+			fst:   a.spread(te.Fst, scope),
+			snd:   a.spread(te.Snd, scope),
+		}
+	}
+}
+
+// copySkeleton returns a type with a fresh top-level label and the
+// argument's structure. Pair components are shared (only top-level labels
+// ever appear in constraints; deeper flow rides bracket annotations), and
+// unbound variables are chained (ref) so later bindings of the original
+// are visible through the copy. Projection and call results use this so
+// that a type's constructor depth — and with it the bracket level of
+// Figure 10 — is preserved through destructions.
+func (a *Analysis) copySkeleton(t *lty) *lty {
+	r := t.resolve()
+	switch r.kind {
+	case tyInt:
+		return &lty{kind: tyInt, label: a.freshLbl()}
+	case tyPair:
+		return &lty{kind: tyPair, label: a.freshLbl(), fst: r.fst, snd: r.snd}
+	default:
+		return &lty{kind: tyVar, label: a.freshLbl(), name: r.name + "'", ref: r}
+	}
+}
+
+// sub records a non-structural subtyping step σ ≤ σ' (only the top-level
+// labels are related, §7.2); unbound type variables are bound to the
+// other side's structure, which is how β = int^A ×^P int^Y arises in
+// §7.4.
+func (a *Analysis) sub(from, to *lty, line int) error {
+	fr, tr := from.resolve(), to.resolve()
+	if tr.kind == tyVar {
+		if err := bind(tr, from); err != nil {
+			return err
+		}
+	} else if fr.kind == tyVar {
+		if err := bind(fr, to); err != nil {
+			return err
+		}
+	}
+	a.recs = append(a.recs, rec{kind: recSub, from: from, to: to})
+	return nil
+}
+
+func (a *Analysis) registerLabel(e Expr, t *lty) error {
+	name := e.LabelName()
+	if name == "" {
+		return nil
+	}
+	if _, dup := a.named[name]; dup {
+		return &Error{e.Pos(), fmt.Sprintf("duplicate label %q", name)}
+	}
+	a.named[name] = t.label
+	return nil
+}
+
+func (a *Analysis) typeExpr(e Expr, env map[string]*lty) (*lty, error) {
+	t, err := a.typeExprInner(e, env)
+	if err != nil {
+		return nil, err
+	}
+	a.exprTy[e] = t
+	if err := a.registerLabel(e, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (a *Analysis) typeExprInner(e Expr, env map[string]*lty) (*lty, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return &lty{kind: tyInt, label: a.freshLbl()}, nil
+	case *VarRef:
+		t, ok := env[x.Name]
+		if !ok {
+			return nil, &Error{x.Line, fmt.Sprintf("unbound variable %q", x.Name)}
+		}
+		return t, nil
+	case *PairExpr:
+		f, err := a.typeExpr(x.Fst, env)
+		if err != nil {
+			return nil, err
+		}
+		s, err := a.typeExpr(x.Snd, env)
+		if err != nil {
+			return nil, err
+		}
+		ty := &lty{kind: tyPair, label: a.freshLbl(), fst: f, snd: s}
+		a.recs = append(a.recs, rec{kind: recPair, ty: ty})
+		return ty, nil
+	case *ProjExpr:
+		tx, err := a.typeExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		r := tx.resolve()
+		if r.kind == tyVar {
+			// Force pair structure with fresh components.
+			p := &lty{
+				kind:  tyPair,
+				label: a.freshLbl(),
+				fst:   &lty{kind: tyVar, label: a.freshLbl(), name: "π1"},
+				snd:   &lty{kind: tyVar, label: a.freshLbl(), name: "π2"},
+			}
+			if err := bind(r, p); err != nil {
+				return nil, err
+			}
+			r = p
+		}
+		if r.kind != tyPair {
+			return nil, &Error{x.Line, fmt.Sprintf("projection .%d on non-pair type %s", x.Index, r)}
+		}
+		comp := r.fst
+		if x.Index == 2 {
+			comp = r.snd
+		}
+		res := a.copySkeleton(comp)
+		a.recs = append(a.recs, rec{kind: recProj, xTy: tx, resTy: res, idx: x.Index})
+		return res, nil
+	case *LetExpr:
+		vt, err := a.typeExpr(x.Val, env)
+		if err != nil {
+			return nil, err
+		}
+		inner := map[string]*lty{}
+		for k, v := range env {
+			inner[k] = v
+		}
+		inner[x.Name] = vt
+		return a.typeExpr(x.Body, inner)
+	case *CallExpr:
+		fi, ok := a.defs[x.Fn]
+		if !ok {
+			return nil, &Error{x.Line, fmt.Sprintf("undefined function %q", x.Fn)}
+		}
+		r := rec{kind: recCall, site: x.Site, fn: fi}
+		if x.Arg != nil {
+			if fi.param == nil {
+				return nil, &Error{x.Line, fmt.Sprintf("%q takes no argument", x.Fn)}
+			}
+			at, err := a.typeExpr(x.Arg, env)
+			if err != nil {
+				return nil, err
+			}
+			r.argTy = at
+		} else if fi.param != nil {
+			return nil, &Error{x.Line, fmt.Sprintf("%q requires an argument", x.Fn)}
+		}
+		res := a.copySkeleton(fi.ret)
+		r.callTy = res
+		a.recs = append(a.recs, r)
+		return res, nil
+	}
+	return nil, fmt.Errorf("flow: unknown expression %T", e)
+}
+
+// Label resolves a user label name (the ^Name annotations) to its set
+// variable.
+func (a *Analysis) Label(name string) (core.VarID, bool) {
+	id, ok := a.named[name]
+	if !ok {
+		return 0, false
+	}
+	return a.varOf(id), true
+}
+
+// probe returns (allocating on demand) the query constant for a label,
+// the "fresh constant x with x ⊆ X" of §7.3.
+func (a *Analysis) probe(name string) (core.CNode, error) {
+	if cn, ok := a.probes[name]; ok {
+		return cn, nil
+	}
+	v, ok := a.Label(name)
+	if !ok {
+		return 0, fmt.Errorf("flow: unknown label %q", name)
+	}
+	c := a.Sig.MustDeclare("probe@"+name, 0)
+	cn := a.Sys.Constant(c)
+	a.Sys.AddLowerE(cn, v)
+	a.Sys.Solve() // online solving extends the solution
+	return cn, nil
+}
+
+// Flows answers the matched flow query of §7.3: does label `from` flow to
+// label `to` with matched call/returns (term level) and matched pair
+// construction/projection (accepting bracket annotation)?
+func (a *Analysis) Flows(from, to string) (bool, error) {
+	cn, err := a.probe(from)
+	if err != nil {
+		return false, err
+	}
+	v, ok := a.Label(to)
+	if !ok {
+		return false, fmt.Errorf("flow: unknown label %q", to)
+	}
+	a.probes[from] = cn
+	return a.Sys.ConstEntailed(cn, v), nil
+}
+
+// Reaches reports whether `from` reaches `to` with any annotation —
+// including non-accepting bracket words (e.g. a component sitting inside
+// a pair, its bracket still open).
+func (a *Analysis) Reaches(from, to string) (bool, error) {
+	cn, err := a.probe(from)
+	if err != nil {
+		return false, err
+	}
+	v, ok := a.Label(to)
+	if !ok {
+		return false, fmt.Errorf("flow: unknown label %q", to)
+	}
+	a.probes[from] = cn
+	return a.Sys.Flows(cn, v), nil
+}
+
+// FlowsPN extends Flows to partially matched call paths with PN
+// reachability (§7.3's extension via [15]).
+func (a *Analysis) FlowsPN(from, to string) (bool, error) {
+	cn, err := a.probe(from)
+	if err != nil {
+		return false, err
+	}
+	v, ok := a.Label(to)
+	if !ok {
+		return false, fmt.Errorf("flow: unknown label %q", to)
+	}
+	a.probes[from] = cn
+	pn := a.Sys.PNReach(cn)
+	_, acc := pn.AcceptingAt(v)
+	return acc, nil
+}
+
+// FlowsForward answers the matched-flow query with the forward
+// unidirectional strategy of §5 — the strategy §9 expects to scale for
+// this analysis, since the bracket machine (and hence F_M^≡) grows with
+// the largest type while the forward solver tracks only |S| states per
+// fact. It solves the recorded constraints demand-driven from the probe.
+func (a *Analysis) FlowsForward(from, to string) (bool, error) {
+	cn, err := a.probe(from)
+	if err != nil {
+		return false, err
+	}
+	v, ok := a.Label(to)
+	if !ok {
+		return false, fmt.Errorf("flow: unknown label %q", to)
+	}
+	fw, err := a.Sys.SolveForward([]core.CNode{cn})
+	if err != nil {
+		return false, err
+	}
+	return fw.ConstEntailed(cn, v), nil
+}

@@ -1,0 +1,287 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"rasc/internal/core"
+	"rasc/internal/monoid"
+	"rasc/internal/terms"
+)
+
+// DualAnalysis implements §7.6: the roles of terms and annotations are
+// swapped relative to the primal analysis. A binary constructor pair(·,·)
+// with projections pair^-1, pair^-2 models field construction and
+// destruction context-freely, while call/return matching is reduced to a
+// regular language of call-site brackets [i and ]i; mutually recursive
+// calls get the empty annotation, which is exactly the monomorphic
+// treatment of recursion used by most context-sensitive analyses.
+type DualAnalysis struct {
+	Prog *Program
+	Sys  *core.System
+	Mon  *monoid.Monoid
+	Sig  *terms.Signature
+	// CallDepth is the call-chain bound of the bracket machine (the
+	// condensation depth of the call graph).
+	CallDepth int
+
+	labelVar map[int]core.VarID
+	named    map[string]int
+	probes   map[string]core.CNode
+	defs     map[string]*fnInfo
+	nextLbl  int
+	recs     []rec
+	pairCons terms.ConsID
+}
+
+// AnalyzeDual runs the dual analysis on a program source.
+func AnalyzeDual(src string, opts Options) (*DualAnalysis, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	a := &DualAnalysis{
+		Prog:     prog,
+		labelVar: map[int]core.VarID{},
+		named:    map[string]int{},
+		probes:   map[string]core.CNode{},
+		defs:     map[string]*fnInfo{},
+	}
+	// Reuse the primal front end for typing: it records the same recs.
+	p := &Analysis{
+		Prog:     prog,
+		labelVar: map[int]core.VarID{},
+		named:    map[string]int{},
+		probes:   map[string]core.CNode{},
+		exprTy:   map[Expr]*lty{},
+		defs:     map[string]*fnInfo{},
+	}
+	for _, d := range prog.Defs {
+		scope := map[string]*lty{}
+		fi := &fnInfo{}
+		if d.Param != "" {
+			fi.param = p.spread(d.ParamTy, scope)
+		}
+		fi.ret = p.spread(d.RetTy, scope)
+		p.defs[d.Name] = fi
+	}
+	siteCaller := map[string]string{}
+	siteCallee := map[string]string{}
+	for _, d := range prog.Defs {
+		fi := p.defs[d.Name]
+		env := map[string]*lty{}
+		if d.Param != "" {
+			env[d.Param] = fi.param
+		}
+		// Record call sites' enclosing function for the bracket machine.
+		collectSites(d.Body, d.Name, siteCaller, siteCallee)
+		bodyTy, err := p.typeExpr(d.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.sub(bodyTy, fi.ret, d.Line); err != nil {
+			return nil, err
+		}
+	}
+	a.named = p.named
+	a.nextLbl = p.nextLbl
+	a.recs = p.recs
+	a.defs = p.defs
+
+	// Build the call-site bracket machine over the call graph's
+	// condensation; intra-SCC sites are recursive and excluded (ε).
+	recursive := recursiveSites(prog, siteCaller, siteCallee)
+	var sites []CallSite
+	for name, caller := range siteCaller {
+		if recursive[name] {
+			continue
+		}
+		sites = append(sites, CallSite{Name: name, Caller: caller, Callee: siteCallee[name]})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Name < sites[j].Name })
+	a.CallDepth = chainDepth(sites)
+	machine := CallBracketMachine(sites, a.CallDepth)
+	mon, err := monoid.Build(machine, opts.MonoidLimit)
+	if err != nil {
+		return nil, err
+	}
+	a.Mon = mon
+	a.Sig = terms.NewSignature()
+	a.pairCons = a.Sig.MustDeclare("pair", 2)
+	a.Sys = core.NewSystem(core.FuncAlgebra{Mon: mon}, a.Sig, opts.Solver)
+
+	ident := core.Annot(mon.Identity())
+	annot := func(sym string) core.Annot {
+		if f, ok := mon.SymbolFuncByName(sym); ok {
+			return core.Annot(f)
+		}
+		return ident // recursive site: monomorphic ε
+	}
+
+	for _, r := range a.recs {
+		switch r.kind {
+		case recSub:
+			if r.from.label != r.to.label {
+				a.Sys.AddVar(a.varOf(r.from.label), a.varOf(r.to.label), ident)
+			}
+		case recPair:
+			// pair(A, Y) ⊆ H: construction as a term (§7.6 uses the n-ary
+			// constructor to cluster the components).
+			cn := a.Sys.Cons(a.pairCons,
+				a.varOf(r.ty.resolve().fst.label),
+				a.varOf(r.ty.resolve().snd.label))
+			a.Sys.AddLowerE(cn, a.varOf(r.ty.label))
+		case recProj:
+			// pair^-i(T) ⊆ V.
+			a.Sys.AddProjE(a.pairCons, r.idx-1, a.varOf(r.xTy.label), a.varOf(r.resTy.label))
+		case recCall:
+			// B ⊆^{[i} Y and H ⊆^{]i} T.
+			if r.argTy != nil && r.fn.param != nil {
+				a.Sys.AddVar(a.varOf(r.argTy.label), a.varOf(r.fn.param.label), annot("["+r.site))
+			}
+			a.Sys.AddVar(a.varOf(r.fn.ret.label), a.varOf(r.callTy.label), annot("]"+r.site))
+		}
+	}
+	a.Sys.Solve()
+	return a, nil
+}
+
+// MustAnalyzeDual panics on error.
+func MustAnalyzeDual(src string) *DualAnalysis {
+	a, err := AnalyzeDual(src, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func collectSites(e Expr, fn string, caller, callee map[string]string) {
+	switch x := e.(type) {
+	case *PairExpr:
+		collectSites(x.Fst, fn, caller, callee)
+		collectSites(x.Snd, fn, caller, callee)
+	case *ProjExpr:
+		collectSites(x.X, fn, caller, callee)
+	case *CallExpr:
+		caller[x.Site] = fn
+		callee[x.Site] = x.Fn
+		if x.Arg != nil {
+			collectSites(x.Arg, fn, caller, callee)
+		}
+	case *LetExpr:
+		collectSites(x.Val, fn, caller, callee)
+		collectSites(x.Body, fn, caller, callee)
+	}
+}
+
+// recursiveSites marks call sites inside call-graph cycles (their
+// caller's SCC contains their callee).
+func recursiveSites(prog *Program, siteCaller, siteCallee map[string]string) map[string]bool {
+	// Call graph adjacency.
+	adj := map[string][]string{}
+	for s, c := range siteCaller {
+		adj[c] = append(adj[c], siteCallee[s])
+	}
+	// Simple SCC via repeated reachability (programs are small).
+	reach := func(from string) map[string]bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range adj[f] {
+				if !seen[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+		return seen
+	}
+	sameSCC := func(a, b string) bool {
+		return a == b && reach(a)[a] || reach(a)[b] && reach(b)[a]
+	}
+	out := map[string]bool{}
+	for s := range siteCaller {
+		caller, callee := siteCaller[s], siteCallee[s]
+		if caller == callee {
+			out[s] = true
+			continue
+		}
+		if sameSCC(caller, callee) {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+// chainDepth returns the longest consistent caller chain over the
+// non-recursive sites (the bracket machine's stack bound).
+func chainDepth(sites []CallSite) int {
+	// Longest path in the site DAG where s2 can follow s1 iff
+	// s1.Callee == s2.Caller... measured from any site.
+	memo := map[string]int{}
+	var depth func(s CallSite) int
+	depth = func(s CallSite) int {
+		if d, ok := memo[s.Name]; ok {
+			return d
+		}
+		memo[s.Name] = 1 // cycle guard (should not trigger: recursion excluded)
+		best := 1
+		for _, t := range sites {
+			if s.Callee == t.Caller {
+				if d := depth(t) + 1; d > best {
+					best = d
+				}
+			}
+		}
+		memo[s.Name] = best
+		return best
+	}
+	best := 0
+	for _, s := range sites {
+		if d := depth(s); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (a *DualAnalysis) varOf(lbl int) core.VarID {
+	if v, ok := a.labelVar[lbl]; ok {
+		return v
+	}
+	v := a.Sys.Var(fmt.Sprintf("L%d", lbl))
+	a.labelVar[lbl] = v
+	return v
+}
+
+// Label resolves a user label name.
+func (a *DualAnalysis) Label(name string) (core.VarID, bool) {
+	id, ok := a.named[name]
+	if !ok {
+		return 0, false
+	}
+	return a.varOf(id), true
+}
+
+// Flows answers the matched flow query in the dual encoding.
+func (a *DualAnalysis) Flows(from, to string) (bool, error) {
+	cn, ok := a.probes[from]
+	if !ok {
+		v, okL := a.Label(from)
+		if !okL {
+			return false, fmt.Errorf("flow: unknown label %q", from)
+		}
+		c := a.Sig.MustDeclare("probe@"+from, 0)
+		cn = a.Sys.Constant(c)
+		a.Sys.AddLowerE(cn, v)
+		a.Sys.Solve()
+		a.probes[from] = cn
+	}
+	v, ok2 := a.Label(to)
+	if !ok2 {
+		return false, fmt.Errorf("flow: unknown label %q", to)
+	}
+	return a.Sys.ConstEntailed(cn, v), nil
+}

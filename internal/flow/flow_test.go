@@ -1,0 +1,527 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"rasc/internal/core"
+	"rasc/internal/terms"
+)
+
+// The Figure 11 program, with the paper's label names.
+const fig11 = `
+pair (y : int) : b = (1^A, y^Y)^P;
+main () : int = (pair@i 2^B).2^V;
+`
+
+func TestParseFlowProgram(t *testing.T) {
+	prog, err := ParseProgram(fig11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Defs) != 2 {
+		t.Fatalf("got %d defs, want 2", len(prog.Defs))
+	}
+	d := prog.ByName["pair"]
+	if d.Param != "y" || d.ParamTy.Kind != "int" || d.RetTy.Kind != "var" {
+		t.Error("pair signature parsed wrong")
+	}
+	body, ok := d.Body.(*PairExpr)
+	if !ok {
+		t.Fatalf("pair body is %T", d.Body)
+	}
+	if body.LabelName() != "P" {
+		t.Errorf("pair label = %q, want P", body.LabelName())
+	}
+	mainBody, ok := prog.ByName["main"].Body.(*ProjExpr)
+	if !ok {
+		t.Fatalf("main body is %T", prog.ByName["main"].Body)
+	}
+	if mainBody.Index != 2 || mainBody.LabelName() != "V" {
+		t.Error("projection parsed wrong")
+	}
+	call, ok := mainBody.X.(*CallExpr)
+	if !ok || call.Fn != "pair" || call.Site != "i" {
+		t.Error("call parsed wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "empty program"},
+		{"f () : int = 1; f () : int = 2;", "duplicate definition"},
+		{"f () : int = $;", "unexpected character"},
+		{"f () : int = (1,2).3;", "projection index"},
+		{"f (x : ) : int = 1;", "expected type"},
+		{"f () : int = 1", "expected \";\""},
+	}
+	for _, c := range cases {
+		if _, err := ParseProgram(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseProgram(%q) error = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBracketMachineDepth1(t *testing.T) {
+	m := BracketMachine(1)
+	// [1]1 and [2]2 cancel; [1]2 does not; ε accepts.
+	if !m.AcceptsNames("[1@1", "]1@1") {
+		t.Error("[1]1 should cancel")
+	}
+	if !m.AcceptsNames("[2@1", "]2@1") {
+		t.Error("[2]2 should cancel")
+	}
+	if m.AcceptsNames("[1@1", "]2@1") {
+		t.Error("[1]2 must not cancel")
+	}
+	if !m.AcceptsNames() {
+		t.Error("ε should accept")
+	}
+	if !m.AcceptsNames("[1@1", "]1@1", "[2@1", "]2@1") {
+		t.Error("sequential matched pairs should accept")
+	}
+	// No recursive types: [1 cannot follow [1 without closing.
+	if m.AcceptsNames("[1@1", "[1@1", "]1@1", "]1@1") {
+		t.Error("same-level nesting must be rejected (no recursive types)")
+	}
+}
+
+func TestBracketMachineDepth2(t *testing.T) {
+	m := BracketMachine(2)
+	// Inner (level 1) then outer (level 2), closed in LIFO order.
+	if !m.AcceptsNames("[1@1", "[2@2", "]2@2", "]1@1") {
+		t.Error("nested levels should cancel")
+	}
+	if m.AcceptsNames("[2@2", "[1@1", "]1@1", "]2@2") {
+		t.Error("opening a lower level inside a higher one is impossible without recursive types")
+	}
+	if m.AcceptsNames("[1@1", "[2@2", "]1@1", "]2@2") {
+		t.Error("crossing brackets must be rejected")
+	}
+}
+
+// §7.4 / Figure 12: B flows to V through the call and the pair; A (the
+// literal 1's label) does not flow to V (it is the first component).
+func TestFigure11Flow(t *testing.T) {
+	a := MustAnalyze(fig11)
+	if a.MaxDepth != 1 {
+		t.Errorf("MaxDepth = %d, want 1", a.MaxDepth)
+	}
+	got, err := a.Flows("B", "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("B should flow to V (the paper's B ⊆ V)")
+	}
+	got, err = a.Flows("A", "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("A must not flow to V (wrong component)")
+	}
+	// And into the pair: A reaches P but only with an open bracket, so
+	// the matched (accepting) query says no while raw reachability says
+	// yes.
+	if ok, _ := a.Flows("A", "P"); ok {
+		t.Error("A reaches P only with an unclosed bracket: matched flow must say no")
+	}
+	if ok, _ := a.Reaches("A", "P"); !ok {
+		t.Error("A should reach P with a non-accepting annotation")
+	}
+}
+
+// Context sensitivity of the primal analysis: two call sites of the
+// identity function must not be conflated.
+func TestPolymorphicCallSites(t *testing.T) {
+	src := `
+id (x : int) : int = x^X;
+main () : int = (id@1 1^One, id@2 2^Two)^Res;
+`
+	a := MustAnalyze(src)
+	one2, err := a.Flows("One", "Two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one2 {
+		t.Error("One must not flow to Two")
+	}
+	// Both flow through X (the shared parameter/body), but only as
+	// partially matched flow: o_1(One) ⊆ X has an unmatched call.
+	if ok, _ := a.FlowsPN("One", "X"); !ok {
+		t.Error("One should reach X partially matched")
+	}
+}
+
+// Matched flow through a call: the result of id@1 1 is 1, not 2.
+func TestCallResultFlow(t *testing.T) {
+	src := `
+id (x : int) : int = x;
+main () : int = (id@1 1^One).1;
+`
+	// .1 on an int would be a type error; use a pair result instead.
+	_ = src
+	src2 := `
+id (x : int) : int = x;
+wrap (z : int) : int * int = (z^Z, 3^Three)^W;
+main () : int = (wrap@w (id@1 1^One)).1^Out;
+`
+	a := MustAnalyze(src2)
+	if ok, _ := a.Flows("One", "Out"); !ok {
+		t.Error("One should flow to Out through id, wrap and .1")
+	}
+	if ok, _ := a.Flows("Three", "Out"); ok {
+		t.Error("Three is the second component; must not flow to Out")
+	}
+}
+
+// Polymorphic recursion: a recursive function keeps call sites apart.
+func TestPolymorphicRecursion(t *testing.T) {
+	src := `
+rec (x : int) : int = rec@r x;
+main () : int = (rec@1 1^One, rec@2 2^Two)^P;
+`
+	a := MustAnalyze(src)
+	if ok, _ := a.Flows("One", "Two"); ok {
+		t.Error("recursion must not conflate call sites")
+	}
+}
+
+// Nested pairs exercise depth-2 brackets.
+func TestNestedPairFlow(t *testing.T) {
+	src := `
+main () : int = (((1^In, 2)^Inner, 3)^Outer).1.1^Out;
+`
+	a := MustAnalyze(src)
+	if a.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want 2", a.MaxDepth)
+	}
+	if ok, _ := a.Flows("In", "Out"); !ok {
+		t.Error("In should flow to Out through two levels")
+	}
+}
+
+// Regression: projection results must preserve the component's type depth
+// so bracket levels stay consistent across chained projections (depth 3
+// breaks if results degrade to depth-1 skeletons).
+func TestTripleNestedPairFlow(t *testing.T) {
+	src := `
+main () : int = ((((1^In, 2), 3), 4).1.1.1)^Out;
+`
+	a := MustAnalyze(src)
+	if a.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", a.MaxDepth)
+	}
+	if ok, _ := a.Flows("In", "Out"); !ok {
+		t.Error("In should flow to Out through three levels")
+	}
+}
+
+// Call results must preserve the callee's result depth for later
+// projections.
+func TestCallResultDepth(t *testing.T) {
+	src := `
+mk (z : int) : (int * int) * int = ((z^Z, 1), 2)^P;
+main () : int = (mk@1 7^Seven).1.1^Out;
+`
+	a := MustAnalyze(src)
+	if ok, _ := a.Flows("Seven", "Out"); !ok {
+		t.Error("Seven should flow through the call and two projections")
+	}
+	if ok, _ := a.Flows("Z", "Out"); ok {
+		t.Error("Z is the parameter's label; matched flow carries Seven, not Z itself... Z and Seven share the cell")
+	}
+}
+
+func TestNestedPairWrongComponent(t *testing.T) {
+	src := `
+main () : int = (((1, 2^In)^Inner, 3)^Outer).1.1^Out;
+`
+	a := MustAnalyze(src)
+	if ok, _ := a.Flows("In", "Out"); ok {
+		t.Error("In is component 2; .1.1 must not receive it")
+	}
+}
+
+// Non-structural subtyping: the paper's motivation is that σ and σ' need
+// not share structure; a function can declare an opaque result type. A
+// value created in the callee escapes through an unmatched return, so the
+// query needs PN reachability (§7.3).
+func TestNonStructuralResultVar(t *testing.T) {
+	src := `
+mk () : r = (1^A, 2^B)^P;
+main () : int = (mk@1).2^V;
+`
+	a := MustAnalyze(src)
+	if ok, _ := a.FlowsPN("B", "V"); !ok {
+		t.Error("B should flow to V through the opaque result type (PN)")
+	}
+	if ok, _ := a.FlowsPN("A", "V"); ok {
+		t.Error("A must not flow to V even with PN")
+	}
+	// The matched-only query cannot see the unmatched return.
+	if ok, _ := a.Flows("B", "V"); ok {
+		t.Error("matched-only flow should miss the callee-origin value")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"main () : int = 1.1;", "non-pair"},
+		{"main () : int = x;", "unbound variable"},
+		{"main () : int = nope@1 1;", "undefined function"},
+		{"f () : int = 1; main () : int = f@1 2;", "takes no argument"},
+		{"f (x : int) : int = x; main () : int = f@1;", "requires an argument"},
+		{"main () : int = (1^L, 2^L);", "duplicate label"},
+	}
+	for _, c := range cases {
+		if _, err := Analyze(c.src, Options{}); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Analyze(%q) error = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestUnknownLabelQueries(t *testing.T) {
+	a := MustAnalyze(fig11)
+	if _, err := a.Flows("Nope", "V"); err == nil {
+		t.Error("unknown source label should error")
+	}
+	if _, err := a.Flows("B", "Nope"); err == nil {
+		t.Error("unknown target label should error")
+	}
+}
+
+// --- Dual analysis (§7.6) -------------------------------------------------
+
+func TestDualAnalysisFigure11(t *testing.T) {
+	a := MustAnalyzeDual(fig11)
+	got, err := a.Flows("B", "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("dual analysis should derive B ⊆ V")
+	}
+	if ok, _ := a.Flows("A", "V"); ok {
+		t.Error("dual analysis must not flow A to V")
+	}
+}
+
+func TestDualPolymorphicCallSites(t *testing.T) {
+	src := `
+id (x : int) : int = x^X;
+main () : int = (id@1 1^One, id@2 2^Two)^Res;
+`
+	a, err := AnalyzeDual(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := a.Flows("One", "Two"); ok {
+		t.Error("dual analysis must keep call sites apart")
+	}
+}
+
+// §7.6's key approximation: recursion is monomorphic in the dual
+// analysis, so recursive call sites ARE conflated (unlike the primal).
+func TestDualMonomorphicRecursion(t *testing.T) {
+	src := `
+rec (x : int) : int = rec@r x;
+main () : int = (rec@1 1^One, rec@2 2^Two)^P;
+`
+	// The primal analysis keeps them apart (polymorphic recursion).
+	pa := MustAnalyze(src)
+	if ok, _ := pa.Flows("One", "Two"); ok {
+		t.Error("primal: call sites must stay apart under recursion")
+	}
+	// The dual still distinguishes the two *outer* sites 1 and 2 (they
+	// are non-recursive); only the inner recursive site r collapses.
+	da := MustAnalyzeDual(src)
+	if ok, _ := da.Flows("One", "Two"); ok {
+		t.Error("dual: the outer sites are not recursive and stay apart")
+	}
+}
+
+func TestDualAgreesWithPrimalOnCorpus(t *testing.T) {
+	corpus := []struct {
+		src      string
+		from, to string
+		want     bool
+	}{
+		{fig11, "B", "V", true},
+		{fig11, "A", "V", false},
+		{`
+id (x : int) : int = x;
+wrap (z : int) : int * int = (z, 3^Three)^W;
+main () : int = (wrap@w (id@1 1^One)).1^Out;
+`, "One", "Out", true},
+		{`
+swap (p : int * int) : int * int = (p.2^S2, p.1^S1);
+main () : int = (swap@1 (1^A, 2^B)).1^Out;
+`, "B", "Out", true},
+		{`
+swap (p : int * int) : int * int = (p.2, p.1);
+main () : int = (swap@1 (1^A, 2^B)).1^Out;
+`, "A", "Out", false},
+	}
+	for i, c := range corpus {
+		pa, err := Analyze(c.src, Options{})
+		if err != nil {
+			t.Fatalf("case %d primal: %v", i, err)
+		}
+		da, err := AnalyzeDual(c.src, Options{})
+		if err != nil {
+			t.Fatalf("case %d dual: %v", i, err)
+		}
+		pg, err := pa.Flows(c.from, c.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dg, err := da.Flows(c.from, c.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg != c.want {
+			t.Errorf("case %d: primal %s→%s = %v, want %v", i, c.from, c.to, pg, c.want)
+		}
+		if dg != c.want {
+			t.Errorf("case %d: dual %s→%s = %v, want %v", i, c.from, c.to, dg, c.want)
+		}
+	}
+}
+
+// --- Stack-aware aliasing (§7.5) -------------------------------------------
+
+// The paper's example: foo(&a,&b) at site 1 and foo(&b,&a) at site 2.
+// pt(x) and pt(y) intersect as locations but not as stack-annotated terms.
+func TestStackAwareAliasing(t *testing.T) {
+	sig := terms.NewSignature()
+	locA := sig.MustDeclare("a", 0)
+	locB := sig.MustDeclare("b", 0)
+	o1 := sig.MustDeclare("o1", 1)
+	o2 := sig.MustDeclare("o2", 1)
+
+	sys := core.NewSystem(core.TrivialAlgebra{}, sig, core.Options{})
+	// Points-to inputs at the two call sites.
+	A1, B1 := sys.Var("argA@1"), sys.Var("argB@1")
+	A2, B2 := sys.Var("argA@2"), sys.Var("argB@2")
+	X, Y := sys.Var("x"), sys.Var("y")
+	sys.AddLowerE(sys.Constant(locA), A1)
+	sys.AddLowerE(sys.Constant(locB), B1)
+	sys.AddLowerE(sys.Constant(locB), A2)
+	sys.AddLowerE(sys.Constant(locA), B2)
+	// x receives the first argument wrapped per call site; y the second.
+	sys.AddLowerE(sys.Cons(o1, A1), X)
+	sys.AddLowerE(sys.Cons(o2, A2), X)
+	sys.AddLowerE(sys.Cons(o1, B1), Y)
+	sys.AddLowerE(sys.Cons(o2, B2), Y)
+	sys.Solve()
+
+	bank := terms.NewBank(sig)
+	aliased, common := StackAwareAlias(sys, X, Y, bank, 3, 0)
+	if aliased {
+		names := make([]string, len(common))
+		for i, c := range common {
+			names[i] = bank.String(c, nil)
+		}
+		t.Errorf("stack-aware query must prove no alias; common = %v", names)
+	}
+	// The context-insensitive foil says "may alias".
+	if !LocationAlias(sys, X, Y, bank, 3, 0) {
+		t.Error("location-based query should (imprecisely) report aliasing")
+	}
+	// Sanity: x aliases x.
+	if ok, _ := StackAwareAlias(sys, X, X, bank, 3, 0); !ok {
+		t.Error("x must alias itself")
+	}
+}
+
+// The forward strategy answers the same flow queries (§9's suggested
+// scalable implementation).
+func TestFlowsForwardAgrees(t *testing.T) {
+	cases := []struct {
+		src      string
+		from, to string
+	}{
+		{fig11, "B", "V"},
+		{fig11, "A", "V"},
+		{`
+id (x : int) : int = x;
+wrap (z : int) : int * int = (z, 3^Three)^W;
+main () : int = (wrap@w (id@1 1^One)).1^Out;
+`, "One", "Out"},
+		{`
+main () : int = (((1^In, 2), 3).1.1)^Out;
+`, "In", "Out"},
+	}
+	for i, c := range cases {
+		a, err := Analyze(c.src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bidir, err := a.Flows(c.from, c.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd, err := a.FlowsForward(c.from, c.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bidir != fwd {
+			t.Errorf("case %d: bidirectional=%v forward=%v", i, bidir, fwd)
+		}
+	}
+}
+
+func TestLetExpression(t *testing.T) {
+	src := `
+main () : int = let p = (1^A, 2^B) in p.2^Out;
+`
+	a := MustAnalyze(src)
+	if ok, _ := a.Flows("B", "Out"); !ok {
+		t.Error("B should flow through the let binding")
+	}
+	if ok, _ := a.Flows("A", "Out"); ok {
+		t.Error("A must not flow to Out")
+	}
+	// Nested lets and shadowing.
+	src2 := `
+main () : int = let x = 1^First in let x = 2^Second in x^Use;
+`
+	a2 := MustAnalyze(src2)
+	if ok, _ := a2.Flows("Second", "Use"); !ok {
+		t.Error("inner binding should shadow")
+	}
+	if ok, _ := a2.Flows("First", "Use"); ok {
+		t.Error("outer binding is shadowed")
+	}
+}
+
+func TestLetParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"main () : int = let = 1 in 2;",
+		"main () : int = let x = 1 2;",
+		"main () : int = let x 1 in 2;",
+	} {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) should fail", src)
+		}
+	}
+}
+
+func TestLetInDualAnalysis(t *testing.T) {
+	src := `
+id (x : int) : int = x;
+main () : int = let v = id@1 1^One in v^Use;
+`
+	d := MustAnalyzeDual(src)
+	if ok, _ := d.Flows("One", "Use"); !ok {
+		t.Error("dual analysis should flow through let")
+	}
+}

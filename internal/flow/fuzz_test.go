@@ -1,0 +1,31 @@
+package flow
+
+import "testing"
+
+// FuzzAnalyze checks the whole front end + analysis pipeline never panics
+// on arbitrary program text.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		fig11,
+		"main () : int = 1;",
+		"id (x : int) : int = x; main () : int = id@1 1;",
+		"main () : int = let p = (1, 2) in p.1;",
+		"main () : int = (((1,2),3),4).1.1.1;",
+		"f (p : int * int) : int = p.2; main () : int = f@1 (1, 2);",
+		"broken ( : int = ;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Analyze(src, Options{MonoidLimit: 512})
+		if err != nil {
+			return
+		}
+		_ = a.MaxDepth
+		// The dual analysis must also be total on valid inputs.
+		if _, err := AnalyzeDual(src, Options{MonoidLimit: 512}); err != nil {
+			t.Fatalf("primal ok but dual failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,500 @@
+// Package flow implements the type-based flow analysis application of §7:
+// context-sensitive (polymorphic recursive) label flow with non-structural
+// subtyping over a first-order functional language with pairs. The
+// analysis combines both matching problems the section studies:
+//
+//   - function call/return matching is modeled context-freely with one
+//     unary constructor o_i per call site and its projection (the
+//     set-constraint/CFL-reachability reduction of Kodumal & Aiken 2004),
+//   - type constructor/destructor matching is modeled regularly with
+//     bracket annotations [^i_l and ]^i_l on constraints, whose automaton
+//     (Figure 10) is bounded by the depth of the largest type in the
+//     program.
+//
+// The package also implements the dual analysis of §7.6 (roles swapped: a
+// binary pair constructor with projections for fields, bracket
+// annotations for call sites, recursion approximated monomorphically) and
+// stack-aware alias queries (§7.5).
+//
+// Source syntax, following the paper's examples (labels after ^ name the
+// flow variables used in queries):
+//
+//	pair (y : int) : b = (1^A, y^Y)^P;
+//	main () : int = (pair@i 2^B).2^V;
+package flow
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// --- AST -----------------------------------------------------------------
+
+// Def is a function definition f(x : τ) : τ' = e or a zero-parameter
+// definition f() : τ' = e.
+type Def struct {
+	Name    string
+	Param   string // "" when nullary
+	ParamTy *TypeExpr
+	RetTy   *TypeExpr
+	Body    Expr
+	Line    int
+}
+
+// Program is a parsed program.
+type Program struct {
+	Defs   []*Def
+	ByName map[string]*Def
+}
+
+// TypeExpr is a surface type: int, a type variable, or a pair.
+type TypeExpr struct {
+	// Kind: "int", "var", "pair".
+	Kind     string
+	Name     string // for var
+	Fst, Snd *TypeExpr
+}
+
+func (t *TypeExpr) String() string {
+	switch t.Kind {
+	case "int":
+		return "int"
+	case "var":
+		return t.Name
+	default:
+		return "(" + t.Fst.String() + " * " + t.Snd.String() + ")"
+	}
+}
+
+// Expr is an expression. Every expression can carry an optional label
+// annotation ^Name naming its flow variable.
+type Expr interface {
+	exprNode()
+	LabelName() string
+	Pos() int
+}
+
+type exprBase struct {
+	Label string
+	Line  int
+}
+
+func (b exprBase) LabelName() string { return b.Label }
+func (b exprBase) Pos() int          { return b.Line }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value string
+}
+
+// VarRef is a variable use.
+type VarRef struct {
+	exprBase
+	Name string
+}
+
+// PairExpr is (e1, e2).
+type PairExpr struct {
+	exprBase
+	Fst, Snd Expr
+}
+
+// ProjExpr is e.1 or e.2.
+type ProjExpr struct {
+	exprBase
+	X     Expr
+	Index int // 1 or 2
+}
+
+// CallExpr is f@site e (or f@site for nullary f).
+type CallExpr struct {
+	exprBase
+	Fn   string
+	Site string // instantiation site name; auto-generated if omitted
+	Arg  Expr   // nil for nullary
+}
+
+// LetExpr is let x = e1 in e2 (monomorphic; polymorphism comes from
+// named function definitions).
+type LetExpr struct {
+	exprBase
+	Name string
+	Val  Expr
+	Body Expr
+}
+
+func (*IntLit) exprNode()   {}
+func (*VarRef) exprNode()   {}
+func (*PairExpr) exprNode() {}
+func (*ProjExpr) exprNode() {}
+func (*CallExpr) exprNode() {}
+func (*LetExpr) exprNode()  {}
+
+// --- Lexer/parser ----------------------------------------------------------
+
+// Error is a flow-language front-end error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("flow:%d: %s", e.Line, e.Msg) }
+
+type fToken struct {
+	kind string // ident num punct eof
+	text string
+	line int
+}
+
+func lexFlow(src string) ([]fToken, error) {
+	var toks []fToken
+	line := 1
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '#' || (r == '/' && i+1 < len(rs) && rs[i+1] == '/'):
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, fToken{"ident", string(rs[i:j]), line})
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			toks = append(toks, fToken{"num", string(rs[i:j]), line})
+			i = j
+		default:
+			switch r {
+			case '(', ')', ',', ':', ';', '=', '*', '.', '^', '@':
+				toks = append(toks, fToken{"punct", string(r), line})
+				i++
+			default:
+				return nil, &Error{line, fmt.Sprintf("unexpected character %q", string(r))}
+			}
+		}
+	}
+	toks = append(toks, fToken{"eof", "", line})
+	return toks, nil
+}
+
+type fParser struct {
+	toks     []fToken
+	pos      int
+	autoSite int
+}
+
+func (p *fParser) cur() fToken  { return p.toks[p.pos] }
+func (p *fParser) bump() fToken { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *fParser) errf(format string, args ...interface{}) *Error {
+	return &Error{p.cur().line, fmt.Sprintf(format, args...)}
+}
+
+func (p *fParser) punct(s string) error {
+	if p.cur().kind != "punct" || p.cur().text != s {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.bump()
+	return nil
+}
+
+func (p *fParser) isPunct(s string) bool {
+	return p.cur().kind == "punct" && p.cur().text == s
+}
+
+func (p *fParser) ident(what string) (fToken, error) {
+	if p.cur().kind != "ident" {
+		return p.cur(), p.errf("expected %s, found %q", what, p.cur().text)
+	}
+	return p.bump(), nil
+}
+
+// ParseProgram parses a flow-language program.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := lexFlow(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &fParser{toks: toks}
+	prog := &Program{ByName: map[string]*Def{}}
+	for p.cur().kind != "eof" {
+		d, err := p.def()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.ByName[d.Name]; dup {
+			return nil, &Error{d.Line, fmt.Sprintf("duplicate definition %q", d.Name)}
+		}
+		prog.Defs = append(prog.Defs, d)
+		prog.ByName[d.Name] = d
+	}
+	if len(prog.Defs) == 0 {
+		return nil, &Error{1, "empty program"}
+	}
+	return prog, nil
+}
+
+// MustParseProgram panics on error.
+func MustParseProgram(src string) *Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *fParser) def() (*Def, error) {
+	name, err := p.ident("function name")
+	if err != nil {
+		return nil, err
+	}
+	d := &Def{Name: name.text, Line: name.line}
+	if err := p.punct("("); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		pn, err := p.ident("parameter name")
+		if err != nil {
+			return nil, err
+		}
+		d.Param = pn.text
+		if err := p.punct(":"); err != nil {
+			return nil, err
+		}
+		d.ParamTy, err = p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.punct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.punct(":"); err != nil {
+		return nil, err
+	}
+	d.RetTy, err = p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.punct("="); err != nil {
+		return nil, err
+	}
+	d.Body, err = p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.punct(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// typeExpr := tprimary ('*' tprimary)?   (right-assoc not needed; binary)
+func (p *fParser) typeExpr() (*TypeExpr, error) {
+	l, err := p.typePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("*") {
+		p.bump()
+		r, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &TypeExpr{Kind: "pair", Fst: l, Snd: r}, nil
+	}
+	return l, nil
+}
+
+func (p *fParser) typePrimary() (*TypeExpr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == "ident" && t.text == "int":
+		p.bump()
+		return &TypeExpr{Kind: "int"}, nil
+	case t.kind == "ident":
+		p.bump()
+		return &TypeExpr{Kind: "var", Name: t.text}, nil
+	case p.isPunct("("):
+		p.bump()
+		x, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("expected type, found %q", t.text)
+}
+
+// expr := primary postfix*
+func (p *fParser) expr() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	return p.postfix(e)
+}
+
+func (p *fParser) postfix(e Expr) (Expr, error) {
+	for {
+		switch {
+		case p.isPunct("."):
+			p.bump()
+			n := p.cur()
+			if n.kind != "num" || (n.text != "1" && n.text != "2") {
+				return nil, p.errf("expected projection index 1 or 2")
+			}
+			p.bump()
+			idx := 1
+			if n.text == "2" {
+				idx = 2
+			}
+			pe := &ProjExpr{X: e, Index: idx}
+			pe.Line = n.line
+			e = pe
+		case p.isPunct("^"):
+			p.bump()
+			lbl, err := p.ident("label name")
+			if err != nil {
+				return nil, err
+			}
+			e = withLabel(e, lbl.text)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func withLabel(e Expr, lbl string) Expr {
+	switch x := e.(type) {
+	case *IntLit:
+		x.Label = lbl
+	case *VarRef:
+		x.Label = lbl
+	case *PairExpr:
+		x.Label = lbl
+	case *ProjExpr:
+		x.Label = lbl
+	case *CallExpr:
+		x.Label = lbl
+	}
+	return e
+}
+
+func (p *fParser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == "num":
+		p.bump()
+		e := &IntLit{Value: t.text}
+		e.Line = t.line
+		return p.postfix(e)
+	case t.kind == "ident" && t.text == "let":
+		p.bump()
+		name, err := p.ident("let-bound name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.punct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if in := p.cur(); in.kind != "ident" || in.text != "in" {
+			return nil, p.errf("expected 'in', found %q", in.text)
+		}
+		p.bump()
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		le := &LetExpr{Name: name.text, Val: val, Body: body}
+		le.Line = t.line
+		return le, nil
+	case t.kind == "ident":
+		p.bump()
+		// Call: f@site arg, f@site, or f arg (auto site); otherwise a
+		// variable reference.
+		site := ""
+		if p.isPunct("@") {
+			p.bump()
+			s := p.cur()
+			if s.kind != "ident" && s.kind != "num" {
+				return nil, p.errf("expected instantiation site after @")
+			}
+			p.bump()
+			site = s.text
+		}
+		if site != "" || p.startsExpr() {
+			c := &CallExpr{Fn: t.text, Site: site}
+			c.Line = t.line
+			if site == "" {
+				p.autoSite++
+				c.Site = fmt.Sprintf("s%d", p.autoSite)
+			}
+			if p.startsExpr() {
+				arg, err := p.primary()
+				if err != nil {
+					return nil, err
+				}
+				c.Arg = arg
+			}
+			return c, nil
+		}
+		v := &VarRef{Name: t.text}
+		v.Line = t.line
+		return v, nil
+	case p.isPunct("("):
+		p.bump()
+		first, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct(",") {
+			p.bump()
+			second, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.punct(")"); err != nil {
+				return nil, err
+			}
+			pe := &PairExpr{Fst: first, Snd: second}
+			pe.Line = t.line
+			return pe, nil
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+		return first, nil
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}
+
+// startsExpr reports whether the current token can begin an argument.
+// An identifier directly following a function name is always an argument:
+// the language has no other juxtaposition.
+func (p *fParser) startsExpr() bool {
+	t := p.cur()
+	return t.kind == "num" || t.kind == "ident" || p.isPunct("(")
+}

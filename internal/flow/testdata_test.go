@@ -1,0 +1,27 @@
+package flow
+
+import (
+	"os"
+	"testing"
+)
+
+func TestFig11Fixture(t *testing.T) {
+	src, err := os.ReadFile("testdata/fig11.flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(string(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := a.Flows("B", "V"); !ok {
+		t.Error("fixture should derive B ⊆ V")
+	}
+	d, err := AnalyzeDual(string(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.Flows("B", "V"); !ok {
+		t.Error("dual on fixture should derive B ⊆ V")
+	}
+}

@@ -1,0 +1,258 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rasc/internal/dfa"
+)
+
+// lty is a labeled type (§7.1): every type node carries a set-variable
+// label (the result of the spread operator). Type variables may be bound
+// during checking; binding shares the bound type's labels, which is how
+// the example of §7.4 obtains β = int^A ×^P int^Y.
+type lty struct {
+	kind  tyKind
+	label int  // label id, materialized to a set variable in pass 2
+	fst   *lty // pair components
+	snd   *lty
+	ref   *lty // binding for type variables
+	name  string
+}
+
+type tyKind int
+
+const (
+	tyInt tyKind = iota
+	tyPair
+	tyVar
+)
+
+// resolve follows variable bindings.
+func (t *lty) resolve() *lty {
+	for t.kind == tyVar && t.ref != nil {
+		t = t.ref
+	}
+	return t
+}
+
+// depth is 0 for ints and unbound variables, 1 + max component depth for
+// pairs. The paper bounds the annotation language by the depth of the
+// largest type (Figure 10).
+func (t *lty) depth() int {
+	t = t.resolve()
+	if t.kind != tyPair {
+		return 0
+	}
+	f, s := t.fst.depth(), t.snd.depth()
+	if s > f {
+		f = s
+	}
+	return f + 1
+}
+
+// occurs reports whether v occurs in t (for the occurs check: recursive
+// types are outside the analysis, §7.2.2).
+func (t *lty) occurs(v *lty) bool {
+	t = t.resolve()
+	if t == v {
+		return true
+	}
+	if t.kind == tyPair {
+		return t.fst.occurs(v) || t.snd.occurs(v)
+	}
+	return false
+}
+
+func (t *lty) String() string {
+	t = t.resolve()
+	switch t.kind {
+	case tyInt:
+		return "int"
+	case tyVar:
+		return t.name
+	default:
+		return "(" + t.fst.String() + " * " + t.snd.String() + ")"
+	}
+}
+
+// bind binds type variable v to t, with an occurs check.
+func bind(v, t *lty) error {
+	v = v.resolve()
+	t = t.resolve()
+	if v == t {
+		return nil
+	}
+	if v.kind != tyVar {
+		return fmt.Errorf("flow: cannot bind non-variable %s", v)
+	}
+	if t.occurs(v) {
+		return fmt.Errorf("flow: recursive type %s = %s (recursive types require approximation, §7.2.2)", v.name, t)
+	}
+	v.ref = t
+	return nil
+}
+
+// BracketAlphabetSymbol names the open/close bracket for component i at
+// level l, e.g. "[2@1".
+func openSym(i, l int) string  { return fmt.Sprintf("[%d@%d", i, l) }
+func closeSym(i, l int) string { return fmt.Sprintf("]%d@%d", i, l) }
+
+// BracketMachine builds the Figure 10 automaton for pair-bracket matching
+// up to depth d: words over {[i@l, ]i@l | i ∈ 1..2, l ∈ 1..d} whose
+// brackets cancel. Because the language has no recursive types, open
+// levels strictly increase left to right, so the machine's states are the
+// strictly-increasing stacks of open brackets (empty stack accepting) plus
+// a dead state for violations.
+func BracketMachine(d int) *dfa.DFA {
+	var names []string
+	for l := 1; l <= d; l++ {
+		for i := 1; i <= 2; i++ {
+			names = append(names, openSym(i, l), closeSym(i, l))
+		}
+	}
+	alpha := dfa.NewAlphabet(names...)
+
+	type frame struct{ i, l int }
+	key := func(st []frame) string {
+		var b strings.Builder
+		for _, f := range st {
+			fmt.Fprintf(&b, "%d.%d|", f.i, f.l)
+		}
+		return b.String()
+	}
+	index := map[string]dfa.State{}
+	var stacks [][]frame
+	intern := func(st []frame) dfa.State {
+		k := key(st)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := dfa.State(len(stacks))
+		index[k] = id
+		stacks = append(stacks, st)
+		return id
+	}
+	start := intern(nil)
+	type tr struct {
+		from dfa.State
+		sym  dfa.Symbol
+		to   dfa.State
+	}
+	var trans []tr
+	for n := 0; n < len(stacks); n++ {
+		st := stacks[n]
+		top := 0
+		if len(st) > 0 {
+			top = st[len(st)-1].l
+		}
+		for l := 1; l <= d; l++ {
+			for i := 1; i <= 2; i++ {
+				if l > top {
+					sym, _ := alpha.Lookup(openSym(i, l))
+					next := append(append([]frame{}, st...), frame{i, l})
+					trans = append(trans, tr{dfa.State(n), sym, intern(next)})
+				}
+				if len(st) > 0 && st[len(st)-1] == (frame{i, l}) {
+					sym, _ := alpha.Lookup(closeSym(i, l))
+					trans = append(trans, tr{dfa.State(n), sym, intern(st[:len(st)-1])})
+				}
+			}
+		}
+	}
+	m := dfa.NewDFA(alpha, len(stacks), start)
+	m.SetAccept(start) // empty stack: fully cancelled
+	names2 := make([]string, len(stacks))
+	for i, st := range stacks {
+		if len(st) == 0 {
+			names2[i] = "ε"
+		} else {
+			var b strings.Builder
+			for _, f := range st {
+				fmt.Fprintf(&b, "[%d@%d", f.i, f.l)
+			}
+			names2[i] = b.String()
+		}
+	}
+	m.StateName = names2
+	for _, t := range trans {
+		m.SetTransition(t.from, t.sym, t.to)
+	}
+	return m.Complete() // violations go to a dead state
+}
+
+// CallBracketMachine builds the dual analysis's automaton (§7.6): bracket
+// symbols "[site" and "]site" for every call site, with stacking
+// restricted to consistent caller chains (a site may be pushed on top of
+// site s only when its enclosing function is s's callee) and bounded by
+// maxDepth. Recursive (intra-SCC) calls should be given the empty
+// annotation by the caller — this is exactly the monomorphic treatment of
+// recursion.
+func CallBracketMachine(sites []CallSite, maxDepth int) *dfa.DFA {
+	var names []string
+	for _, s := range sites {
+		names = append(names, "["+s.Name, "]"+s.Name)
+	}
+	alpha := dfa.NewAlphabet(names...)
+	byName := map[string]CallSite{}
+	var order []string
+	for _, s := range sites {
+		byName[s.Name] = s
+		order = append(order, s.Name)
+	}
+	sort.Strings(order)
+
+	key := func(st []string) string { return strings.Join(st, "|") }
+	index := map[string]dfa.State{}
+	var stacks [][]string
+	intern := func(st []string) dfa.State {
+		k := key(st)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := dfa.State(len(stacks))
+		index[k] = id
+		stacks = append(stacks, st)
+		return id
+	}
+	start := intern(nil)
+	type tr struct {
+		from dfa.State
+		sym  dfa.Symbol
+		to   dfa.State
+	}
+	var trans []tr
+	for n := 0; n < len(stacks); n++ {
+		st := stacks[n]
+		for _, name := range order {
+			s := byName[name]
+			// Push: consistent chains only.
+			ok := len(st) < maxDepth
+			if ok && len(st) > 0 {
+				ok = byName[st[len(st)-1]].Callee == s.Caller
+			}
+			if ok {
+				sym, _ := alpha.Lookup("[" + name)
+				trans = append(trans, tr{dfa.State(n), sym, intern(append(append([]string{}, st...), name))})
+			}
+			if len(st) > 0 && st[len(st)-1] == name {
+				sym, _ := alpha.Lookup("]" + name)
+				trans = append(trans, tr{dfa.State(n), sym, intern(st[:len(st)-1])})
+			}
+		}
+	}
+	m := dfa.NewDFA(alpha, len(stacks), start)
+	m.SetAccept(start)
+	for _, t := range trans {
+		m.SetTransition(t.from, t.sym, t.to)
+	}
+	return m.Complete()
+}
+
+// CallSite describes one instantiation site for CallBracketMachine.
+type CallSite struct {
+	Name   string
+	Caller string // enclosing function
+	Callee string
+}

@@ -1,0 +1,71 @@
+package gosrc
+
+import (
+	"rasc/internal/core"
+	"rasc/internal/minic"
+	"rasc/internal/pdm"
+	"rasc/internal/spec"
+)
+
+// Ready-made properties for Go API-usage checking.
+
+// DoubleLockSpecSrc: locking a sync.Mutex that is already locked
+// self-deadlocks; the property is parametric in the mutex (receiver)
+// name. Unlocking an unlocked mutex is also an error in Go, so both
+// misuses share the Error state.
+const DoubleLockSpecSrc = `
+start state Unlocked :
+    | lock(x) -> Locked
+    | unlock(x) -> Error;
+
+state Locked :
+    | unlock(x) -> Unlocked
+    | lock(x) -> Error;
+
+accept state Error;
+`
+
+// DoubleLockProperty compiles DoubleLockSpecSrc.
+func DoubleLockProperty() *spec.Property { return spec.MustCompile(DoubleLockSpecSrc) }
+
+// DoubleLockEvents maps mu.Lock()/mu.Unlock() to the property alphabet,
+// labelled by the receiver.
+func DoubleLockEvents() *minic.EventMap {
+	return &minic.EventMap{Rules: []minic.Rule{
+		{Callee: "Lock", ArgIndex: -1, Symbol: "lock", LabelArg: 0},
+		{Callee: "Unlock", ArgIndex: -1, Symbol: "unlock", LabelArg: 0},
+	}}
+}
+
+// FileLeakSpecSrc: a file opened with os.Open should be closed; the
+// accepting Open state at function exit marks a leak (queried with
+// OpenInstancesAtExit, like §6.4's descriptor example).
+const FileLeakSpecSrc = `
+start state Closed :
+    | open(x) -> Opened;
+
+accept state Opened :
+    | close(x) -> Closed;
+`
+
+// FileLeakProperty compiles FileLeakSpecSrc.
+func FileLeakProperty() *spec.Property { return spec.MustCompile(FileLeakSpecSrc) }
+
+// FileLeakEvents: f, err := os.Open(...) opens f; f.Close() closes it.
+func FileLeakEvents() *minic.EventMap {
+	return &minic.EventMap{Rules: []minic.Rule{
+		{Callee: "Open", ArgIndex: -1, Symbol: "open", LabelArg: -1, LabelFromAssign: true},
+		{Callee: "OpenFile", ArgIndex: -1, Symbol: "open", LabelArg: -1, LabelFromAssign: true},
+		{Callee: "Create", ArgIndex: -1, Symbol: "open", LabelArg: -1, LabelFromAssign: true},
+		{Callee: "Close", ArgIndex: -1, Symbol: "close", LabelArg: 0},
+	}}
+}
+
+// Check translates Go source and model-checks it against the property.
+func Check(src string, prop *spec.Property, events *minic.EventMap, entry string, opts core.Options) (*pdm.Result, error) {
+	prog, err := Translate(src)
+	if err != nil {
+		return nil, err
+	}
+	return pdm.Check(prog, prop, events, entry, opts)
+}

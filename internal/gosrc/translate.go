@@ -1,0 +1,480 @@
+// Package gosrc is a Go source front end for the analyses in this
+// repository: it parses Go files with go/parser and translates each
+// function into the mini-C intermediate form (package minic), so that the
+// pushdown model checker (pdm), the post* baseline (mops), the taint
+// analysis (bitvector) and the danger-point chop all run unchanged on
+// real Go code.
+//
+// The translation is a sound control-flow abstraction, not a Go semantics:
+//
+//   - conditions are nondeterministic (both branches possible), as in the
+//     rest of the toolkit;
+//   - method calls x.M(...) become calls to M with the rendered receiver
+//     prepended as argument 0, so parametric properties can label the
+//     receiver (mu.Lock() → Lock(mu), matched per mutex name);
+//   - defer is expanded: the deferred calls run, in LIFO order, before
+//     every return and at the end of the function body;
+//   - go f() and goroutine structure are ignored beyond the call itself;
+//   - range loops become condition-less loops over the body;
+//   - switch (expression and type switches) becomes the branch structure
+//     with Go's implicit break, honoring explicit fallthrough;
+//   - select branches are all considered possible.
+//
+// Functions are identified by bare name (methods by method name); calls
+// to unknown names are external calls, exactly like mini-C.
+package gosrc
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+
+	"rasc/internal/minic"
+)
+
+// Translate parses Go source and translates every function (including
+// methods) into a mini-C program. Functions keep their Go source line
+// numbers so diagnostics point into the original file.
+func Translate(src string) (*minic.Program, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("gosrc: %w", err)
+	}
+	tr := &translator{fset: fset}
+	prog := &minic.Program{ByName: map[string]*minic.FuncDef{}}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		if _, dup := prog.ByName[name]; dup {
+			// Same method name on two receivers: merge is unsound in
+			// general; keep the first and skip (documented name-based
+			// approximation).
+			continue
+		}
+		tr.deferred = nil
+		def := &minic.FuncDef{
+			Name: name,
+			Line: tr.line(fd.Pos()),
+		}
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			def.Params = append(def.Params, fd.Recv.List[0].Names[0].Name)
+		}
+		if fd.Type.Params != nil {
+			for _, p := range fd.Type.Params.List {
+				for _, n := range p.Names {
+					def.Params = append(def.Params, n.Name)
+				}
+			}
+		}
+		body := tr.block(fd.Body)
+		// Deferred calls run at the end of the body (return statements
+		// were already expanded inside).
+		body = append(body, tr.deferredCalls()...)
+		def.Body = body
+		prog.Funcs = append(prog.Funcs, def)
+		prog.ByName[name] = def
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, fmt.Errorf("gosrc: no function bodies found")
+	}
+	return prog, nil
+}
+
+// MustTranslate panics on error.
+func MustTranslate(src string) *minic.Program {
+	p, err := Translate(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type translator struct {
+	fset *token.FileSet
+	// deferred calls of the current function, in defer order.
+	deferred []*minic.CallExpr
+}
+
+func (t *translator) line(p token.Pos) int { return t.fset.Position(p).Line }
+
+func (t *translator) render(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, t.fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// deferredCalls expands the recorded defers in LIFO order.
+func (t *translator) deferredCalls() []minic.Stmt {
+	var out []minic.Stmt
+	for i := len(t.deferred) - 1; i >= 0; i-- {
+		out = append(out, &minic.ExprStmt{X: t.deferred[i], Line: t.deferred[i].Line})
+	}
+	return out
+}
+
+func (t *translator) block(b *ast.BlockStmt) []minic.Stmt {
+	var out []minic.Stmt
+	for _, st := range b.List {
+		out = append(out, t.stmt(st)...)
+	}
+	return out
+}
+
+func (t *translator) stmts(list []ast.Stmt) []minic.Stmt {
+	var out []minic.Stmt
+	for _, st := range list {
+		out = append(out, t.stmt(st)...)
+	}
+	return out
+}
+
+func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if x := t.expr(s.X); x != nil {
+			return []minic.Stmt{&minic.ExprStmt{X: x, Line: t.line(s.Pos())}}
+		}
+		return nil
+	case *ast.AssignStmt:
+		// Single-target assignment keeps the name (for parametric label
+		// extraction: f, err := os.Open(...) labels f); multi-target
+		// keeps only the calls.
+		var out []minic.Stmt
+		name := ""
+		if len(s.Lhs) >= 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				name = id.Name
+			}
+		}
+		for i, rhs := range s.Rhs {
+			x := t.expr(rhs)
+			if x == nil {
+				continue
+			}
+			if i == 0 && name != "" {
+				out = append(out, &minic.AssignStmt{Name: name, X: x, Line: t.line(s.Pos())})
+			} else {
+				out = append(out, &minic.ExprStmt{X: x, Line: t.line(s.Pos())})
+			}
+		}
+		return out
+	case *ast.DeclStmt:
+		// var x = f(): keep initializer calls, labelled by the name.
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		var out []minic.Stmt
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, v := range vs.Values {
+				x := t.expr(v)
+				if x == nil {
+					continue
+				}
+				name := ""
+				if i < len(vs.Names) && vs.Names[i].Name != "_" {
+					name = vs.Names[i].Name
+				}
+				if name != "" {
+					out = append(out, &minic.DeclStmt{Name: name, Init: x, Line: t.line(s.Pos())})
+				} else {
+					out = append(out, &minic.ExprStmt{X: x, Line: t.line(s.Pos())})
+				}
+			}
+		}
+		return out
+	case *ast.IfStmt:
+		var out []minic.Stmt
+		if s.Init != nil {
+			out = append(out, t.stmt(s.Init)...)
+		}
+		ifs := &minic.IfStmt{
+			Cond: t.condExpr(s.Cond),
+			Then: t.block(s.Body),
+			Line: t.line(s.Pos()),
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				ifs.Else = t.block(e)
+			default:
+				ifs.Else = t.stmt(e)
+			}
+		}
+		return append(out, ifs)
+	case *ast.ForStmt:
+		var out []minic.Stmt
+		f := &minic.ForStmt{Line: t.line(s.Pos())}
+		if s.Init != nil {
+			init := t.stmt(s.Init)
+			// The for-clause holds one statement; extra ones hoist.
+			if len(init) > 0 {
+				f.Init = init[len(init)-1]
+				out = append(out, init[:len(init)-1]...)
+			}
+		}
+		if s.Cond != nil {
+			f.Cond = t.condExpr(s.Cond)
+		}
+		if s.Post != nil {
+			post := t.stmt(s.Post)
+			if len(post) > 0 {
+				f.Post = post[0]
+			}
+		}
+		f.Body = t.block(s.Body)
+		return append(out, f)
+	case *ast.RangeStmt:
+		// range loops: a loop whose body may run zero or more times.
+		body := t.block(s.Body)
+		var out []minic.Stmt
+		if x := t.expr(s.X); x != nil {
+			out = append(out, &minic.ExprStmt{X: x, Line: t.line(s.Pos())})
+		}
+		return append(out, &minic.WhileStmt{
+			Cond: &minic.IdentExpr{Name: "$range"},
+			Body: body,
+			Line: t.line(s.Pos()),
+		})
+	case *ast.ReturnStmt:
+		var out []minic.Stmt
+		for _, r := range s.Results {
+			if x := t.expr(r); x != nil {
+				out = append(out, &minic.ExprStmt{X: x, Line: t.line(s.Pos())})
+			}
+		}
+		// Deferred calls run before the return.
+		out = append(out, t.deferredCalls()...)
+		return append(out, &minic.ReturnStmt{Line: t.line(s.Pos())})
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label == nil {
+				return []minic.Stmt{&minic.BreakStmt{Line: t.line(s.Pos())}}
+			}
+		case token.CONTINUE:
+			if s.Label == nil {
+				return []minic.Stmt{&minic.ContinueStmt{Line: t.line(s.Pos())}}
+			}
+		case token.FALLTHROUGH:
+			// Handled by the switch translation.
+			return []minic.Stmt{&minic.ExprStmt{
+				X:    &minic.CallExpr{Name: "$fallthrough", Line: t.line(s.Pos())},
+				Line: t.line(s.Pos()),
+			}}
+		}
+		// Labeled branches and goto: not modeled (over-approximated by
+		// falling through).
+		return nil
+	case *ast.BlockStmt:
+		return []minic.Stmt{&minic.BlockStmt{Body: t.block(s), Line: t.line(s.Pos())}}
+	case *ast.DeferStmt:
+		if call := t.call(s.Call); call != nil {
+			t.deferred = append(t.deferred, call)
+		}
+		return nil
+	case *ast.GoStmt:
+		if call := t.call(s.Call); call != nil {
+			return []minic.Stmt{&minic.ExprStmt{X: call, Line: t.line(s.Pos())}}
+		}
+		return nil
+	case *ast.SwitchStmt:
+		return t.switchLike(s.Init, s.Tag, s.Body, s.Pos())
+	case *ast.TypeSwitchStmt:
+		return t.switchLike(s.Init, nil, s.Body, s.Pos())
+	case *ast.SelectStmt:
+		// Every branch possible.
+		sw := &minic.SwitchStmt{Cond: &minic.IdentExpr{Name: "$select"}, Line: t.line(s.Pos())}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			body := t.stmts(cc.Body)
+			body = append(body, &minic.BreakStmt{Line: t.line(cc.Pos())})
+			sw.Cases = append(sw.Cases, minic.SwitchCase{
+				IsDefault: cc.Comm == nil,
+				Value:     &minic.IdentExpr{Name: "$comm"},
+				Body:      body,
+				Line:      t.line(cc.Pos()),
+			})
+		}
+		fixSwitchDefaults(sw)
+		return []minic.Stmt{sw}
+	case *ast.LabeledStmt:
+		return t.stmt(s.Stmt)
+	case *ast.IncDecStmt, *ast.EmptyStmt, *ast.SendStmt:
+		return nil
+	}
+	return nil
+}
+
+// switchLike translates expression and type switches with Go's implicit
+// break and explicit fallthrough.
+func (t *translator) switchLike(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, pos token.Pos) []minic.Stmt {
+	var out []minic.Stmt
+	if init != nil {
+		out = append(out, t.stmt(init)...)
+	}
+	cond := minic.Expr(&minic.IdentExpr{Name: "$switch"})
+	if tag != nil {
+		if x := t.expr(tag); x != nil {
+			if c, ok := x.(*minic.CallExpr); ok {
+				out = append(out, &minic.ExprStmt{X: c, Line: t.line(pos)})
+			}
+		}
+	}
+	sw := &minic.SwitchStmt{Cond: cond, Line: t.line(pos)}
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseBody := t.stmts(cc.Body)
+		// Go switch: implicit break unless the body ends in fallthrough.
+		if n := len(caseBody); n > 0 && isFallthroughMarker(caseBody[n-1]) {
+			caseBody = caseBody[:n-1]
+		} else {
+			caseBody = append(caseBody, &minic.BreakStmt{Line: t.line(cc.Pos())})
+		}
+		sw.Cases = append(sw.Cases, minic.SwitchCase{
+			IsDefault: cc.List == nil,
+			Value:     &minic.IdentExpr{Name: "$case"},
+			Body:      caseBody,
+			Line:      t.line(cc.Pos()),
+		})
+	}
+	fixSwitchDefaults(sw)
+	return append(out, sw)
+}
+
+// fixSwitchDefaults enforces minic's invariant that default cases carry no
+// value and non-defaults do.
+func fixSwitchDefaults(sw *minic.SwitchStmt) {
+	for i := range sw.Cases {
+		if sw.Cases[i].IsDefault {
+			sw.Cases[i].Value = nil
+		}
+	}
+}
+
+func isFallthroughMarker(st minic.Stmt) bool {
+	es, ok := st.(*minic.ExprStmt)
+	if !ok {
+		return false
+	}
+	c, ok := es.X.(*minic.CallExpr)
+	return ok && c.Name == "$fallthrough"
+}
+
+// expr translates an expression, keeping only call structure; returns nil
+// when nothing analysis-relevant remains.
+func (t *translator) expr(e ast.Expr) minic.Expr {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		return t.call(x)
+	case *ast.ParenExpr:
+		return t.expr(x.X)
+	case *ast.UnaryExpr:
+		return t.expr(x.X)
+	case *ast.StarExpr:
+		return t.expr(x.X)
+	case *ast.BinaryExpr:
+		l, r := t.expr(x.X), t.expr(x.Y)
+		switch {
+		case l != nil && r != nil:
+			return &minic.BinExpr{Op: x.Op.String(), L: l, R: r}
+		case l != nil:
+			return l
+		default:
+			return r
+		}
+	case *ast.Ident:
+		return &minic.IdentExpr{Name: x.Name}
+	case *ast.BasicLit:
+		return &minic.NumExpr{Text: x.Value}
+	case *ast.SelectorExpr:
+		return &minic.IdentExpr{Name: t.render(x)}
+	case *ast.FuncLit:
+		// Closures are not inlined; their body's calls are conservatively
+		// hoisted to the creation point.
+		var calls []minic.Expr
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if mc := t.call(c); mc != nil {
+					calls = append(calls, mc)
+				}
+				return false
+			}
+			return true
+		})
+		if len(calls) == 0 {
+			return nil
+		}
+		out := calls[0]
+		for _, c := range calls[1:] {
+			out = &minic.BinExpr{Op: ";", L: out, R: c}
+		}
+		return out
+	}
+	return nil
+}
+
+// call translates a Go call: plain calls keep their name; method calls
+// x.M(a) become M(x, a) so the receiver is argument 0.
+func (t *translator) call(c *ast.CallExpr) *minic.CallExpr {
+	out := &minic.CallExpr{Line: t.line(c.Pos())}
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		out.Name = fun.Name
+	case *ast.SelectorExpr:
+		out.Name = fun.Sel.Name
+		if recv := t.argExpr(fun.X); recv != nil {
+			out.Args = append(out.Args, recv)
+		}
+	default:
+		// Indirect call: keep argument effects under an opaque name.
+		out.Name = "$indirect"
+	}
+	for _, a := range c.Args {
+		out.Args = append(out.Args, t.argExpr(a))
+	}
+	return out
+}
+
+// argExpr renders an argument: calls are translated (so nested calls make
+// CFG actions), everything else keeps its source text for event-rule
+// matching.
+func (t *translator) argExpr(e ast.Expr) minic.Expr {
+	if c, ok := e.(*ast.CallExpr); ok {
+		return t.call(c)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return &minic.IdentExpr{Name: id.Name}
+	}
+	if bl, ok := e.(*ast.BasicLit); ok {
+		return &minic.NumExpr{Text: bl.Value}
+	}
+	return &minic.IdentExpr{Name: t.render(e)}
+}
+
+// condExpr keeps call effects in conditions.
+func (t *translator) condExpr(e ast.Expr) minic.Expr {
+	if x := t.expr(e); x != nil {
+		return x
+	}
+	return &minic.IdentExpr{Name: "$cond"}
+}

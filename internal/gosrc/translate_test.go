@@ -1,0 +1,280 @@
+package gosrc
+
+import (
+	"testing"
+
+	"rasc/internal/minic"
+)
+
+// Focused translation tests for the trickier Go constructs.
+
+func actions(t *testing.T, src string) []string {
+	t.Helper()
+	prog, err := Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := minic.MustBuild(prog)
+	var names []string
+	for _, n := range g.Nodes {
+		if n.Kind == minic.NAction {
+			names = append(names, n.Call.Name)
+		}
+	}
+	return names
+}
+
+func TestMethodReceiverBecomesArg0(t *testing.T) {
+	prog := MustTranslate(`
+package p
+
+func main() {
+	mu.Lock()
+	s.buf.Flush()
+}
+`)
+	var calls []*minic.CallExpr
+	for _, st := range prog.ByName["main"].Body {
+		es, ok := st.(*minic.ExprStmt)
+		if !ok {
+			continue
+		}
+		calls = append(calls, minic.Calls(es.X, nil)...)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("got %d calls", len(calls))
+	}
+	if calls[0].Name != "Lock" || calls[0].Args[0].Render() != "mu" {
+		t.Errorf("call 0 = %s(%s)", calls[0].Name, calls[0].Args[0].Render())
+	}
+	if calls[1].Name != "Flush" || calls[1].Args[0].Render() != "s.buf" {
+		t.Errorf("call 1 = %s(%s)", calls[1].Name, calls[1].Args[0].Render())
+	}
+}
+
+func TestDeferLIFOOrder(t *testing.T) {
+	names := actions(t, `
+package p
+
+func main() {
+	defer first()
+	defer second()
+	work()
+}
+`)
+	// work, then deferred in LIFO: second, first.
+	want := []string{"work", "second", "first"}
+	if len(names) != len(want) {
+		t.Fatalf("actions = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("actions = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestDeferBeforeEachReturn(t *testing.T) {
+	prog := MustTranslate(`
+package p
+
+func f() int {
+	defer cleanup()
+	if c() {
+		return one()
+	}
+	return two()
+}
+`)
+	g := minic.MustBuild(prog)
+	// cleanup must be REACHABLE twice (once per return); the end-of-body
+	// expansion is dead here because every path returns explicitly.
+	preds := map[int]int{}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			preds[s]++
+		}
+	}
+	reachable, total := 0, 0
+	for _, n := range g.Nodes {
+		if n.Kind == minic.NAction && n.Call.Name == "cleanup" {
+			total++
+			if preds[n.ID] > 0 {
+				reachable++
+			}
+		}
+	}
+	if reachable != 2 {
+		t.Errorf("cleanup reachable %d times (of %d emitted), want 2", reachable, total)
+	}
+}
+
+func TestRangeLoopMayRepeat(t *testing.T) {
+	prog := MustTranslate(`
+package p
+
+func main() {
+	for range items() {
+		body()
+	}
+	after()
+}
+`)
+	g := minic.MustBuild(prog)
+	var bodyN *minic.Node
+	for _, n := range g.Nodes {
+		if n.Kind == minic.NAction && n.Call.Name == "body" {
+			bodyN = n
+		}
+	}
+	if bodyN == nil {
+		t.Fatal("body missing")
+	}
+	// body must be in a cycle (range loops repeat).
+	seen := map[int]bool{}
+	stack := []int{bodyN.ID}
+	cyclic := false
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Nodes[id].Succs {
+			if s == bodyN.ID {
+				cyclic = true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if !cyclic {
+		t.Error("range body should loop")
+	}
+}
+
+func TestSelectAllBranches(t *testing.T) {
+	names := actions(t, `
+package p
+
+func main() {
+	select {
+	case <-ch:
+		a()
+	case x := <-other:
+		b(x)
+	default:
+		c()
+	}
+}
+`)
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !has[want] {
+			t.Errorf("select branch %s missing from actions %v", want, names)
+		}
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	names := actions(t, `
+package p
+
+func main() {
+	switch v := x.(type) {
+	case int:
+		a(v)
+	default:
+		b(v)
+	}
+}
+`)
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["a"] || !has["b"] {
+		t.Errorf("type switch branches missing: %v", names)
+	}
+}
+
+func TestGoStmtAndClosures(t *testing.T) {
+	names := actions(t, `
+package p
+
+func main() {
+	go worker()
+	f := func() {
+		inner()
+	}
+	f()
+}
+`)
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["worker"] {
+		t.Error("go statement call missing")
+	}
+	if !has["inner"] {
+		t.Error("closure body calls should be hoisted to the creation point")
+	}
+}
+
+func TestIfInitAndIncDec(t *testing.T) {
+	names := actions(t, `
+package p
+
+func main() {
+	if v := get(); v > 0 {
+		use(v)
+	}
+	i++
+}
+`)
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["get"] || !has["use"] {
+		t.Errorf("actions = %v", names)
+	}
+}
+
+func TestDuplicateMethodNamesSkipped(t *testing.T) {
+	prog := MustTranslate(`
+package p
+
+type A struct{}
+type B struct{}
+
+func (a A) M() { x() }
+func (b B) M() { y() }
+
+func main() { z() }
+`)
+	// Only the first M is kept (documented approximation).
+	if len(prog.Funcs) != 2 {
+		t.Errorf("got %d funcs, want 2 (first M + main)", len(prog.Funcs))
+	}
+}
+
+func TestIndirectCalls(t *testing.T) {
+	names := actions(t, `
+package p
+
+func main() {
+	fns[0](arg())
+}
+`)
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["arg"] {
+		t.Error("argument effects of indirect calls must be kept")
+	}
+}

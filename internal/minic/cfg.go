@@ -1,0 +1,278 @@
+package minic
+
+import "fmt"
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NEntry  NodeKind = iota // function entry
+	NExit                   // function exit
+	NAction                 // a call (possibly property-relevant)
+	NJoin                   // control-flow join / loop head
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NEntry:
+		return "entry"
+	case NExit:
+		return "exit"
+	case NAction:
+		return "action"
+	case NJoin:
+		return "join"
+	}
+	return "?"
+}
+
+// Node is one control-flow-graph node. Action nodes carry the call they
+// perform; the action is considered to happen on the node's outgoing
+// edges, matching the constraint generation scheme of §6.1 (the statement
+// s yields S ⊆^s S_i for each successor).
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Fn   string
+	// Call is the performed call for NAction nodes.
+	Call *CallExpr
+	// AssignTo is the variable receiving the call's result, used by
+	// parametric event labels ("int fd1 = open(...)").
+	AssignTo string
+	Line     int
+	Succs    []int
+}
+
+// CFG is the whole-program control flow graph: one subgraph per function
+// plus entry/exit markers. Interprocedural edges are not materialized
+// here; the model checker adds call/return constraints per §6.1.
+type CFG struct {
+	Prog  *Program
+	Nodes []*Node
+	Entry map[string]int
+	Exit  map[string]int
+}
+
+// Build constructs the CFG of a parsed program.
+func Build(prog *Program) (*CFG, error) {
+	g := &CFG{Prog: prog, Entry: map[string]int{}, Exit: map[string]int{}}
+	for _, fd := range prog.Funcs {
+		b := &cfgBuilder{g: g, fn: fd.Name}
+		entry := b.node(NEntry, nil, "", fd.Line)
+		g.Entry[fd.Name] = entry.ID
+		exit := b.node(NExit, nil, "", fd.Line)
+		g.Exit[fd.Name] = exit.ID
+		b.exit = exit.ID
+		tails := []int{entry.ID}
+		tails = b.stmts(fd.Body, tails)
+		b.linkAll(tails, exit.ID)
+		if b.err != nil {
+			return nil, b.err
+		}
+	}
+	return g, nil
+}
+
+// MustBuild panics on error.
+func MustBuild(prog *Program) *CFG {
+	g, err := Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type cfgBuilder struct {
+	g    *CFG
+	fn   string
+	exit int
+	// breakFrames collects the dangling tails of break statements per
+	// enclosing loop/switch; continueTargets holds the node continue
+	// jumps to per enclosing loop.
+	breakFrames     [][]int
+	continueTargets []int
+	err             error
+}
+
+func (b *cfgBuilder) node(kind NodeKind, call *CallExpr, assignTo string, line int) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: kind, Fn: b.fn, Call: call, AssignTo: assignTo, Line: line}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) link(from, to int) {
+	n := b.g.Nodes[from]
+	for _, s := range n.Succs {
+		if s == to {
+			return
+		}
+	}
+	n.Succs = append(n.Succs, to)
+}
+
+func (b *cfgBuilder) linkAll(from []int, to int) {
+	for _, f := range from {
+		b.link(f, to)
+	}
+}
+
+// chainCalls appends one action node per call in e (evaluation order) and
+// returns the new tails. assignTo applies to the last (outermost) call.
+func (b *cfgBuilder) chainCalls(e Expr, assignTo string, line int, tails []int) []int {
+	if e == nil {
+		return tails
+	}
+	calls := Calls(e, nil)
+	for i, c := range calls {
+		at := ""
+		if i == len(calls)-1 {
+			at = assignTo
+		}
+		n := b.node(NAction, c, at, c.Line)
+		_ = line
+		b.linkAll(tails, n.ID)
+		tails = []int{n.ID}
+	}
+	return tails
+}
+
+func (b *cfgBuilder) stmts(body []Stmt, tails []int) []int {
+	for _, st := range body {
+		tails = b.stmt(st, tails)
+	}
+	return tails
+}
+
+func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
+	switch s := st.(type) {
+	case *ExprStmt:
+		return b.chainCalls(s.X, "", s.Line, tails)
+	case *DeclStmt:
+		return b.chainCalls(s.Init, s.Name, s.Line, tails)
+	case *AssignStmt:
+		return b.chainCalls(s.X, s.Name, s.Line, tails)
+	case *StoreStmt:
+		return b.chainCalls(s.X, "", s.Line, tails)
+	case *BlockStmt:
+		return b.stmts(s.Body, tails)
+	case *ReturnStmt:
+		tails = b.chainCalls(s.X, "", s.Line, tails)
+		b.linkAll(tails, b.exit)
+		return nil // code after return is unreachable
+	case *IfStmt:
+		tails = b.chainCalls(s.Cond, "", s.Line, tails)
+		thenTails := b.stmts(s.Then, tails)
+		elseTails := tails
+		if s.Else != nil {
+			elseTails = b.stmts(s.Else, tails)
+		}
+		return append(append([]int{}, thenTails...), elseTails...)
+	case *WhileStmt:
+		head := b.node(NJoin, nil, "", s.Line)
+		b.linkAll(tails, head.ID)
+		condTails := b.chainCalls(s.Cond, "", s.Line, []int{head.ID})
+		breaks := b.loop(head.ID, func() []int {
+			bodyTails := b.stmts(s.Body, condTails)
+			b.linkAll(bodyTails, head.ID)
+			return nil
+		})
+		return append(append([]int{}, condTails...), breaks...)
+	case *DoWhileStmt:
+		bodyHead := b.node(NJoin, nil, "", s.Line)
+		b.linkAll(tails, bodyHead.ID)
+		condJoin := b.node(NJoin, nil, "", s.Line)
+		var condTails []int
+		breaks := b.loop(condJoin.ID, func() []int {
+			bodyTails := b.stmts(s.Body, []int{bodyHead.ID})
+			b.linkAll(bodyTails, condJoin.ID)
+			condTails = b.chainCalls(s.Cond, "", s.Line, []int{condJoin.ID})
+			b.linkAll(condTails, bodyHead.ID) // loop back
+			return nil
+		})
+		return append(append([]int{}, condTails...), breaks...)
+	case *ForStmt:
+		if s.Init != nil {
+			tails = b.stmt(s.Init, tails)
+		}
+		head := b.node(NJoin, nil, "", s.Line)
+		b.linkAll(tails, head.ID)
+		condTails := b.chainCalls(s.Cond, "", s.Line, []int{head.ID})
+		postJoin := b.node(NJoin, nil, "", s.Line)
+		breaks := b.loop(postJoin.ID, func() []int {
+			bodyTails := b.stmts(s.Body, condTails)
+			b.linkAll(bodyTails, postJoin.ID)
+			postTails := []int{postJoin.ID}
+			if s.Post != nil {
+				postTails = b.stmt(s.Post, postTails)
+			}
+			b.linkAll(postTails, head.ID)
+			return nil
+		})
+		if s.Cond == nil {
+			// No condition: the only exits are breaks.
+			return breaks
+		}
+		return append(append([]int{}, condTails...), breaks...)
+	case *BreakStmt:
+		if len(b.breakFrames) == 0 {
+			b.err = &SyntaxError{s.Line, 1, "break outside loop or switch"}
+			return nil
+		}
+		top := len(b.breakFrames) - 1
+		b.breakFrames[top] = append(b.breakFrames[top], tails...)
+		return nil
+	case *ContinueStmt:
+		if len(b.continueTargets) == 0 {
+			b.err = &SyntaxError{s.Line, 1, "continue outside loop"}
+			return nil
+		}
+		b.linkAll(tails, b.continueTargets[len(b.continueTargets)-1])
+		return nil
+	case *SwitchStmt:
+		tails = b.chainCalls(s.Cond, "", s.Line, tails)
+		b.breakFrames = append(b.breakFrames, nil)
+		var fall []int
+		hasDefault := false
+		for _, c := range s.Cases {
+			if c.IsDefault {
+				hasDefault = true
+			}
+			entry := append(append([]int{}, tails...), fall...)
+			fall = b.stmts(c.Body, entry)
+		}
+		breaks := b.breakFrames[len(b.breakFrames)-1]
+		b.breakFrames = b.breakFrames[:len(b.breakFrames)-1]
+		out := append(append([]int{}, fall...), breaks...)
+		if !hasDefault {
+			out = append(out, tails...) // no case taken
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("minic: unknown statement %T", st))
+	}
+}
+
+// loop runs body with a continue target and a fresh break frame, and
+// returns the collected break tails.
+func (b *cfgBuilder) loop(continueTarget int, body func() []int) []int {
+	b.continueTargets = append(b.continueTargets, continueTarget)
+	b.breakFrames = append(b.breakFrames, nil)
+	body()
+	breaks := b.breakFrames[len(b.breakFrames)-1]
+	b.breakFrames = b.breakFrames[:len(b.breakFrames)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+	return breaks
+}
+
+// NumActions returns the number of action (call) nodes, a proxy for
+// program size in the benchmarks.
+func (g *CFG) NumActions() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.Kind == NAction {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// succMap builds predecessor counts and finds the unique action node
+// calling name.
+func succMap(t *testing.T, g *CFG, name string) (*Node, map[int]int) {
+	t.Helper()
+	preds := map[int]int{}
+	var found *Node
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			preds[s]++
+		}
+		if n.Kind == NAction && n.Call.Name == name {
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("node calling %s not found", name)
+	}
+	return found, preds
+}
+
+func TestForLoopCFG(t *testing.T) {
+	g := MustBuild(MustParse(`
+void main() {
+    for (int i = init(); i < n(); i = step(i)) {
+        body();
+    }
+    after();
+}
+`))
+	// body loops: body -> post(step) -> head -> cond(n) -> body/after.
+	bodyN, _ := succMap(t, g, "body")
+	stepN, _ := succMap(t, g, "step")
+	afterN, preds := succMap(t, g, "after")
+	if preds[afterN.ID] == 0 {
+		t.Error("after must be reachable")
+	}
+	// body's successor chain eventually reaches step.
+	if len(bodyN.Succs) != 1 {
+		t.Fatalf("body succs = %v", bodyN.Succs)
+	}
+	reach := reachableFrom(g, bodyN.ID)
+	if !reach[stepN.ID] {
+		t.Error("body should reach the post clause")
+	}
+	if !reach[bodyN.ID] {
+		t.Error("for-loop body should be in a cycle")
+	}
+}
+
+func reachableFrom(g *CFG, id int) map[int]bool {
+	seen := map[int]bool{}
+	stack := []int{id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Nodes[n].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestForWithoutCond(t *testing.T) {
+	g := MustBuild(MustParse(`
+void main() {
+    for (;;) {
+        body();
+        if (c) {
+            break;
+        }
+    }
+    after();
+}
+`))
+	afterN, preds := succMap(t, g, "after")
+	if preds[afterN.ID] == 0 {
+		t.Error("after is only reachable through break")
+	}
+	// Without the break, after would be unreachable.
+	g2 := MustBuild(MustParse(`
+void main() {
+    for (;;) {
+        body();
+    }
+    after();
+}
+`))
+	afterN2, preds2 := succMap(t, g2, "after")
+	if preds2[afterN2.ID] != 0 {
+		t.Error("after an infinite loop nothing should flow")
+	}
+}
+
+func TestDoWhileRunsOnce(t *testing.T) {
+	g := MustBuild(MustParse(`
+void main() {
+    do {
+        body();
+    } while (check());
+    after();
+}
+`))
+	bodyN, preds := succMap(t, g, "body")
+	if preds[bodyN.ID] == 0 {
+		t.Error("body must be entered")
+	}
+	checkN, _ := succMap(t, g, "check")
+	reach := reachableFrom(g, bodyN.ID)
+	if !reach[checkN.ID] {
+		t.Error("body flows to the condition")
+	}
+	if !reach[bodyN.ID] {
+		t.Error("do-while loops back")
+	}
+	afterN, _ := succMap(t, g, "after")
+	if !reach[afterN.ID] {
+		t.Error("loop exits to after")
+	}
+}
+
+func TestContinueJumpsToLoopHead(t *testing.T) {
+	g := MustBuild(MustParse(`
+void main() {
+    while (c) {
+        first();
+        if (x) {
+            continue;
+        }
+        second();
+    }
+}
+`))
+	firstN, _ := succMap(t, g, "first")
+	secondN, preds := succMap(t, g, "second")
+	// second is reachable (the non-continue path).
+	if preds[secondN.ID] == 0 {
+		t.Error("second must be reachable")
+	}
+	// first reaches itself through the continue edge (back to head).
+	if !reachableFrom(g, firstN.ID)[firstN.ID] {
+		t.Error("continue must loop back")
+	}
+}
+
+func TestSwitchFallthroughAndBreak(t *testing.T) {
+	g := MustBuild(MustParse(`
+void main() {
+    switch (x) {
+    case 1:
+        one();
+    case 2:
+        two();
+        break;
+    default:
+        dflt();
+    }
+    after();
+}
+`))
+	oneN, _ := succMap(t, g, "one")
+	twoN, _ := succMap(t, g, "two")
+	dfltN, _ := succMap(t, g, "dflt")
+	afterN, _ := succMap(t, g, "after")
+
+	// Fallthrough: one -> two.
+	if !reachableFrom(g, oneN.ID)[twoN.ID] {
+		t.Error("case 1 falls through to case 2")
+	}
+	// Break: two -> after without dflt.
+	r2 := reachableFrom(g, twoN.ID)
+	if !r2[afterN.ID] {
+		t.Error("break exits to after")
+	}
+	if r2[dfltN.ID] {
+		t.Error("break must not fall into default")
+	}
+	// Default reachable from the switch head.
+	if preds := reachableFrom(g, g.Entry["main"]); !preds[dfltN.ID] {
+		t.Error("default reachable")
+	}
+}
+
+func TestSwitchWithoutDefaultSkips(t *testing.T) {
+	g := MustBuild(MustParse(`
+void main() {
+    switch (x) {
+    case 1:
+        one();
+        break;
+    }
+    after();
+}
+`))
+	afterN, preds := succMap(t, g, "after")
+	// after is reachable both via the case and by skipping it: ≥ 2 preds.
+	if preds[afterN.ID] < 2 {
+		t.Errorf("after should be reachable by case and skip, preds = %d", preds[afterN.ID])
+	}
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	prog := MustParse(`void main() { break; }`)
+	if _, err := Build(prog); err == nil || !strings.Contains(err.Error(), "break outside") {
+		t.Errorf("err = %v", err)
+	}
+	prog2 := MustParse(`void main() { continue; }`)
+	if _, err := Build(prog2); err == nil || !strings.Contains(err.Error(), "continue outside") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseErrorsNewConstructs(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"void main() { do { f(); } until (x); }", "expected 'while'"},
+		{"void main() { switch (x) { f(); } }", "expected 'case' or 'default'"},
+		{"void main() { switch (x) { default: a(); default: b(); } }", "duplicate default"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+// The model checker sees correct flow through the new constructs.
+func TestNewControlFlowEvents(t *testing.T) {
+	// A for loop that drops privilege only in some iterations.
+	src := `
+void main() {
+    seteuid(0);
+    for (int i = 0; i < 10; i = i + 1) {
+        if (c) {
+            break;
+        }
+        seteuid(getuid());
+    }
+    execl("/bin/sh", "sh");
+}
+`
+	g := MustBuild(MustParse(src))
+	if g.NumActions() < 4 {
+		t.Errorf("NumActions = %d", g.NumActions())
+	}
+}

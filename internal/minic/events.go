@@ -1,0 +1,125 @@
+package minic
+
+// Rule maps calls to property-automaton alphabet symbols. The first
+// matching rule wins. A rule can inspect one argument's rendered source
+// text and can derive a parametric label (§6.4) from an argument or from
+// the variable the call's result is assigned to.
+type Rule struct {
+	// Callee is the called function's name.
+	Callee string
+	// ArgIndex selects the inspected argument; -1 inspects nothing.
+	ArgIndex int
+	// Equals, if non-empty, requires the inspected argument's rendering
+	// to equal it.
+	Equals string
+	// NotEquals, if non-empty, requires the rendering to differ from it.
+	NotEquals string
+	// Symbol is the produced alphabet symbol.
+	Symbol string
+	// LabelArg, if >= 0, makes the event parametric with the label taken
+	// from that argument's rendering.
+	LabelArg int
+	// LabelFromAssign makes the event parametric with the label taken
+	// from the assigned variable ("int fd = open(...)" labels fd).
+	LabelFromAssign bool
+}
+
+// EventMap is an ordered rule list.
+type EventMap struct {
+	Rules []Rule
+}
+
+// Event is a matched program event.
+type Event struct {
+	Symbol string
+	// Label is the parameter instantiation, "" for non-parametric events.
+	Label string
+}
+
+// Match returns the event for a call (with the assignment target, if
+// any), or ok=false when the call is not property-relevant.
+func (m *EventMap) Match(call *CallExpr, assignTo string) (Event, bool) {
+	for _, r := range m.Rules {
+		if r.Callee != call.Name {
+			continue
+		}
+		if r.ArgIndex >= 0 {
+			if r.ArgIndex >= len(call.Args) {
+				continue
+			}
+			got := call.Args[r.ArgIndex].Render()
+			if r.Equals != "" && got != r.Equals {
+				continue
+			}
+			if r.NotEquals != "" && got == r.NotEquals {
+				continue
+			}
+		}
+		ev := Event{Symbol: r.Symbol}
+		switch {
+		case r.LabelFromAssign:
+			if assignTo == "" {
+				// An unassigned resource: label by call site line so
+				// distinct sites stay distinct.
+				ev.Label = anonLabel(call)
+			} else {
+				ev.Label = assignTo
+			}
+		case r.LabelArg >= 0:
+			if r.LabelArg < len(call.Args) {
+				ev.Label = call.Args[r.LabelArg].Render()
+			} else {
+				ev.Label = anonLabel(call)
+			}
+		}
+		return ev, true
+	}
+	return Event{}, false
+}
+
+func anonLabel(call *CallExpr) string {
+	return call.Name + "@" + itoa(call.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// PrivilegeEvents is the event map for the process-privilege property of
+// Figure 3 (seteuid(0) grants, seteuid(non-zero) drops, execl is the
+// guarded operation).
+func PrivilegeEvents() *EventMap {
+	return &EventMap{Rules: []Rule{
+		{Callee: "seteuid", ArgIndex: 0, Equals: "0", Symbol: "seteuid_zero"},
+		{Callee: "seteuid", ArgIndex: 0, NotEquals: "0", Symbol: "seteuid_nonzero"},
+		{Callee: "execl", ArgIndex: -1, Symbol: "execl"},
+	}}
+}
+
+// FileEvents is the event map for the file-state property of Figure 5:
+// open(...) is labelled with the assigned descriptor, close(fd) with its
+// argument.
+func FileEvents() *EventMap {
+	return &EventMap{Rules: []Rule{
+		{Callee: "open", ArgIndex: -1, Symbol: "open", LabelArg: -1, LabelFromAssign: true},
+		{Callee: "close", ArgIndex: -1, Symbol: "close", LabelArg: 0},
+	}}
+}

@@ -1,0 +1,40 @@
+package minic
+
+import "testing"
+
+// FuzzParse checks the parser never panics and, when it succeeds, the CFG
+// builder produces a well-formed graph.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"void main() { f(); }",
+		"void main() { if (x) { a(); } else b(); while (c) d(); }",
+		"void main() { for (int i = 0; i < n; i = i + 1) { if (x) break; else continue; } }",
+		"void main() { do { a(); } while (x); switch (y) { case 1: b(); default: c(); } }",
+		"int f(int x) { return x + 1; } void main() { int v = f(2); }",
+		"void main() { int *p = &a; *p = b; int q = *p; }",
+		"void main() { seteuid(0); execl(\"/bin/sh\"); }",
+		"void main() { /* comment */ f(); // line\n }",
+		"void main() { \"unterminated",
+		"}{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		g, err := Build(prog)
+		if err != nil {
+			return
+		}
+		for _, n := range g.Nodes {
+			for _, s := range n.Succs {
+				if s < 0 || s >= len(g.Nodes) {
+					t.Fatalf("dangling successor %d", s)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package minic implements a small C-like language frontend — lexer,
+// parser, AST and control-flow-graph construction — used by the pushdown
+// model checking application of §6. The language has first-class function
+// definitions, calls, if/else, while loops, returns, assignments and
+// declarations; conditions are treated nondeterministically by the CFG
+// (both branches are possible), which is the standard sound abstraction
+// for safety checking.
+//
+// An event mapping (see events.go) designates which calls are relevant to
+// a security property, turning e.g. seteuid(0) into the alphabet symbol
+// seteuid_zero of Figure 3, and open(...) into a parametric open(x) event
+// labelled with the assigned file descriptor (§6.4).
+package minic
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // single or multi char punctuation, text in tok.text
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexical or parse error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minic:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *lexer) errf(format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{l.line, l.col, fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
+}
+
+// isLetter treats ASCII letters, underscore and all non-ASCII bytes as
+// identifier letters (the generated and test programs are ASCII; UTF-8
+// identifiers lex as opaque byte runs).
+func isLetter(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || b >= 0x80
+}
+
+func isDigit(b byte) bool { return '0' <= b && b <= '9' }
+
+func (l *lexer) skip() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case isSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		case r == '#':
+			// Preprocessor-ish lines are ignored wholesale.
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+var twoCharPunct = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true,
+	"&&": true, "||": true, "->": true, "++": true, "--": true,
+	"+=": true, "-=": true,
+}
+
+func (l *lexer) next() (tok, error) {
+	if err := l.skip(); err != nil {
+		return tok{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return tok{kind: tEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case isLetter(r):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		return tok{tIdent, l.src[start:l.pos], line, col}, nil
+	case isDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && (isDigit(l.peek()) || l.peek() == 'x' || l.peek() == 'X' ||
+			('a' <= l.peek() && l.peek() <= 'f') || ('A' <= l.peek() && l.peek() <= 'F')) {
+			l.advance()
+		}
+		return tok{tNumber, l.src[start:l.pos], line, col}, nil
+	case r == '"':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '"' {
+			if l.peek() == '\\' {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+			}
+		}
+		if l.pos >= len(l.src) {
+			return tok{}, l.errf("unterminated string literal")
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		return tok{tString, text, line, col}, nil
+	case r == '\'':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peek() != '\'' {
+			if l.peek() == '\\' {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+			}
+		}
+		if l.pos >= len(l.src) {
+			return tok{}, l.errf("unterminated character literal")
+		}
+		text := l.src[start:l.pos]
+		l.advance()
+		return tok{tNumber, text, line, col}, nil
+	}
+	// Punctuation: try two-char first.
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharPunct[two] {
+			l.advance()
+			l.advance()
+			return tok{tPunct, two, line, col}, nil
+		}
+	}
+	switch r {
+	case '(', ')', '{', '}', ';', ',', '=', '<', '>', '+', '-', '*', '/', '!', '&', '|', '%', '[', ']', '.', ':', '?':
+		l.advance()
+		return tok{tPunct, string(r), line, col}, nil
+	}
+	return tok{}, l.errf("unexpected character %q", string(r))
+}
+
+func lexAll(src string) ([]tok, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	out := make([]tok, 0, len(src)/4+16)
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}

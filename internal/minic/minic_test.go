@@ -1,0 +1,328 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+const section63 = `
+void main() {
+    seteuid(0);           // acquire privilege
+    if (cond) {
+        seteuid(getuid()); // drop privilege
+    } else {
+        other();
+    }
+    execl("/bin/sh", "sh");
+}
+`
+
+func TestParseSection63(t *testing.T) {
+	prog, err := Parse(section63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Fatal("expected a single main function")
+	}
+	body := prog.Funcs[0].Body
+	if len(body) != 3 {
+		t.Fatalf("main has %d statements, want 3", len(body))
+	}
+	if _, ok := body[1].(*IfStmt); !ok {
+		t.Error("second statement should be an if")
+	}
+}
+
+func TestParseFunctionsAndCalls(t *testing.T) {
+	src := `
+int helper(int x, int y) {
+    return x + y;
+}
+void main() {
+    int a = helper(1, 2);
+    a = helper(a, 3);
+    helper(a, a);
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatal("expected two functions")
+	}
+	if got := prog.ByName["helper"].Params; len(got) != 2 || got[0] != "x" {
+		t.Errorf("params = %v", got)
+	}
+}
+
+func TestParseWhileAndNesting(t *testing.T) {
+	src := `
+void main() {
+    while (i < 10) {
+        if (x) { f(); } else g();
+        i = i + 1;
+    }
+    h();
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := prog.ByName["main"].Body[0].(*WhileStmt)
+	if !ok {
+		t.Fatal("expected while")
+	}
+	if len(w.Body) != 2 {
+		t.Errorf("while body has %d stmts, want 2", len(w.Body))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "/* block */ void main() { // line\n f(); /* mid */ g(); }\n#include <ignored>\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.ByName["main"].Body) != 2 {
+		t.Error("comments broke statement parsing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "empty program"},
+		{"void main() { f( }", "expected expression"},
+		{"void main() { f() }", "expected \";\""},
+		{"main() {}", "expected type name"},
+		{"void main() { \"unterminated }", "unterminated string"},
+		{"void main() {} void main() {}", "duplicate function"},
+		{"void main() { @; }", "unexpected character"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestExprRender(t *testing.T) {
+	src := `void main() { seteuid(getuid()); x = a + b * 2; y = !z; }`
+	prog := MustParse(src)
+	es := prog.ByName["main"].Body[0].(*ExprStmt)
+	if got := es.X.Render(); got != "seteuid(getuid())" {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestCallsOrder(t *testing.T) {
+	src := `void main() { outer(inner1(), inner2(x)); }`
+	prog := MustParse(src)
+	es := prog.ByName["main"].Body[0].(*ExprStmt)
+	calls := Calls(es.X, nil)
+	if len(calls) != 3 {
+		t.Fatalf("found %d calls, want 3", len(calls))
+	}
+	if calls[0].Name != "inner1" || calls[1].Name != "inner2" || calls[2].Name != "outer" {
+		t.Errorf("order = %s,%s,%s", calls[0].Name, calls[1].Name, calls[2].Name)
+	}
+}
+
+func TestCFGSection63(t *testing.T) {
+	g := MustBuild(MustParse(section63))
+	// Actions: seteuid(0); getuid; seteuid(getuid()); other(); execl = 5.
+	if got := g.NumActions(); got != 5 {
+		t.Errorf("NumActions = %d, want 5", got)
+	}
+	entry := g.Nodes[g.Entry["main"]]
+	if entry.Kind != NEntry || len(entry.Succs) != 1 {
+		t.Fatal("entry should have one successor")
+	}
+	// The seteuid(0) node branches to the two arms eventually; the execl
+	// node should flow to exit.
+	var execl *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NAction && n.Call.Name == "execl" {
+			execl = n
+		}
+	}
+	if execl == nil {
+		t.Fatal("execl node missing")
+	}
+	if len(execl.Succs) != 1 || execl.Succs[0] != g.Exit["main"] {
+		t.Error("execl should flow to exit")
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	src := `void main() { if (c) { a(); } else { b(); } d(); }`
+	g := MustBuild(MustParse(src))
+	var dNode *Node
+	preds := map[int]int{}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			preds[s]++
+		}
+		if n.Kind == NAction && n.Call.Name == "d" {
+			dNode = n
+		}
+	}
+	if dNode == nil {
+		t.Fatal("d node missing")
+	}
+	if preds[dNode.ID] != 2 {
+		t.Errorf("d has %d predecessors, want 2 (both arms)", preds[dNode.ID])
+	}
+}
+
+func TestCFGWhileLoop(t *testing.T) {
+	src := `void main() { while (c) { a(); } b(); }`
+	g := MustBuild(MustParse(src))
+	var head *Node
+	var aNode, bNode *Node
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == NJoin:
+			head = n
+		case n.Kind == NAction && n.Call.Name == "a":
+			aNode = n
+		case n.Kind == NAction && n.Call.Name == "b":
+			bNode = n
+		}
+	}
+	if head == nil || aNode == nil || bNode == nil {
+		t.Fatal("missing nodes")
+	}
+	// Back edge: a -> head.
+	found := false
+	for _, s := range aNode.Succs {
+		if s == head.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing loop back edge")
+	}
+	// Loop exit: head -> b (cond has no calls, so head is the cond tail).
+	found = false
+	for _, s := range head.Succs {
+		if s == bNode.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing loop exit edge")
+	}
+}
+
+func TestCFGReturnStopsFlow(t *testing.T) {
+	src := `void main() { a(); return; b(); }`
+	g := MustBuild(MustParse(src))
+	var bNode *Node
+	preds := map[int]int{}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			preds[s]++
+		}
+		if n.Kind == NAction && n.Call.Name == "b" {
+			bNode = n
+		}
+	}
+	if bNode == nil {
+		t.Fatal("b node missing (unreachable nodes are still built)")
+	}
+	if preds[bNode.ID] != 0 {
+		t.Error("b should be unreachable")
+	}
+	// a flows to exit.
+	var aNode *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NAction && n.Call.Name == "a" {
+			aNode = n
+		}
+	}
+	if len(aNode.Succs) != 1 || aNode.Succs[0] != g.Exit["main"] {
+		t.Error("a should flow to exit via return")
+	}
+}
+
+func TestPrivilegeEventMap(t *testing.T) {
+	m := PrivilegeEvents()
+	prog := MustParse(section63)
+	g := MustBuild(prog)
+	var syms []string
+	for _, n := range g.Nodes {
+		if n.Kind != NAction {
+			continue
+		}
+		if ev, ok := m.Match(n.Call, n.AssignTo); ok {
+			syms = append(syms, ev.Symbol)
+		}
+	}
+	want := []string{"seteuid_zero", "seteuid_nonzero", "execl"}
+	if len(syms) != len(want) {
+		t.Fatalf("events = %v, want %v", syms, want)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, syms[i], want[i])
+		}
+	}
+}
+
+func TestFileEventMap(t *testing.T) {
+	src := `
+void main() {
+    int fd1 = open("file1", O_RDONLY);
+    int fd2 = open("file2", O_RDONLY);
+    close(fd1);
+}
+`
+	m := FileEvents()
+	g := MustBuild(MustParse(src))
+	type ev struct{ sym, label string }
+	var got []ev
+	for _, n := range g.Nodes {
+		if n.Kind != NAction {
+			continue
+		}
+		if e, ok := m.Match(n.Call, n.AssignTo); ok {
+			got = append(got, ev{e.Symbol, e.Label})
+		}
+	}
+	want := []ev{{"open", "fd1"}, {"open", "fd2"}, {"close", "fd1"}}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEventMapUnmatched(t *testing.T) {
+	m := PrivilegeEvents()
+	call := &CallExpr{Name: "printf", Args: nil, Line: 1}
+	if _, ok := m.Match(call, ""); ok {
+		t.Error("printf should not match")
+	}
+	// seteuid with no args matches nothing (ArgIndex out of range).
+	if _, ok := m.Match(&CallExpr{Name: "seteuid", Line: 1}, ""); ok {
+		t.Error("seteuid with no args should not match")
+	}
+}
+
+func TestAnonymousLabel(t *testing.T) {
+	m := FileEvents()
+	// open(...) not assigned anywhere still gets a distinct label.
+	e, ok := m.Match(&CallExpr{Name: "open", Args: nil, Line: 42}, "")
+	if !ok || e.Label != "open@42" {
+		t.Errorf("event = %+v", e)
+	}
+}

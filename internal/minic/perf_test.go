@@ -1,0 +1,19 @@
+package minic
+
+import (
+	"testing"
+
+	"rasc/internal/synth"
+)
+
+func BenchmarkParseLarge(b *testing.B) {
+	src := synth.Generate(synth.Config{Seed: 1, Functions: 500, StmtsPerFn: 40,
+		CallProb: 0.08, BranchProb: 0.12, LoopProb: 0.05, SafePatterns: 10, UnsafePatterns: 2, FullProperty: true})
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

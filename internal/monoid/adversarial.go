@@ -1,0 +1,39 @@
+package monoid
+
+import "rasc/internal/dfa"
+
+// Adversarial builds the machine of Figure 2 (§4): an n-state automaton
+// over the alphabet {rotate, swap, merge} whose transition monoid contains
+// every one of the n^n functions from states to states, demonstrating that
+// |F_M^≡| can be superexponential in |S|.
+//
+//   - rotate maps state i to state i+1 mod n,
+//   - swap exchanges states 0 and 1 and fixes the rest,
+//   - merge maps state 1 to state 0 and fixes the rest.
+//
+// Rotations and swaps generate all permutations; merge makes the monoid
+// the full transformation monoid. State 0 is both start and accept (the
+// accept choice is irrelevant to the monoid's size).
+func Adversarial(n int) *dfa.DFA {
+	alpha := dfa.NewAlphabet("rotate", "swap", "merge")
+	d := dfa.NewDFA(alpha, n, 0)
+	rot, _ := alpha.Lookup("rotate")
+	swp, _ := alpha.Lookup("swap")
+	mrg, _ := alpha.Lookup("merge")
+	for s := 0; s < n; s++ {
+		d.SetTransition(dfa.State(s), rot, dfa.State((s+1)%n))
+		switch s {
+		case 0:
+			d.SetTransition(dfa.State(s), swp, 1)
+			d.SetTransition(dfa.State(s), mrg, 0)
+		case 1:
+			d.SetTransition(dfa.State(s), swp, 0)
+			d.SetTransition(dfa.State(s), mrg, 0)
+		default:
+			d.SetTransition(dfa.State(s), swp, dfa.State(s))
+			d.SetTransition(dfa.State(s), mrg, dfa.State(s))
+		}
+	}
+	d.SetAccept(0)
+	return d
+}

@@ -1,0 +1,337 @@
+// Package monoid computes the transition monoid of a DFA: the finite set
+// F_M^≡ of "representative functions" of Kodumal and Aiken (PLDI 2007,
+// §2.4). Every ≡_M-equivalence class of words corresponds to a unique
+// function from states to states (Theorem 2.1); the monoid is the closure
+// of the per-symbol transition functions under composition, together with
+// the identity (the class of ε).
+//
+// The package also precomputes the composition table so that the solver's
+// transitive-closure rule composes annotations in constant time (§4, §8),
+// and exposes the coarser right congruence F_M^≡r used by forward solving
+// (§5).
+package monoid
+
+import (
+	"fmt"
+	"strings"
+
+	"rasc/internal/dfa"
+)
+
+// FuncID identifies a representative function within a Monoid.
+type FuncID int32
+
+// Func is a total function from machine states to machine states,
+// represented as a slice indexed by source state.
+type Func []dfa.State
+
+// Monoid holds the representative functions of a machine and their
+// composition structure.
+type Monoid struct {
+	M     *dfa.DFA // the underlying total machine
+	funcs []Func
+	index map[string]FuncID
+	// table[f][g] = the function for word(f)·word(g), i.e. g ∘ f.
+	table    [][]FuncID
+	symGen   []FuncID // per alphabet symbol
+	identity FuncID
+	// witness[f] is a shortest word realizing f, for diagnostics.
+	witness [][]dfa.Symbol
+	// dead[f] marks classes of words that are not substrings of L(M):
+	// no x, y make x·word(f)·y accepted. Dead classes are absorbing
+	// under composition, so a solver may discard them (§3.1: "no work
+	// need be done propagating annotations that are necessarily
+	// non-accepting").
+	dead []bool
+	// co[s] marks states from which an accept state is reachable.
+	co []bool
+	// bytesPerState for the interning key.
+	wide bool
+}
+
+// ErrTooLarge is returned (wrapped) by Build when the monoid exceeds the
+// given limit; see the adversarial machine of §4 (Figure 2), whose monoid
+// has |S|^|S| elements.
+var ErrTooLarge = fmt.Errorf("monoid: size limit exceeded")
+
+// DefaultLimit is the default cap on monoid size used by Build when the
+// caller passes limit <= 0.
+const DefaultLimit = 1 << 16
+
+func (m *Monoid) key(f Func) string {
+	if !m.wide {
+		b := make([]byte, len(f))
+		for i, s := range f {
+			b[i] = byte(s)
+		}
+		return string(b)
+	}
+	b := make([]byte, 2*len(f))
+	for i, s := range f {
+		b[2*i] = byte(s)
+		b[2*i+1] = byte(s >> 8)
+	}
+	return string(b)
+}
+
+// Build computes the transition monoid of machine m (which is completed
+// first; Build does not minimize — pass dfa.Minimize(m) to obtain the
+// representative functions of the canonical machine). limit caps the
+// number of functions; <= 0 means DefaultLimit. The identity (the ε class)
+// is always element 0.
+func Build(machine *dfa.DFA, limit int) (*Monoid, error) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	machine = machine.Complete()
+	n := machine.NumStates
+	mo := &Monoid{
+		M:     machine,
+		index: make(map[string]FuncID),
+		wide:  n > 255,
+	}
+
+	intern := func(f Func, w []dfa.Symbol) (FuncID, bool, error) {
+		k := mo.key(f)
+		if id, ok := mo.index[k]; ok {
+			return id, false, nil
+		}
+		if len(mo.funcs) >= limit {
+			return 0, false, fmt.Errorf("%w: more than %d representative functions (|S|=%d)", ErrTooLarge, limit, n)
+		}
+		id := FuncID(len(mo.funcs))
+		mo.index[k] = id
+		mo.funcs = append(mo.funcs, f)
+		mo.witness = append(mo.witness, w)
+		return id, true, nil
+	}
+
+	// Identity = representative of ε.
+	ident := make(Func, n)
+	for i := range ident {
+		ident[i] = dfa.State(i)
+	}
+	id0, _, err := intern(ident, nil)
+	if err != nil {
+		return nil, err
+	}
+	mo.identity = id0
+
+	// Per-symbol generators.
+	nsym := machine.Alpha.Size()
+	mo.symGen = make([]FuncID, nsym)
+	for sym := 0; sym < nsym; sym++ {
+		f := make(Func, n)
+		for s := 0; s < n; s++ {
+			f[s] = machine.Delta[s][sym]
+		}
+		gid, _, err := intern(f, []dfa.Symbol{dfa.Symbol(sym)})
+		if err != nil {
+			return nil, err
+		}
+		mo.symGen[sym] = gid
+	}
+
+	// BFS closure under right-extension by generators: every word is a
+	// sequence of symbols, so f_{w·σ} = f_σ ∘ f_w reaches everything.
+	for head := 0; head < len(mo.funcs); head++ {
+		fw := mo.funcs[head]
+		w := mo.witness[head]
+		for sym := 0; sym < nsym; sym++ {
+			g := mo.funcs[mo.symGen[sym]]
+			comp := make(Func, n)
+			for s := 0; s < n; s++ {
+				comp[s] = g[fw[s]]
+			}
+			nw := make([]dfa.Symbol, 0, len(w)+1)
+			nw = append(append(nw, w...), dfa.Symbol(sym))
+			if _, _, err := intern(comp, nw); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Composition table: table[f][g] = g ∘ f (word f then word g).
+	sz := len(mo.funcs)
+	mo.table = make([][]FuncID, sz)
+	buf := make(Func, n)
+	for i := 0; i < sz; i++ {
+		row := make([]FuncID, sz)
+		fi := mo.funcs[i]
+		for j := 0; j < sz; j++ {
+			fj := mo.funcs[j]
+			for s := 0; s < n; s++ {
+				buf[s] = fj[fi[s]]
+			}
+			id, ok := mo.index[mo.key(buf)]
+			if !ok {
+				// Cannot happen: the closure contains all products.
+				return nil, fmt.Errorf("monoid: internal error, composition escaped closure")
+			}
+			row[j] = id
+		}
+		mo.table[i] = row
+	}
+
+	// Dead classes: f is dead iff from every reachable start s, f(s)
+	// cannot reach an accept state (word(f) is not a substring of L(M)).
+	reach := machine.Reachable()
+	co := machine.CoReachable()
+	mo.co = co
+	mo.dead = make([]bool, sz)
+	for i, f := range mo.funcs {
+		dead := true
+		for s := 0; s < n; s++ {
+			if reach[s] && co[f[s]] {
+				dead = false
+				break
+			}
+		}
+		mo.dead[i] = dead
+	}
+	return mo, nil
+}
+
+// Dead reports whether f's words are not substrings of L(M): no
+// extension on either side can ever be accepted. Dead classes are
+// absorbing (dead ∘ g and g ∘ dead are dead), so solvers may prune them —
+// this is exactly restriction to the substring domain T^{M^sub} of §2.3.
+func (m *Monoid) Dead(f FuncID) bool { return m.dead[f] }
+
+// CoReachableState reports whether some accept state is reachable from s
+// (used by the forward solver to prune facts outside the prefix domain
+// T^{M^pre}).
+func (m *Monoid) CoReachableState(s dfa.State) bool {
+	return m.co[s]
+}
+
+// Size returns |F_M^≡| including the identity.
+func (m *Monoid) Size() int { return len(m.funcs) }
+
+// Identity returns the FuncID of the ε class.
+func (m *Monoid) Identity() FuncID { return m.identity }
+
+// SymbolFunc returns the representative function of the one-symbol word σ.
+func (m *Monoid) SymbolFunc(sym dfa.Symbol) FuncID { return m.symGen[sym] }
+
+// SymbolFuncByName looks up a symbol by name and returns its function.
+func (m *Monoid) SymbolFuncByName(name string) (FuncID, bool) {
+	sym, ok := m.M.Alpha.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return m.symGen[sym], true
+}
+
+// Then returns the representative function for word(f) followed by
+// word(g); in function terms, g ∘ f. This is the constant-time table
+// lookup used by the transitive-closure resolution rule.
+func (m *Monoid) Then(f, g FuncID) FuncID { return m.table[f][g] }
+
+// Apply evaluates function f at state s.
+func (m *Monoid) Apply(f FuncID, s dfa.State) dfa.State { return m.funcs[f][s] }
+
+// Func returns the underlying state function (do not mutate).
+func (m *Monoid) Func(f FuncID) Func { return m.funcs[f] }
+
+// Accepting reports whether f represents full words of L(M): f(s0) is an
+// accept state. These are the F_accept functions of §3.2.
+func (m *Monoid) Accepting(f FuncID) bool {
+	return m.M.Accept[m.funcs[f][m.M.Start]]
+}
+
+// AcceptingFrom reports whether f leads to an accept state when started at
+// state s.
+func (m *Monoid) AcceptingFrom(f FuncID, s dfa.State) bool {
+	return m.M.Accept[m.funcs[f][s]]
+}
+
+// AcceptSet returns the FuncIDs of all accepting functions (F_accept).
+func (m *Monoid) AcceptSet() []FuncID {
+	var out []FuncID
+	for i := range m.funcs {
+		if m.Accepting(FuncID(i)) {
+			out = append(out, FuncID(i))
+		}
+	}
+	return out
+}
+
+// RightClass returns the F_M^≡r class of f: under the right congruence of
+// §5, words are distinguished only by the state they reach from s0, so the
+// class is represented by f(s0).
+func (m *Monoid) RightClass(f FuncID) dfa.State { return m.funcs[f][m.M.Start] }
+
+// LeftClass returns the left-congruence class of f as a bitset over
+// states: bit s is set iff f(s) is accepting, i.e. iff s·word(f) would
+// accept. Panics if the machine has more than 64 states (our backward
+// solver's representation limit).
+func (m *Monoid) LeftClass(f FuncID) uint64 {
+	if m.M.NumStates > 64 {
+		panic("monoid: LeftClass requires at most 64 states")
+	}
+	var bits uint64
+	for s, t := range m.funcs[f] {
+		if m.M.Accept[t] {
+			bits |= 1 << uint(s)
+		}
+	}
+	return bits
+}
+
+// Witness returns a shortest word realizing f (nil for the identity).
+func (m *Monoid) Witness(f FuncID) []dfa.Symbol {
+	return m.witness[f]
+}
+
+// WitnessNames returns Witness as symbol names.
+func (m *Monoid) WitnessNames(f FuncID) []string {
+	w := m.witness[f]
+	out := make([]string, len(w))
+	for i, s := range w {
+		out[i] = m.M.Alpha.Name(s)
+	}
+	return out
+}
+
+// String renders f for diagnostics, e.g. "f[g]:{0→1,1→1}".
+func (m *Monoid) String(f FuncID) string {
+	var b strings.Builder
+	if f == m.identity {
+		b.WriteString("f[ε]")
+	} else {
+		fmt.Fprintf(&b, "f[%s]", strings.Join(m.WitnessNames(f), " "))
+	}
+	b.WriteString(":{")
+	for s, t := range m.funcs[f] {
+		if s > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%s→%s", m.M.NameOf(dfa.State(s)), m.M.NameOf(t))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// FuncOfWord returns the representative function of an arbitrary word.
+func (m *Monoid) FuncOfWord(word []dfa.Symbol) FuncID {
+	f := m.identity
+	for _, sym := range word {
+		f = m.Then(f, m.symGen[sym])
+	}
+	return f
+}
+
+// FuncOfNames is FuncOfWord on symbol names; the second result is false if
+// a name is unknown.
+func (m *Monoid) FuncOfNames(names ...string) (FuncID, bool) {
+	f := m.identity
+	for _, n := range names {
+		sym, ok := m.M.Alpha.Lookup(n)
+		if !ok {
+			return 0, false
+		}
+		f = m.Then(f, m.symGen[sym])
+	}
+	return f, true
+}

@@ -1,0 +1,383 @@
+package monoid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rasc/internal/dfa"
+)
+
+func oneBit() *dfa.DFA {
+	alpha := dfa.NewAlphabet("g", "k")
+	d := dfa.NewDFA(alpha, 2, 0)
+	g, _ := alpha.Lookup("g")
+	k, _ := alpha.Lookup("k")
+	d.SetTransition(0, g, 1)
+	d.SetTransition(1, g, 1)
+	d.SetTransition(0, k, 0)
+	d.SetTransition(1, k, 0)
+	d.SetAccept(1)
+	return d
+}
+
+func privilege() *dfa.DFA {
+	alpha := dfa.NewAlphabet("seteuid0", "seteuidN", "execl")
+	d := dfa.NewDFA(alpha, 3, 0)
+	s0, _ := alpha.Lookup("seteuid0")
+	sN, _ := alpha.Lookup("seteuidN")
+	ex, _ := alpha.Lookup("execl")
+	d.SetTransition(0, s0, 1)
+	d.SetTransition(1, sN, 0)
+	d.SetTransition(1, ex, 2)
+	d.SetAccept(2)
+	return d.CompleteSelfLoop()
+}
+
+// §3.3: for the 1-bit gen/kill language, F^≡ = {f_ε, f_g, f_k}.
+func TestOneBitMonoid(t *testing.T) {
+	m, err := Build(oneBit(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("|F^≡| = %d, want 3 (f_ε, f_g, f_k)", m.Size())
+	}
+	fg, ok := m.SymbolFuncByName("g")
+	if !ok {
+		t.Fatal("g not found")
+	}
+	fk, _ := m.SymbolFuncByName("k")
+	// Idempotence of gens and kills (§3.3).
+	if m.Then(fg, fg) != fg {
+		t.Error("f_g then f_g should be f_g")
+	}
+	if m.Then(fk, fk) != fk {
+		t.Error("f_k then f_k should be f_k")
+	}
+	// A gen cancels an adjacent kill: word gk behaves like k, kg like g.
+	if m.Then(fg, fk) != fk {
+		t.Error("word gk should act as f_k")
+	}
+	if m.Then(fk, fg) != fg {
+		t.Error("word kg should act as f_g")
+	}
+	// Accepting functions: only f_g reaches the accept state from start.
+	if !m.Accepting(fg) || m.Accepting(fk) || m.Accepting(m.Identity()) {
+		t.Error("wrong F_accept for 1-bit machine")
+	}
+}
+
+func TestIdentityLaws(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Identity()
+	for f := FuncID(0); int(f) < m.Size(); f++ {
+		if m.Then(e, f) != f || m.Then(f, e) != f {
+			t.Fatalf("identity law fails for %s", m.String(f))
+		}
+	}
+}
+
+func TestAssociativity(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Size()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for c := 0; c < n; c++ {
+				fa, fb, fc := FuncID(a), FuncID(b), FuncID(c)
+				if m.Then(m.Then(fa, fb), fc) != m.Then(fa, m.Then(fb, fc)) {
+					t.Fatalf("associativity fails at (%d,%d,%d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// The Figure 4 functions: f_0 = seteuid(0), f_1 = seteuid(!0), f_2 = execl.
+func TestPrivilegeRepresentativeFunctions(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		unpriv = dfa.State(0)
+		priv   = dfa.State(1)
+		errSt  = dfa.State(2)
+	)
+	f0, _ := m.SymbolFuncByName("seteuid0")
+	f1, _ := m.SymbolFuncByName("seteuidN")
+	f2, _ := m.SymbolFuncByName("execl")
+	check := func(f FuncID, want [3]dfa.State, name string) {
+		for s := 0; s < 3; s++ {
+			if got := m.Apply(f, dfa.State(s)); got != want[s] {
+				t.Errorf("%s(%d) = %d, want %d", name, s, got, want[s])
+			}
+		}
+	}
+	check(f0, [3]dfa.State{priv, priv, errSt}, "f_0")
+	check(f1, [3]dfa.State{unpriv, unpriv, errSt}, "f_1")
+	check(f2, [3]dfa.State{unpriv, errSt, errSt}, "f_2")
+
+	// §6.3 path: f_2 ∘ f_0 (word seteuid0·execl) maps Unpriv to Error.
+	path := m.Then(f0, f2)
+	if m.Apply(path, unpriv) != errSt {
+		t.Error("seteuid(0); execl() should reach Error from Unpriv")
+	}
+	if !m.Accepting(path) {
+		t.Error("the violating path's function must be accepting")
+	}
+	// Dropping privilege first is safe: f_0 then f_1 then f_2.
+	safe := m.Then(m.Then(f0, f1), f2)
+	if m.Accepting(safe) {
+		t.Error("seteuid(0); seteuid(!0); execl() must not accept")
+	}
+}
+
+// §4, Figure 2: the adversarial machine's monoid is the full transformation
+// monoid with |S|^|S| elements.
+func TestAdversarialMachineFullMonoid(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		m, err := Build(Adversarial(n), 1<<20)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := int(math.Pow(float64(n), float64(n)))
+		if m.Size() != want {
+			t.Errorf("n=%d: |F^≡| = %d, want %d", n, m.Size(), want)
+		}
+	}
+}
+
+func TestBuildLimit(t *testing.T) {
+	_, err := Build(Adversarial(5), 100) // 5^5 = 3125 > 100
+	if err == nil {
+		t.Fatal("expected ErrTooLarge")
+	}
+}
+
+// Property: Then(f,g) agrees with word concatenation on random words.
+func TestQuickThenMatchesConcatenation(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsym := m.M.Alpha.Size()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w1 := make([]dfa.Symbol, r.Intn(6))
+		for i := range w1 {
+			w1[i] = dfa.Symbol(r.Intn(nsym))
+		}
+		w2 := make([]dfa.Symbol, r.Intn(6))
+		for i := range w2 {
+			w2[i] = dfa.Symbol(r.Intn(nsym))
+		}
+		lhs := m.Then(m.FuncOfWord(w1), m.FuncOfWord(w2))
+		rhs := m.FuncOfWord(append(append([]dfa.Symbol{}, w1...), w2...))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the witness word of every function realizes that function.
+func TestWitnessesRealizeFunctions(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := FuncID(0); int(f) < m.Size(); f++ {
+		if m.FuncOfWord(m.Witness(f)) != f {
+			t.Errorf("witness of %s does not realize it", m.String(f))
+		}
+	}
+}
+
+// Property: Accepting(f) iff the machine accepts f's witness word.
+func TestAcceptingMatchesMachine(t *testing.T) {
+	for _, machine := range []*dfa.DFA{oneBit(), privilege(), Adversarial(3)} {
+		m, err := Build(machine, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := FuncID(0); int(f) < m.Size(); f++ {
+			w := m.Witness(f)
+			if m.Accepting(f) != machine.Complete().Accepts(w) {
+				t.Errorf("Accepting disagrees with machine on %v", w)
+			}
+		}
+	}
+}
+
+func TestRightClass(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, _ := m.SymbolFuncByName("seteuid0")
+	if m.RightClass(f0) != 1 {
+		t.Errorf("RightClass(f_0) = %d, want Priv(1)", m.RightClass(f0))
+	}
+	if m.RightClass(m.Identity()) != m.M.Start {
+		t.Error("RightClass(identity) should be the start state")
+	}
+	// Right classes are a quotient: Then preserves them on the left arg.
+	// (g∘f)(s0) depends on f only through f(s0).
+	for a := 0; a < m.Size(); a++ {
+		for b := 0; b < m.Size(); b++ {
+			fa, fb := FuncID(a), FuncID(b)
+			if m.RightClass(m.Then(fa, fb)) != m.Apply(fb, m.RightClass(fa)) {
+				t.Fatal("right congruence not respected by Then")
+			}
+		}
+	}
+}
+
+func TestLeftClass(t *testing.T) {
+	m, err := Build(oneBit(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, _ := m.SymbolFuncByName("g")
+	fk, _ := m.SymbolFuncByName("k")
+	if m.LeftClass(fg) != 0b11 {
+		t.Errorf("LeftClass(f_g) = %b, want 11 (accepts from both states)", m.LeftClass(fg))
+	}
+	if m.LeftClass(fk) != 0 {
+		t.Errorf("LeftClass(f_k) = %b, want 0", m.LeftClass(fk))
+	}
+	if m.LeftClass(m.Identity()) != 0b10 {
+		t.Errorf("LeftClass(f_ε) = %b, want 10 (accept only from state 1)", m.LeftClass(m.Identity()))
+	}
+}
+
+func TestFuncOfNames(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := m.FuncOfNames("seteuid0", "execl")
+	if !ok || !m.Accepting(f) {
+		t.Error("seteuid0·execl should be an accepting class")
+	}
+	if _, ok := m.FuncOfNames("bogus"); ok {
+		t.Error("unknown symbol should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m, err := Build(oneBit(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.String(m.Identity()); s == "" {
+		t.Error("empty rendering")
+	}
+	fg, _ := m.SymbolFuncByName("g")
+	if s := m.String(fg); s == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// Dead classes: words that are not substrings of L(M). For the privilege
+// machine every state reaches the accepting Error sink, so nothing is
+// dead; for a machine with a dead completion state, compositions that
+// fall into it are dead and absorbing.
+func TestDeadClasses(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := FuncID(0); int(f) < m.Size(); f++ {
+		if m.Dead(f) {
+			t.Errorf("privilege machine has no dead classes, but %s is dead", m.String(f))
+		}
+	}
+
+	// L = {ab} exactly: "ba" is not a substring, so f_b∘f_a ... word "ba"
+	// must be dead; "a", "b", "ab" are substrings (live).
+	alpha := dfa.NewAlphabet("a", "b")
+	d := dfa.NewDFA(alpha, 3, 0)
+	a, _ := alpha.Lookup("a")
+	b, _ := alpha.Lookup("b")
+	d.SetTransition(0, a, 1)
+	d.SetTransition(1, b, 2)
+	d.SetAccept(2)
+	m2, err := Build(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := m2.FuncOfNames("a")
+	fb, _ := m2.FuncOfNames("b")
+	fab, _ := m2.FuncOfNames("a", "b")
+	fba, _ := m2.FuncOfNames("b", "a")
+	faa, _ := m2.FuncOfNames("a", "a")
+	if m2.Dead(fa) || m2.Dead(fb) || m2.Dead(fab) {
+		t.Error("substrings of ab must be live")
+	}
+	if !m2.Dead(fba) {
+		t.Error("ba is not a substring of ab: must be dead")
+	}
+	if !m2.Dead(faa) {
+		t.Error("aa is not a substring of ab: must be dead")
+	}
+	// Dead is absorbing.
+	for g := FuncID(0); int(g) < m2.Size(); g++ {
+		if !m2.Dead(m2.Then(fba, g)) || !m2.Dead(m2.Then(g, fba)) {
+			t.Fatal("dead classes must be absorbing under composition")
+		}
+	}
+	// Dead agrees with the substring machine's language on witnesses.
+	sub := dfa.SubstringMachine(d)
+	for f := FuncID(0); int(f) < m2.Size(); f++ {
+		if m2.Dead(f) == sub.Accepts(m2.Witness(f)) {
+			t.Errorf("Dead(%s) inconsistent with M^sub", m2.String(f))
+		}
+	}
+}
+
+// Theorem 2.1 / Myhill-Nerode: two words with the same representative
+// function are ≡_M — acceptance of x·w·y depends on w only through its
+// function. Randomized check over the privilege machine.
+func TestQuickTheorem21(t *testing.T) {
+	m, err := Build(privilege(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := m.M
+	nsym := machine.Alpha.Size()
+	randWord := func(r *rand.Rand, n int) []dfa.Symbol {
+		w := make([]dfa.Symbol, r.Intn(n))
+		for i := range w {
+			w[i] = dfa.Symbol(r.Intn(nsym))
+		}
+		return w
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w1, w2 := randWord(r, 6), randWord(r, 6)
+		if m.FuncOfWord(w1) != m.FuncOfWord(w2) {
+			return true // different classes: nothing to check
+		}
+		for i := 0; i < 20; i++ {
+			x, y := randWord(r, 4), randWord(r, 4)
+			xw1y := append(append(append([]dfa.Symbol{}, x...), w1...), y...)
+			xw2y := append(append(append([]dfa.Symbol{}, x...), w2...), y...)
+			if machine.Accepts(xw1y) != machine.Accepts(xw2y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package mops
+
+import "sort"
+
+// This file adds the backward counterpart of post*: pre* saturation
+// (Bouajjani/Esparza/Maler), computing a P-automaton for the
+// configurations that can REACH a given regular configuration set. With
+// post* (forward) and pre* (backward) on the same pushdown system, the
+// checker can chop executions exactly: a configuration lies on a violating
+// run iff it is post*-reachable and in pre* of the error configurations.
+
+// PreStar computes the pre* P-automaton for the target set "control state
+// pTarget with any stack" (the natural target for safety monitors whose
+// error state is a sink).
+type PreStar struct {
+	pds       *PDS
+	target    int
+	final     int
+	numStates int
+	rel       map[trans]bool
+	out       [][]struct{ sym, to int }
+}
+
+// NewPreStar saturates pre* from the target control state.
+func NewPreStar(pds *PDS, pTarget int) *PreStar {
+	ps := &PreStar{pds: pds, target: pTarget}
+	// Automaton states: one per control state, plus a final state. The
+	// initial automaton accepts <pTarget, w> for every stack w: final is
+	// reached from pTarget on any symbol, with a self loop.
+	ps.numStates = pds.NumControls
+	ps.final = ps.numStates
+	ps.numStates++
+	ps.out = make([][]struct{ sym, to int }, ps.numStates)
+	ps.rel = map[trans]bool{}
+
+	add := func(t trans) {
+		ps.rel[t] = true
+	}
+	// ε-stack acceptance for the target (a config with the empty stack
+	// counts), plus "any symbol" transitions target→final and final→final.
+	for g := 0; g < pds.NumSymbols; g++ {
+		add(trans{pTarget, g, ps.final})
+		add(trans{ps.final, g, ps.final})
+	}
+
+	// Saturation: for each rule <p,γ> → <p',w> with p' --w--> q in the
+	// current automaton, add p --γ--> q. Pop rules have w = ε (so q is
+	// p' itself); step rules need one transition; push rules two. A
+	// simple round-robin closure is adequate for our sizes.
+	for changed := true; changed; {
+		changed = false
+		before := len(ps.rel)
+		for key, rs := range pds.Rules {
+			for _, r := range rs {
+				switch r.kind {
+				case rulePop:
+					// <p,γ> → <p2,ε>: reading ε from p2 ends at p2.
+					t := trans{key.p, key.g, r.p2}
+					if !ps.rel[t] {
+						ps.rel[t] = true
+					}
+				case ruleStep:
+					// <p,γ> → <p2,γ2>: for each p2 --γ2--> q: p --γ--> q.
+					for q := 0; q < ps.numStates; q++ {
+						if ps.rel[trans{r.p2, r.g2, q}] {
+							t := trans{key.p, key.g, q}
+							if !ps.rel[t] {
+								ps.rel[t] = true
+							}
+						}
+					}
+				case rulePush:
+					// <p,γ> → <p2,γ2 γ3>: for p2 --γ2--> q --γ3--> q2:
+					// p --γ--> q2.
+					for q := 0; q < ps.numStates; q++ {
+						if !ps.rel[trans{r.p2, r.g2, q}] {
+							continue
+						}
+						for q2 := 0; q2 < ps.numStates; q2++ {
+							if ps.rel[trans{q, r.g3, q2}] {
+								t := trans{key.p, key.g, q2}
+								if !ps.rel[t] {
+									ps.rel[t] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		if len(ps.rel) != before {
+			changed = true
+		}
+	}
+	for t := range ps.rel {
+		ps.out[t.from] = append(ps.out[t.from], struct{ sym, to int }{t.sym, t.to})
+	}
+	return ps
+}
+
+// InPre reports whether the configuration <p, w> can reach the target
+// control state: the automaton accepts w from p (final state, or the
+// state of a control for the empty-stack case).
+func (ps *PreStar) InPre(p int, stack []int) bool {
+	cur := map[int]bool{p: true}
+	for _, g := range stack {
+		cur = ps.step(cur, g)
+	}
+	if cur[ps.final] {
+		return true
+	}
+	// Empty remaining stack at the target control state itself.
+	return cur[ps.target]
+}
+
+// step advances the automaton state set over one stack symbol.
+func (ps *PreStar) step(from map[int]bool, sym int) map[int]bool {
+	next := map[int]bool{}
+	for s := range from {
+		for _, e := range ps.out[s] {
+			if e.sym == sym {
+				next[e.to] = true
+			}
+		}
+	}
+	return next
+}
+
+// DangerNodes computes the interprocedural chop exactly: the stack-top
+// symbols (CFG nodes) of configurations that are both post*-reachable
+// from the initial configuration and in pre* of the error control states.
+// The check intersects, per control state, the post* automaton's
+// accepted stacks with the pre* automaton's, via a product reachability.
+func DangerNodes(pds *PDS, post *PostStar, pre *PreStar) []int {
+	// Product states: (post state, pre state). A config <p, γw> is in
+	// both sets iff reading γw from (p, p) reaches (postFinal, preGood)
+	// where preGood ∈ {pre.final} ∪ {pre.target with empty rest}. We
+	// explore the product lazily and record the top symbol γ of every
+	// accepting run.
+	// Adjacency for post (including ε edges recorded in rel).
+	postAdj := map[int][]struct{ sym, to int }{}
+	for t := range post.rel {
+		postAdj[t.from] = append(postAdj[t.from], struct{ sym, to int }{t.sym, t.to})
+	}
+
+	// canFinishPost[s]: s reaches post.final; canFinishPre computed on the
+	// fly (pre.final self-loops on everything, so any state reaching
+	// final works; pre.target accepts the empty rest).
+	coPost := post.coReach()
+
+	danger := map[int]bool{}
+	// A (p, γ, q) post transition starts an accepted stack with top γ iff
+	// q can finish in post; the pre side must accept γ·(same rest). We
+	// run a joint emptiness check per start pair.
+	type key struct {
+		a, b int
+	}
+	// reachable joint pairs -> can they jointly accept some rest?
+	var jointAccept func(a, b int, seen map[key]bool) bool
+	jointAccept = func(a, b int, seen map[key]bool) bool {
+		// Accept when post side is final-capable with zero more symbols
+		// AND pre side accepts zero more symbols.
+		if a == post.final && (b == pre.final || b == pre.target) {
+			return true
+		}
+		k := key{a, b}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		for _, ea := range postAdj[a] {
+			if ea.sym == epsSym {
+				if jointAccept(ea.to, b, seen) {
+					return true
+				}
+				continue
+			}
+			if !coPost[ea.to] {
+				continue
+			}
+			for _, eb := range pre.out[b] {
+				if eb.sym != ea.sym {
+					continue
+				}
+				if jointAccept(ea.to, eb.to, seen) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for t := range post.rel {
+		if t.sym == epsSym || t.from >= pds.NumControls {
+			continue // only control-state tops name program points
+		}
+		if danger[t.sym] {
+			continue
+		}
+		p := t.from
+		// Top symbol t.sym from control p: joint rest from (t.to, pre
+		// states after reading t.sym from p).
+		preAfter := pre.step(map[int]bool{p: true}, t.sym)
+		for b := range preAfter {
+			if jointAccept(t.to, b, map[key]bool{}) {
+				danger[t.sym] = true
+				break
+			}
+		}
+	}
+	var out []int
+	for n := range danger {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

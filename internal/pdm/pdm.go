@@ -1,0 +1,364 @@
+// Package pdm implements the pushdown model checking application of §6:
+// verifying MOPS-class temporal safety properties of C-like programs with
+// regularly annotated set constraints. The program's control flow graph
+// becomes a constraint system (§6.1): one set variable per CFG node,
+// annotated edges for property-relevant statements, and a unary
+// constructor per call site whose projection models the matching return.
+// The program counter is the constant pc seeded at main's entry; a
+// property violation is the presence of pc with an accepting annotation,
+// found with PN reachability so that partially matched (unreturned) call
+// paths are included (§6.2). Parametric properties (§6.4) use
+// substitution-environment annotations.
+package pdm
+
+import (
+	"fmt"
+	"sort"
+
+	"rasc/internal/core"
+	"rasc/internal/minic"
+	"rasc/internal/monoid"
+	"rasc/internal/spec"
+	"rasc/internal/subst"
+	"rasc/internal/terms"
+)
+
+// Result is the outcome of a model-checking run.
+type Result struct {
+	// Sys is the underlying constraint system, for advanced queries.
+	Sys *core.System
+	// PN is the program counter's PN-reachability result.
+	PN *core.PNResult
+	// Violations, deduplicated and ordered by line.
+	Violations []Violation
+	// NodeVar maps CFG node IDs to their set variables.
+	NodeVar []core.VarID
+
+	prog      *minic.Program
+	cfg       *minic.CFG
+	prop      *spec.Property
+	pcNode    core.CNode
+	envTab    *subst.Table
+	nodeEvent map[int]core.Annot
+}
+
+// Violation is one property violation.
+type Violation struct {
+	// Fn and Line locate the earliest program point at which the
+	// property automaton has reached an accepting (error) state.
+	Fn   string
+	Line int
+	// NodeID is the CFG node.
+	NodeID int
+	// Label is the offending parameter instantiation for parametric
+	// properties ("fd2"), or "" for plain ones.
+	Label string
+	// Trace is the witness path (function, line) hops, oldest first.
+	Trace []TracePoint
+}
+
+// TracePoint is one hop of a violation witness.
+type TracePoint struct {
+	Fn   string
+	Line int
+	// Enter is set when the hop enters a callee through a call site.
+	Enter bool
+}
+
+func (v Violation) String() string {
+	lbl := ""
+	if v.Label != "" {
+		lbl = " [" + v.Label + "]"
+	}
+	return fmt.Sprintf("%s:%d: property violation%s", v.Fn, v.Line, lbl)
+}
+
+// Check model-checks prog against the compiled property, using events to
+// map calls to alphabet symbols. entry is the entry function ("" means
+// main). opts configures the underlying solver.
+func Check(prog *minic.Program, prop *spec.Property, events *minic.EventMap, entry string, opts core.Options) (*Result, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	if _, ok := prog.ByName[entry]; !ok {
+		return nil, fmt.Errorf("pdm: entry function %q not defined", entry)
+	}
+	cfg := minic.MustBuild(prog)
+
+	var alg core.Algebra
+	var envTab *subst.Table
+	if prop.IsParametric() {
+		envTab = subst.NewTable(prop.Mon)
+		alg = core.EnvAlgebra{Tab: envTab}
+	} else {
+		alg = core.FuncAlgebra{Mon: prop.Mon}
+	}
+
+	sig := terms.NewSignature()
+	pcCons := sig.MustDeclare("pc", 0)
+
+	sys := core.NewSystem(alg, sig, opts)
+	nodeVar := make([]core.VarID, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		nodeVar[n.ID] = sys.Var(fmt.Sprintf("S%d@%s:%d", n.ID, n.Fn, n.Line))
+	}
+	pc := sys.Constant(pcCons)
+	sys.AddLowerE(pc, nodeVar[cfg.Entry[entry]])
+
+	// annotOf computes the edge annotation for an event.
+	annotOf := func(ev minic.Event) (core.Annot, error) {
+		f, ok := prop.Mon.SymbolFuncByName(ev.Symbol)
+		if !ok {
+			return 0, fmt.Errorf("pdm: event symbol %q not in property alphabet", ev.Symbol)
+		}
+		if envTab == nil {
+			return core.Annot(f), nil
+		}
+		param := prop.ParamOf[ev.Symbol]
+		if param == "" || ev.Label == "" {
+			return core.Annot(envTab.FromFunc(f)), nil
+		}
+		return core.Annot(envTab.Instantiate(param, ev.Label, f)), nil
+	}
+
+	ident := alg.Identity()
+	nodeEvent := map[int]core.Annot{}
+	for _, n := range cfg.Nodes {
+		sv := nodeVar[n.ID]
+		// Classify the node's action (§6.1): event, interprocedural
+		// call, or irrelevant.
+		a := ident
+		isCall := false
+		var callee string
+		if n.Kind == minic.NAction {
+			if ev, ok := events.Match(n.Call, n.AssignTo); ok {
+				var err error
+				a, err = annotOf(ev)
+				if err != nil {
+					return nil, err
+				}
+				nodeEvent[n.ID] = a
+			} else if _, defined := prog.ByName[n.Call.Name]; defined {
+				isCall = true
+				callee = n.Call.Name
+			}
+		}
+		if isCall {
+			// Case 3: o_i(S) ⊆ F_entry and o_i^-1(F_exit) ⊆ S_i.
+			oc := sig.MustDeclare(fmt.Sprintf("o@%d", n.ID), 1)
+			sys.AddLowerE(sys.Cons(oc, sv), nodeVar[cfg.Entry[callee]])
+			for _, m := range n.Succs {
+				sys.AddProjE(oc, 0, nodeVar[cfg.Exit[callee]], nodeVar[m])
+			}
+			continue
+		}
+		for _, m := range n.Succs {
+			sys.AddVar(sv, nodeVar[m], a)
+		}
+	}
+	sys.Solve()
+
+	res := &Result{
+		Sys:       sys,
+		NodeVar:   nodeVar,
+		prog:      prog,
+		cfg:       cfg,
+		prop:      prop,
+		pcNode:    pc,
+		envTab:    envTab,
+		nodeEvent: nodeEvent,
+	}
+	res.PN = sys.PNReach(pc)
+	res.collectViolations(alg)
+	return res, nil
+}
+
+// collectViolations implements §6.2 literally: record each statement that
+// could cause a transition to the error state — an action node where the
+// event's annotation composes some non-accepting pc occurrence into an
+// accepting one — and attach a witness trace.
+func (r *Result) collectViolations(alg core.Algebra) {
+	varNodes := r.varNodes()
+	seen := map[string]bool{}
+	for _, n := range r.cfg.Nodes {
+		if n.Kind != minic.NAction {
+			continue
+		}
+		ev, ok := r.nodeEvent[n.ID]
+		if !ok {
+			continue
+		}
+		v := r.NodeVar[n.ID]
+		for _, a := range r.PN.At(v) {
+			comp := alg.Then(a, ev)
+			fresh := r.newViolationLabels(a, comp)
+			if len(fresh) == 0 {
+				continue
+			}
+			steps := r.PN.Trace(r.Sys.Rep(v), a)
+			for _, lbl := range fresh {
+				key := fmt.Sprintf("%d|%s", n.ID, lbl)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				tr := r.tracePoints(steps, varNodes)
+				if len(tr) == 0 || tr[len(tr)-1] != (TracePoint{Fn: n.Fn, Line: n.Line}) {
+					tr = append(tr, TracePoint{Fn: n.Fn, Line: n.Line})
+				}
+				r.Violations = append(r.Violations, Violation{
+					Fn:     n.Fn,
+					Line:   n.Line,
+					NodeID: n.ID,
+					Label:  lbl,
+					Trace:  tr,
+				})
+			}
+		}
+	}
+	sort.Slice(r.Violations, func(i, j int) bool {
+		if r.Violations[i].Line != r.Violations[j].Line {
+			return r.Violations[i].Line < r.Violations[j].Line
+		}
+		return r.Violations[i].Label < r.Violations[j].Label
+	})
+}
+
+// newViolationLabels returns the labels accepting in comp but not already
+// accepting in prev (for plain properties, [""] when prev is non-accepting
+// and comp accepting).
+func (r *Result) newViolationLabels(prev, comp core.Annot) []string {
+	if r.envTab == nil {
+		if !r.prop.Mon.Accepting(monoid.FuncID(comp)) || r.prop.Mon.Accepting(monoid.FuncID(prev)) {
+			return nil
+		}
+		return []string{""}
+	}
+	before := map[string]bool{}
+	for _, lbl := range r.acceptingLabels(prev) {
+		before[lbl] = true
+	}
+	var out []string
+	for _, lbl := range r.acceptingLabels(comp) {
+		if !before[lbl] {
+			out = append(out, lbl)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// acceptingLabels lists the accepting instantiations of an environment
+// annotation.
+func (r *Result) acceptingLabels(a core.Annot) []string {
+	var out []string
+	for _, v := range r.envTab.AcceptingEntries(subst.ID(a)) {
+		lbl := ""
+		for i, b := range v.Bindings {
+			if i > 0 {
+				lbl += ","
+			}
+			lbl += b.Label
+		}
+		out = append(out, lbl)
+	}
+	return out
+}
+
+// labelsOf extracts the violating parameter labels of an accepting
+// annotation ("" for plain properties or residual violations).
+func (r *Result) labelsOf(a core.Annot) []string {
+	if r.envTab == nil {
+		return []string{""}
+	}
+	var out []string
+	for _, v := range r.envTab.AcceptingEntries(subst.ID(a)) {
+		if len(v.Bindings) == 0 {
+			out = append(out, "")
+			continue
+		}
+		lbl := ""
+		for i, b := range v.Bindings {
+			if i > 0 {
+				lbl += ","
+			}
+			lbl += b.Label
+		}
+		out = append(out, lbl)
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Result) tracePoints(steps []core.TraceStep, varNodes map[core.VarID][]int) []TracePoint {
+	var out []TracePoint
+	for _, st := range steps {
+		ns := varNodes[st.Var]
+		if len(ns) == 0 {
+			continue
+		}
+		n := r.cfg.Nodes[ns[0]]
+		out = append(out, TracePoint{Fn: n.Fn, Line: n.Line, Enter: st.Wrapped >= 0})
+	}
+	return out
+}
+
+// varNodes maps representative variables back to CFG nodes (several nodes
+// can share one representative after cycle elimination); node lists are
+// sorted ascending.
+func (r *Result) varNodes() map[core.VarID][]int {
+	m := map[core.VarID][]int{}
+	for id, v := range r.NodeVar {
+		rep := r.repOf(v)
+		m[rep] = append(m[rep], id)
+	}
+	for _, ns := range m {
+		sort.Ints(ns)
+	}
+	return m
+}
+
+// repOf resolves a variable to its representative by probing the PN
+// result (which normalizes), falling back to identity mapping.
+func (r *Result) repOf(v core.VarID) core.VarID {
+	return r.Sys.Rep(v)
+}
+
+// OpenInstancesAtExit returns, for parametric resource properties such as
+// the file-state automaton of Figure 5, the labels whose automaton copy
+// is in an accepting state when the entry function exits (e.g. files
+// still open at the end of the program, §6.4.1).
+func (r *Result) OpenInstancesAtExit(entry string) []string {
+	if entry == "" {
+		entry = "main"
+	}
+	exitVar := r.NodeVar[r.cfg.Exit[entry]]
+	set := map[string]bool{}
+	for _, a := range r.PN.At(exitVar) {
+		if !r.accepting(a) {
+			continue
+		}
+		for _, lbl := range r.labelsOf(a) {
+			set[lbl] = true
+		}
+	}
+	var out []string
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Result) accepting(a core.Annot) bool {
+	if r.envTab != nil {
+		return r.envTab.Accepting(subst.ID(a))
+	}
+	return r.prop.Mon.Accepting(monoid.FuncID(a))
+}
+
+// CFG exposes the control flow graph used for checking.
+func (r *Result) CFG() *minic.CFG { return r.cfg }

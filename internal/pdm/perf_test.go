@@ -1,0 +1,24 @@
+package pdm
+
+import (
+	"testing"
+
+	"rasc/internal/core"
+	"rasc/internal/minic"
+	"rasc/internal/synth"
+)
+
+// BenchmarkCheckLarge is the solver-profiling benchmark at roughly the
+// Sendmail scale of Table 1.
+func BenchmarkCheckLarge(b *testing.B) {
+	cfg := synth.Table1()[2].Config // Sendmail row
+	prog := minic.MustParse(synth.Generate(cfg))
+	prop := FullPrivilegeProperty()
+	events := FullPrivilegeEvents()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Check(prog, prop, events, "", core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+/* Figure 6: fd2 is still open at the end of the program. */
+void main() {
+    int fd1 = open("file1", O_RDONLY);
+    int fd2 = open("file2", O_RDONLY);
+    close(fd1);
+}

@@ -1,0 +1,10 @@
+/* The §6.3 example: privileges dropped on one branch only. */
+void main() {
+    seteuid(0);
+    if (cond) {
+        seteuid(getuid());
+    } else {
+        log_attempt();
+    }
+    execl("/bin/sh", "sh");
+}

@@ -1,0 +1,235 @@
+package pointsto
+
+import (
+	"reflect"
+	"testing"
+
+	"rasc/internal/core"
+	"rasc/internal/minic"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAddressOfAndCopy(t *testing.T) {
+	r := analyze(t, `
+void main() {
+    int a;
+    int *p = &a;
+    int *q = p;
+}
+`)
+	if got := r.PointsTo("main", "p"); !reflect.DeepEqual(got, []string{"main.a"}) {
+		t.Errorf("pt(p) = %v", got)
+	}
+	if got := r.PointsTo("main", "q"); !reflect.DeepEqual(got, []string{"main.a"}) {
+		t.Errorf("pt(q) = %v", got)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	r := analyze(t, `
+void main() {
+    int a;
+    int *p = &a;
+    int **pp = &p;
+    int *q = *pp;
+}
+`)
+	if got := r.PointsTo("main", "pp"); !reflect.DeepEqual(got, []string{"main.p"}) {
+		t.Errorf("pt(pp) = %v", got)
+	}
+	if got := r.PointsTo("main", "q"); !reflect.DeepEqual(got, []string{"main.a"}) {
+		t.Errorf("pt(q) = %v (load through pp)", got)
+	}
+}
+
+func TestStore(t *testing.T) {
+	r := analyze(t, `
+void main() {
+    int a;
+    int b;
+    int *p;
+    int **pp = &p;
+    *pp = &a;
+    int *q = p;
+    *pp = &b;
+}
+`)
+	got := r.PointsTo("main", "p")
+	if !reflect.DeepEqual(got, []string{"main.a", "main.b"}) {
+		t.Errorf("pt(p) = %v, want both stores (flow-insensitive)", got)
+	}
+	if got := r.PointsTo("main", "q"); len(got) != 2 {
+		t.Errorf("pt(q) = %v", got)
+	}
+}
+
+// The contravariant set side must not leak backwards: storing into *pp
+// does not make p point to pp's other contents' sources.
+func TestStoreDirectionality(t *testing.T) {
+	r := analyze(t, `
+void main() {
+    int a;
+    int b;
+    int *p = &a;
+    int *r = &b;
+    int **pp = &p;
+    *pp = r;
+}
+`)
+	// p gets b (through the store); r must NOT get a.
+	if got := r.PointsTo("main", "p"); !reflect.DeepEqual(got, []string{"main.a", "main.b"}) {
+		t.Errorf("pt(p) = %v", got)
+	}
+	if got := r.PointsTo("main", "r"); !reflect.DeepEqual(got, []string{"main.b"}) {
+		t.Errorf("pt(r) = %v: the store must not flow backwards", got)
+	}
+}
+
+func TestInterproceduralParamAndReturn(t *testing.T) {
+	r := analyze(t, `
+int *id(int *x) {
+    return x;
+}
+void main() {
+    int a;
+    int *p = id(&a);
+}
+`)
+	if got := r.PointsTo("id", "x"); !reflect.DeepEqual(got, []string{"main.a"}) {
+		t.Errorf("pt(x) = %v", got)
+	}
+	if got := r.PointsTo("main", "p"); !reflect.DeepEqual(got, []string{"main.a"}) {
+		t.Errorf("pt(p) = %v (return flow)", got)
+	}
+}
+
+// The §7.5 example, end to end from source code: foo(&a,&b) at one site,
+// foo(&b,&a) at another. Location-based aliasing says x and y may alias;
+// the stack-aware query proves they cannot.
+func TestStackAwareAliasFromSource(t *testing.T) {
+	r := analyze(t, `
+void foo(int *x, int *y) {
+    nop(x, y);
+}
+void main() {
+    int a;
+    int b;
+    foo(&a, &b);
+    foo(&b, &a);
+}
+`)
+	// Context-insensitive points-to: both params see both locations.
+	if got := r.PointsTo("foo", "x"); len(got) != 2 {
+		t.Fatalf("pt(x) = %v, want a and b", got)
+	}
+	if !r.MayAlias("foo", "x", "foo", "y") {
+		t.Fatal("location-based query should (imprecisely) report aliasing")
+	}
+	if r.MayAliasStackAware("foo", "x", "foo", "y") {
+		t.Error("stack-aware query must prove x and y unaliased (§7.5)")
+	}
+	// Sanity: a variable aliases itself.
+	if !r.MayAliasStackAware("foo", "x", "foo", "x") {
+		t.Error("x aliases x")
+	}
+}
+
+// When the two parameters really can alias (same argument passed twice),
+// the stack-aware query must keep saying yes.
+func TestStackAwareAliasPositive(t *testing.T) {
+	r := analyze(t, `
+void foo(int *x, int *y) {
+    nop(x, y);
+}
+void main() {
+    int a;
+    foo(&a, &a);
+}
+`)
+	if !r.MayAliasStackAware("foo", "x", "foo", "y") {
+		t.Error("x and y alias through the same call")
+	}
+}
+
+// Memory-mediated flows disable the refinement (fall back to the sound
+// location answer).
+func TestStackAwareFallbackOnMemory(t *testing.T) {
+	r := analyze(t, `
+void foo(int *x, int *y) {
+    nop(x, y);
+}
+void main() {
+    int a;
+    int *p = &a;
+    int **pp = &p;
+    int *q = *pp;
+    foo(q, &a);
+}
+`)
+	// q's address flow passes through memory; x's context is unknown.
+	if !r.MayAliasStackAware("foo", "x", "foo", "y") {
+		t.Error("memory-mediated flow must fall back to the location answer")
+	}
+}
+
+func TestRecursionTerminates(t *testing.T) {
+	r := analyze(t, `
+int *walk(int *p, int n) {
+    if (n) {
+        return walk(p, n - 1);
+    }
+    return p;
+}
+void main() {
+    int a;
+    int *q = walk(&a, 3);
+}
+`)
+	if got := r.PointsTo("main", "q"); !reflect.DeepEqual(got, []string{"main.a"}) {
+		t.Errorf("pt(q) = %v", got)
+	}
+}
+
+func TestUnsupportedAddressOf(t *testing.T) {
+	prog := minic.MustParse(`
+void main() {
+    int *p = &f();
+}
+`)
+	if _, err := Analyze(prog, core.Options{}); err == nil {
+		t.Error("&call() should be rejected")
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	r := analyze(t, `
+void main() {
+    int a;
+    int b;
+    int *p;
+    if (c) {
+        p = &a;
+    } else {
+        p = &b;
+    }
+    while (d) {
+        p = &a;
+    }
+}
+`)
+	if got := r.PointsTo("main", "p"); !reflect.DeepEqual(got, []string{"main.a", "main.b"}) {
+		t.Errorf("pt(p) = %v", got)
+	}
+}

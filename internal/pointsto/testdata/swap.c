@@ -1,0 +1,10 @@
+/* §7.5: foo called with its arguments swapped. */
+void foo(int *x, int *y) {
+    nop(x, y);
+}
+void main() {
+    int a;
+    int b;
+    foo(&a, &b);
+    foo(&b, &a);
+}

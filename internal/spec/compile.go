@@ -1,0 +1,191 @@
+package spec
+
+import (
+	"fmt"
+
+	"rasc/internal/dfa"
+	"rasc/internal/monoid"
+)
+
+// Property is a compiled specification: the automaton, its transition
+// monoid (the representative functions with their composition table), and
+// the parameter variable of each parametric symbol.
+type Property struct {
+	AST     *AST
+	Machine *dfa.DFA       // total (stuttering completion of the declared machine)
+	Mon     *monoid.Monoid // F_M^≡ with composition table
+	// ParamOf maps symbol name to its parameter variable, "" if the
+	// symbol is non-parametric.
+	ParamOf map[string]string
+	// StateOf maps declared state names to machine states (valid only
+	// when the machine was not minimized away from the declaration).
+	StateOf map[string]dfa.State
+}
+
+// Options configures Compile.
+type Options struct {
+	// MonoidLimit caps |F_M^≡|; <= 0 means monoid.DefaultLimit.
+	MonoidLimit int
+	// Minimize replaces the declared machine with its minimal equivalent
+	// before computing the monoid. State names are lost. The theory of
+	// the paper assumes a minimized machine; our hand-written properties
+	// are already minimal (see IsMinimal), so the default keeps the
+	// declared machine and its state names.
+	Minimize bool
+}
+
+// SemanticError reports a problem found during compilation.
+type SemanticError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SemanticError) Error() string {
+	return fmt.Sprintf("spec:%d: %s", e.Line, e.Msg)
+}
+
+// Compile parses and compiles a specification source.
+func Compile(src string, opts Options) (*Property, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAST(ast, opts)
+}
+
+// MustCompile is Compile that panics on error; for tests and fixed
+// built-in properties.
+func MustCompile(src string) *Property {
+	p, err := Compile(src, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileAST compiles a parsed specification.
+func CompileAST(ast *AST, opts Options) (*Property, error) {
+	stateOf := make(map[string]dfa.State)
+	var names []string
+	for _, d := range ast.States {
+		if _, dup := stateOf[d.Name]; dup {
+			return nil, &SemanticError{d.Line, fmt.Sprintf("duplicate state %q", d.Name)}
+		}
+		stateOf[d.Name] = dfa.State(len(names))
+		names = append(names, d.Name)
+	}
+
+	start := dfa.None
+	anyAccept := false
+	paramOf := make(map[string]string)
+	alpha := &dfa.Alphabet{}
+	// First pass: collect alphabet and check parameter consistency.
+	for _, d := range ast.States {
+		if d.IsStart {
+			if start != dfa.None {
+				return nil, &SemanticError{d.Line, fmt.Sprintf("second start state %q", d.Name)}
+			}
+			start = stateOf[d.Name]
+		}
+		if d.IsAccept {
+			anyAccept = true
+		}
+		for _, a := range d.Arms {
+			if prev, seen := paramOf[a.Symbol]; seen {
+				if prev != a.Param {
+					return nil, &SemanticError{a.Line,
+						fmt.Sprintf("symbol %q used with inconsistent parameters (%q vs %q)", a.Symbol, prev, a.Param)}
+				}
+			} else {
+				paramOf[a.Symbol] = a.Param
+				alpha.Intern(a.Symbol)
+			}
+			if _, ok := stateOf[a.Target]; !ok {
+				return nil, &SemanticError{a.Line, fmt.Sprintf("undeclared target state %q", a.Target)}
+			}
+		}
+	}
+	if start == dfa.None {
+		return nil, &SemanticError{ast.States[0].Line, "no start state declared"}
+	}
+	if !anyAccept {
+		return nil, &SemanticError{ast.States[0].Line, "no accept state declared"}
+	}
+
+	d := dfa.NewDFA(alpha, len(names), start)
+	d.StateName = names
+	for _, decl := range ast.States {
+		from := stateOf[decl.Name]
+		if decl.IsAccept {
+			d.SetAccept(from)
+		}
+		seen := make(map[string]bool)
+		for _, a := range decl.Arms {
+			if seen[a.Symbol] {
+				return nil, &SemanticError{a.Line,
+					fmt.Sprintf("state %q has two transitions on %q", decl.Name, a.Symbol)}
+			}
+			seen[a.Symbol] = true
+			sym, _ := alpha.Lookup(a.Symbol)
+			d.SetTransition(from, sym, stateOf[a.Target])
+		}
+	}
+	machine := d.CompleteSelfLoop()
+	exposedStates := stateOf
+	if opts.Minimize {
+		machine = dfa.Minimize(machine)
+		exposedStates = nil
+	}
+	mon, err := monoid.Build(machine, opts.MonoidLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &Property{
+		AST:     ast,
+		Machine: machine,
+		Mon:     mon,
+		ParamOf: paramOf,
+		StateOf: exposedStates,
+	}, nil
+}
+
+// IsMinimal reports whether the compiled (stuttering-completed) machine is
+// already minimal.
+func (p *Property) IsMinimal() bool {
+	return dfa.Minimize(p.Machine).NumStates == p.Machine.NumStates
+}
+
+// IsParametric reports whether any symbol carries a parameter.
+func (p *Property) IsParametric() bool {
+	for _, v := range p.ParamOf {
+		if v != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Symbol looks up a symbol by name.
+func (p *Property) Symbol(name string) (dfa.Symbol, bool) {
+	return p.Machine.Alpha.Lookup(name)
+}
+
+// FromRegex compiles a regular expression over symbol names (see
+// dfa.CompileRegex for the syntax) into a Property — an alternative to
+// the state-machine DSL for annotation languages that are easier to give
+// as expressions, e.g. "g (k g)*".
+func FromRegex(expr string, opts Options) (*Property, error) {
+	m, err := dfa.CompileRegex(expr, nil)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monoid.Build(m, opts.MonoidLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &Property{
+		Machine: m,
+		Mon:     mon,
+		ParamOf: map[string]string{},
+	}, nil
+}

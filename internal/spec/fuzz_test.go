@@ -1,0 +1,44 @@
+package spec
+
+import "testing"
+
+// FuzzCompile checks that arbitrary inputs never panic the compiler, and
+// that compiled machines validate.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		privilegeSrc,
+		fileSrc,
+		"accept start state A : | g -> A;",
+		"start state A : | x -> B; accept state B;",
+		"state;;",
+		"start accept state Z : | a(b) -> Z;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src, Options{MonoidLimit: 512})
+		if err != nil {
+			return
+		}
+		if err := p.Machine.Validate(); err != nil {
+			t.Fatalf("compiled machine invalid: %v", err)
+		}
+	})
+}
+
+// FuzzRegexProperty mirrors FuzzCompile for the regex front end.
+func FuzzRegexProperty(f *testing.F) {
+	for _, s := range []string{"a", "(a | b)* a", "g (k g)*", "ε | x+", "((", "a |"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := FromRegex(expr, Options{MonoidLimit: 512})
+		if err != nil {
+			return
+		}
+		if err := p.Machine.Validate(); err != nil {
+			t.Fatalf("regex machine invalid: %v", err)
+		}
+	})
+}

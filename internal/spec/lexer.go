@@ -1,0 +1,204 @@
+// Package spec implements the annotation specification language of §8 of
+// the paper: a small ML-pattern-style DSL describing the finite state
+// automaton for a regular reachability property. For example, the process
+// privilege automaton of Figure 3 is written
+//
+//	start state Unpriv :
+//	    | seteuid_zero -> Priv;
+//
+//	state Priv :
+//	    | seteuid_nonzero -> Unpriv
+//	    | execl -> Error;
+//
+//	accept state Error;
+//
+// Symbols may be parametric (§6.4): `open(x) -> Opened` declares the
+// symbol `open` with parameter variable `x`, to be instantiated with
+// program labels (e.g. file descriptors) at analysis time.
+//
+// A specification is compiled (Compile) to a completed DFA — symbols not
+// mentioned in a state self-loop, matching the stuttering semantics of
+// security automata — and the DFA's transition monoid, yielding a Property
+// ready to hand to the constraint solver.
+package spec
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokColon
+	tokSemi
+	tokBar
+	tokArrow
+	tokLParen
+	tokRParen
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokColon:
+		return "':'"
+	case tokSemi:
+		return "';'"
+	case tokBar:
+		return "'|'"
+	case tokArrow:
+		return "'->'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexical or parse error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("spec:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				for l.pos < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+			} else {
+				return l.errf("unexpected '/'")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		return token{tokIdent, string(l.src[start:l.pos]), line, col}, nil
+	case r == ':':
+		l.advance()
+		return token{tokColon, ":", line, col}, nil
+	case r == ';':
+		l.advance()
+		return token{tokSemi, ";", line, col}, nil
+	case r == '|':
+		l.advance()
+		return token{tokBar, "|", line, col}, nil
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case r == '-':
+		l.advance()
+		if l.peek() != '>' {
+			return token{}, l.errf("expected '->' after '-'")
+		}
+		l.advance()
+		return token{tokArrow, "->", line, col}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(r))
+}
+
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

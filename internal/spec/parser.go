@@ -1,0 +1,164 @@
+package spec
+
+import "fmt"
+
+// AST types.
+
+// Arm is one transition clause `| sym -> Target` or `| sym(x) -> Target`.
+type Arm struct {
+	Symbol string
+	Param  string // parameter variable, "" if non-parametric
+	Target string
+	Line   int
+}
+
+// StateDecl is one `state` declaration.
+type StateDecl struct {
+	Name     string
+	IsStart  bool
+	IsAccept bool
+	Arms     []Arm
+	Line     int
+}
+
+// AST is a parsed specification.
+type AST struct {
+	States []StateDecl
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) bump() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, found %s %q", k, t.kind, t.text)
+	}
+	return p.bump(), nil
+}
+
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected %s, found %s %q", what, t.kind, t.text)
+	}
+	return p.bump(), nil
+}
+
+// Parse parses a specification source into an AST.
+func Parse(src string) (*AST, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	ast := &AST{}
+	for p.cur().kind != tokEOF {
+		decl, err := p.stateDecl()
+		if err != nil {
+			return nil, err
+		}
+		ast.States = append(ast.States, decl)
+	}
+	if len(ast.States) == 0 {
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "empty specification"}
+	}
+	return ast, nil
+}
+
+func (p *parser) stateDecl() (StateDecl, error) {
+	var d StateDecl
+	d.Line = p.cur().line
+	for {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return d, p.errf(t, "expected 'state' declaration")
+		}
+		switch t.text {
+		case "start":
+			if d.IsStart {
+				return d, p.errf(t, "duplicate 'start' qualifier")
+			}
+			d.IsStart = true
+			p.bump()
+		case "accept":
+			if d.IsAccept {
+				return d, p.errf(t, "duplicate 'accept' qualifier")
+			}
+			d.IsAccept = true
+			p.bump()
+		case "state":
+			p.bump()
+			name, err := p.expectIdent("state name")
+			if err != nil {
+				return d, err
+			}
+			d.Name = name.text
+			goto body
+		default:
+			return d, p.errf(t, "expected 'start', 'accept' or 'state', found %q", t.text)
+		}
+	}
+body:
+	// Optional ':' arms.
+	if p.cur().kind == tokColon {
+		p.bump()
+		for p.cur().kind == tokBar {
+			arm, err := p.arm()
+			if err != nil {
+				return d, err
+			}
+			d.Arms = append(d.Arms, arm)
+		}
+		if len(d.Arms) == 0 {
+			return d, p.errf(p.cur(), "expected at least one '|' arm after ':'")
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+func (p *parser) arm() (Arm, error) {
+	var a Arm
+	bar, err := p.expect(tokBar)
+	if err != nil {
+		return a, err
+	}
+	a.Line = bar.line
+	sym, err := p.expectIdent("symbol name")
+	if err != nil {
+		return a, err
+	}
+	a.Symbol = sym.text
+	if p.cur().kind == tokLParen {
+		p.bump()
+		param, err := p.expectIdent("parameter variable")
+		if err != nil {
+			return a, err
+		}
+		a.Param = param.text
+		if _, err := p.expect(tokRParen); err != nil {
+			return a, err
+		}
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return a, err
+	}
+	tgt, err := p.expectIdent("target state")
+	if err != nil {
+		return a, err
+	}
+	a.Target = tgt.text
+	return a, nil
+}

@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"fmt"
+
+	"rasc/internal/dfa"
+	"rasc/internal/monoid"
+)
+
+// This file implements §2.2's observation that "it is sufficient to deal
+// only with a single machine representing the product of all the regular
+// reachability properties for a given application": several compiled
+// properties are combined over the union of their alphabets (each machine
+// stutters on foreign symbols) into one Property whose annotations track
+// all of them at once.
+
+// Union combines properties so the result accepts when ANY component
+// accepts — the natural combination for safety monitors whose accept
+// state means "violation".
+func Union(opts Options, props ...*Property) (*Property, error) {
+	return combine(opts, dfa.Union, props)
+}
+
+// Intersect combines properties so the result accepts only when EVERY
+// component accepts simultaneously.
+func Intersect(opts Options, props ...*Property) (*Property, error) {
+	return combine(opts, dfa.Intersect, props)
+}
+
+func combine(opts Options, op func(a, b *dfa.DFA) *dfa.DFA, props []*Property) (*Property, error) {
+	if len(props) == 0 {
+		return nil, fmt.Errorf("spec: no properties to combine")
+	}
+	// Union alphabet with parameter-consistency checking.
+	alpha := &dfa.Alphabet{}
+	paramOf := map[string]string{}
+	for _, p := range props {
+		for _, name := range p.Machine.Alpha.Names() {
+			alpha.Intern(name)
+			param := p.ParamOf[name]
+			if prev, seen := paramOf[name]; seen && prev != param {
+				return nil, fmt.Errorf("spec: symbol %q has inconsistent parameters (%q vs %q) across properties",
+					name, prev, param)
+			}
+			paramOf[name] = param
+		}
+	}
+	// Re-home each machine on the union alphabet, stuttering on foreign
+	// symbols (matching the DSL's semantics for unmentioned symbols).
+	cur := rehome(props[0].Machine, alpha)
+	for _, p := range props[1:] {
+		cur = dfa.Minimize(op(cur, rehome(p.Machine, alpha)))
+	}
+	cur = dfa.Minimize(cur)
+	mon, err := monoid.Build(cur, opts.MonoidLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &Property{
+		Machine: cur,
+		Mon:     mon,
+		ParamOf: paramOf,
+	}, nil
+}
+
+// rehome rebuilds m over the union alphabet; symbols m does not know
+// self-loop.
+func rehome(m *dfa.DFA, alpha *dfa.Alphabet) *dfa.DFA {
+	m = m.Complete()
+	out := dfa.NewDFA(alpha, m.NumStates, m.Start)
+	copy(out.Accept, m.Accept)
+	if m.StateName != nil {
+		out.StateName = append([]string{}, m.StateName...)
+	}
+	for s := 0; s < m.NumStates; s++ {
+		for i := 0; i < alpha.Size(); i++ {
+			name := alpha.Name(dfa.Symbol(i))
+			if old, ok := m.Alpha.Lookup(name); ok {
+				out.Delta[s][i] = m.Delta[s][old]
+			} else {
+				out.Delta[s][i] = dfa.State(s)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+const privSrc = `
+start state Unpriv :
+    | seteuid_zero -> Priv;
+state Priv :
+    | seteuid_nonzero -> Unpriv
+    | execl -> Error;
+accept state Error;
+`
+
+const chrootSrc = `
+# chroot must be followed by chdir before anything else filesystem-y;
+# here simplified: chroot followed by execl without chdir is an error.
+start state Clean :
+    | chroot -> Rooted;
+state Rooted :
+    | chdir -> Clean
+    | execl -> Error;
+accept state Error;
+`
+
+func TestUnionCombinesAlphabets(t *testing.T) {
+	a := MustCompile(privSrc)
+	b := MustCompile(chrootSrc)
+	u, err := Union(Options{}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union alphabet: seteuid_zero, seteuid_nonzero, execl, chroot, chdir.
+	if got := u.Machine.Alpha.Size(); got != 5 {
+		t.Fatalf("alphabet size = %d, want 5", got)
+	}
+	// A violation of either property accepts.
+	if !u.Machine.AcceptsNames("seteuid_zero", "execl") {
+		t.Error("privilege violation should accept in the union")
+	}
+	if !u.Machine.AcceptsNames("chroot", "execl") {
+		t.Error("chroot violation should accept in the union")
+	}
+	// Foreign symbols stutter: chroot does not disturb the privilege
+	// machine.
+	if !u.Machine.AcceptsNames("seteuid_zero", "chroot", "chdir", "execl") {
+		t.Error("privilege state must persist through chroot/chdir")
+	}
+	// Safe traces stay safe.
+	if u.Machine.AcceptsNames("seteuid_zero", "seteuid_nonzero", "chroot", "chdir", "execl") {
+		t.Error("jointly safe trace should not accept")
+	}
+	if u.Mon.Size() == 0 {
+		t.Error("monoid not built")
+	}
+}
+
+func TestIntersectRequiresBoth(t *testing.T) {
+	a := MustCompile(privSrc)
+	b := MustCompile(chrootSrc)
+	i, err := Intersect(Options{}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violating only one property does not accept.
+	if i.Machine.AcceptsNames("seteuid_zero", "execl") {
+		t.Error("single violation should not accept the intersection")
+	}
+	// One execl can violate both at once (both machines step on it).
+	if !i.Machine.AcceptsNames("seteuid_zero", "chroot", "execl") {
+		t.Error("the shared execl violates both simultaneously")
+	}
+}
+
+func TestCombineParamConsistency(t *testing.T) {
+	a := MustCompile(`
+start state S : | open(x) -> T;
+accept state T;
+`)
+	b := MustCompile(`
+start state S : | open(y) -> T;
+accept state T;
+`)
+	if _, err := Union(Options{}, a, b); err == nil || !strings.Contains(err.Error(), "inconsistent parameters") {
+		t.Errorf("err = %v, want inconsistent parameters", err)
+	}
+	c := MustCompile(`
+start state S : | close(x) -> T;
+accept state T;
+`)
+	u, err := Union(Options{}, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ParamOf["open"] != "x" || u.ParamOf["close"] != "x" {
+		t.Errorf("ParamOf = %v", u.ParamOf)
+	}
+	if !u.IsParametric() {
+		t.Error("union of parametric properties is parametric")
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	if _, err := Union(Options{}); err == nil {
+		t.Error("empty union should error")
+	}
+}
+
+func TestUnionSingle(t *testing.T) {
+	a := MustCompile(privSrc)
+	u, err := Union(Options{}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range [][]string{
+		{"seteuid_zero", "execl"},
+		{"seteuid_zero", "seteuid_nonzero", "execl"},
+		{"execl"},
+	} {
+		if a.Machine.AcceptsNames(w...) != u.Machine.AcceptsNames(w...) {
+			t.Errorf("single union changed language on %v", w)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"rasc/internal/dfa"
+)
+
+const privilegeSrc = `
+# Figure 3: process privilege property.
+start state Unpriv :
+    | seteuid_zero -> Priv;
+
+state Priv :
+    | seteuid_nonzero -> Unpriv
+    | execl -> Error;
+
+accept state Error;
+`
+
+const fileSrc = `
+// Figure 5: file state tracking with a parametric symbol.
+start state Closed :
+    | open(x) -> Opened;
+
+accept state Opened :
+    | close(x) -> Closed;
+`
+
+func TestParsePrivilege(t *testing.T) {
+	ast, err := Parse(privilegeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ast.States) != 3 {
+		t.Fatalf("got %d states, want 3", len(ast.States))
+	}
+	if !ast.States[0].IsStart || ast.States[0].Name != "Unpriv" {
+		t.Error("first decl should be start state Unpriv")
+	}
+	if !ast.States[2].IsAccept || len(ast.States[2].Arms) != 0 {
+		t.Error("Error should be an accept state with no arms")
+	}
+	if len(ast.States[1].Arms) != 2 {
+		t.Error("Priv should have two arms")
+	}
+}
+
+func TestCompilePrivilege(t *testing.T) {
+	p, err := Compile(privilegeSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Machine
+	if m.NumStates != 3 {
+		t.Fatalf("machine has %d states, want 3", m.NumStates)
+	}
+	if !p.IsMinimal() {
+		t.Error("privilege machine should already be minimal")
+	}
+	if !m.AcceptsNames("seteuid_zero", "execl") {
+		t.Error("violating trace should accept")
+	}
+	if m.AcceptsNames("seteuid_zero", "seteuid_nonzero", "execl") {
+		t.Error("safe trace should not accept")
+	}
+	// Stuttering: execl in Unpriv self-loops.
+	if m.AcceptsNames("execl") {
+		t.Error("unprivileged execl should self-loop")
+	}
+	if p.Mon.Size() == 0 {
+		t.Error("monoid not built")
+	}
+	if p.IsParametric() {
+		t.Error("privilege property has no parameters")
+	}
+	if p.StateOf["Error"] != dfa.State(2) {
+		t.Error("state mapping lost")
+	}
+}
+
+func TestCompileParametric(t *testing.T) {
+	p, err := Compile(fileSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsParametric() {
+		t.Fatal("file property should be parametric")
+	}
+	if p.ParamOf["open"] != "x" || p.ParamOf["close"] != "x" {
+		t.Errorf("ParamOf = %v", p.ParamOf)
+	}
+	// open then close returns to Closed (not accepting); open alone accepts.
+	if !p.Machine.AcceptsNames("open") {
+		t.Error("open should reach the accepting Opened state")
+	}
+	if p.Machine.AcceptsNames("open", "close") {
+		t.Error("open;close should return to Closed")
+	}
+}
+
+func TestCompileMinimizeOption(t *testing.T) {
+	// Redundant state B behaves exactly like A.
+	src := `
+start state S :
+    | a -> A
+    | b -> B;
+accept state A :
+    | a -> A;
+accept state B :
+    | a -> A;
+`
+	p, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsMinimal() {
+		t.Fatal("test machine should be non-minimal")
+	}
+	pm, err := Compile(src, Options{Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Machine.NumStates >= p.Machine.NumStates {
+		t.Error("Minimize did not shrink the machine")
+	}
+	if !pm.IsMinimal() {
+		t.Error("minimized machine should be minimal")
+	}
+	// Language preserved.
+	for _, w := range [][]string{{"a"}, {"b"}, {"a", "a"}, {"b", "a"}, {}} {
+		if p.Machine.AcceptsNames(w...) != pm.Machine.AcceptsNames(w...) {
+			t.Errorf("language changed on %v", w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "empty specification"},
+		{"missing semi", "start state A", "expected ';'"},
+		{"bad token", "start state A $;", "unexpected character"},
+		{"arrow", "start state A : | x - B;", "expected '->'"},
+		{"no arms", "start state A : ;", "at least one"},
+		{"dup start qual", "start start state A;", "duplicate 'start'"},
+		{"not a decl", "foo;", "expected 'start', 'accept' or 'state'"},
+		{"missing target", "start state A : | x -> ;", "expected target state"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no start", "state A; accept state B;", "no start state"},
+		{"no accept", "start state A;", "no accept state"},
+		{"two starts", "start state A; start state B; accept state C;", "second start state"},
+		{"dup state", "start state A; accept state A;", "duplicate state"},
+		{"bad target", "start state A : | x -> Z; accept state B;", "undeclared target"},
+		{"dup transition", "start state A : | x -> A | x -> B; accept state B;", "two transitions"},
+		{"param clash", "start state A : | f(x) -> A | g -> B; accept state B : | f(y) -> A;",
+			"inconsistent parameters"},
+		{"param vs none", "start state A : | f(x) -> A | f -> B; accept state B;",
+			"inconsistent parameters"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, Options{})
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "# leading\n// also this\nstart state A : // trailing\n | x -> B; # end\naccept state B;\n"
+	p, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Machine.AcceptsNames("x") {
+		t.Error("comments broke compilation")
+	}
+}
+
+func TestSymbolLookup(t *testing.T) {
+	p := MustCompile(privilegeSrc)
+	if _, ok := p.Symbol("execl"); !ok {
+		t.Error("execl should be interned")
+	}
+	if _, ok := p.Symbol("nonsense"); ok {
+		t.Error("nonsense should be unknown")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on bad input")
+		}
+	}()
+	MustCompile("garbage $$")
+}
+
+// Monoid of the compiled privilege property matches the hand analysis in
+// the monoid package tests.
+func TestCompiledMonoid(t *testing.T) {
+	p := MustCompile(privilegeSrc)
+	f0, ok := p.Mon.SymbolFuncByName("seteuid_zero")
+	if !ok {
+		t.Fatal("seteuid_zero missing")
+	}
+	f2, _ := p.Mon.SymbolFuncByName("execl")
+	bad := p.Mon.Then(f0, f2)
+	if !p.Mon.Accepting(bad) {
+		t.Error("seteuid_zero·execl should accept")
+	}
+}
+
+// FromRegex: the 1-bit gen/kill language as the expression of §3.3
+// ("ends generated"): (g|k)* g — and its monoid is the same 3 functions.
+func TestFromRegex(t *testing.T) {
+	p, err := FromRegex("(g | k)* g", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Machine.AcceptsNames("g") || p.Machine.AcceptsNames("g", "k") || !p.Machine.AcceptsNames("k", "g") {
+		t.Error("wrong language")
+	}
+	if p.Mon.Size() != 3 {
+		t.Errorf("|F^≡| = %d, want 3", p.Mon.Size())
+	}
+	if _, err := FromRegex("((", Options{}); err == nil {
+		t.Error("bad regex should error")
+	}
+}

@@ -1,0 +1,279 @@
+// Package synth generates synthetic mini-C workloads for the Table 1
+// experiment. The paper checked the process-privilege property on
+// VixieCron 3.0.1 (4k lines), At 3.1.8 (6k), Sendmail 8.12.8 (222k) and
+// Apache 2.0.40 (229k); those sources (and the exact MOPS harness) are not
+// part of this reproduction, so we generate seeded random programs with
+// matching statement counts, realistic call structure (a call DAG with
+// branches and loops), and injected privilege patterns — mostly safe
+// grant/drop/exec sequences plus a configurable number of unsafe sites
+// where the drop is missing on one branch. What Table 1 measures is how
+// the two engines scale with program size on a fixed 11-state property,
+// and that is preserved.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes program generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Functions is the number of function definitions.
+	Functions int
+	// StmtsPerFn is the average number of statements per function.
+	StmtsPerFn int
+	// CallProb is the probability a statement calls another defined
+	// function (wired as a DAG: callees have higher indices).
+	CallProb float64
+	// BranchProb and LoopProb control control-flow shape.
+	BranchProb float64
+	LoopProb   float64
+	// SafePatterns is the number of safe grant/drop/exec sequences.
+	SafePatterns int
+	// UnsafePatterns is the number of injected violations (drop missing
+	// on one branch).
+	UnsafePatterns int
+	// FullProperty switches the injected patterns to the syscall
+	// vocabulary of the complete Table 1 privilege model (setgroups +
+	// setresuid drops); with it, violation counts depend on pattern
+	// order along paths (a full drop is permanent), so benchmarks
+	// compare verdicts rather than counts.
+	FullProperty bool
+}
+
+// Named is a labeled configuration, e.g. a Table 1 row.
+type Named struct {
+	Name string
+	// Lines is the paper's reported size for the package.
+	Lines int
+	// Programs is the paper's number of executables in the package.
+	Programs int
+	Config   Config
+}
+
+// Table1 returns configurations matching the four packages of Table 1.
+// Statement counts approximate the reported line counts; each "package"
+// is checked as Programs separate executables of Lines/Programs lines,
+// exactly as the paper checks each executable separately.
+func Table1() []Named {
+	mk := func(name string, lines, programs, unsafe int, seed int64) Named {
+		perProgram := lines / programs
+		fns := perProgram / 40
+		if fns < 4 {
+			fns = 4
+		}
+		return Named{
+			Name:     name,
+			Lines:    lines,
+			Programs: programs,
+			Config: Config{
+				Seed:           seed,
+				Functions:      fns,
+				StmtsPerFn:     perProgram / fns,
+				CallProb:       0.08,
+				BranchProb:     0.12,
+				LoopProb:       0.05,
+				SafePatterns:   2 + perProgram/2000,
+				UnsafePatterns: unsafe,
+				FullProperty:   true,
+			},
+		}
+	}
+	return []Named{
+		mk("VixieCron 3.0.1", 4000, 2, 1, 41),
+		mk("At 3.1.8", 6000, 2, 1, 42),
+		mk("Sendmail 8.12.8", 222000, 1, 2, 43),
+		mk("Apache 2.0.40", 229000, 1, 0, 44),
+	}
+}
+
+// Generate produces one program's mini-C source.
+func Generate(cfg Config) string {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &gen{cfg: cfg, r: r}
+	return g.program()
+}
+
+type gen struct {
+	cfg  Config
+	r    *rand.Rand
+	b    strings.Builder
+	next int // fresh name counter
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.next++
+	return fmt.Sprintf("%s%d", prefix, g.next)
+}
+
+// program lays out functions fn0..fnN-1 plus main; fnI may call fnJ for
+// J > I, keeping the call graph acyclic (plus occasional self-recursion).
+func (g *gen) program() string {
+	n := g.cfg.Functions
+	// Decide where to put the privilege patterns: function index -> kind.
+	type pat struct{ unsafe bool }
+	patterns := map[int][]pat{}
+	for i := 0; i < g.cfg.SafePatterns; i++ {
+		f := g.r.Intn(n)
+		patterns[f] = append(patterns[f], pat{false})
+	}
+	for i := 0; i < g.cfg.UnsafePatterns; i++ {
+		f := g.r.Intn(n)
+		patterns[f] = append(patterns[f], pat{true})
+	}
+	for i := n - 1; i >= 0; i-- {
+		fmt.Fprintf(&g.b, "void fn%d(int a) {\n", i)
+		for _, p := range patterns[i] {
+			if p.unsafe {
+				g.unsafePattern()
+			} else {
+				g.safePattern()
+			}
+		}
+		// Guarantee a call chain fn0 → fn1 → …, so every injected
+		// pattern is reachable from main and the expected violation
+		// count is exactly UnsafePatterns.
+		if i+1 < n {
+			fmt.Fprintf(&g.b, "    fn%d(a);\n", i+1)
+		}
+		g.body(i, g.cfg.StmtsPerFn, 1)
+		g.b.WriteString("}\n")
+	}
+	g.b.WriteString("void main() {\n")
+	g.b.WriteString("    fn0(1);\n")
+	// main also calls a few random functions.
+	calls := g.r.Intn(3)
+	for i := 0; i < calls; i++ {
+		fmt.Fprintf(&g.b, "    fn%d(%d);\n", g.r.Intn(n), g.r.Intn(100))
+	}
+	g.body(-1, g.cfg.StmtsPerFn/2, 1)
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+func (g *gen) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		g.b.WriteString("    ")
+	}
+}
+
+// body emits about budget statements for function index fn (-1 = main).
+func (g *gen) body(fn, budget, depth int) {
+	for s := 0; s < budget; s++ {
+		switch {
+		case depth < 3 && g.r.Float64() < g.cfg.BranchProb:
+			inner := 1 + g.r.Intn(4)
+			g.indent(depth)
+			fmt.Fprintf(&g.b, "if (x%d < %d) {\n", g.r.Intn(8), g.r.Intn(100))
+			g.body(fn, inner, depth+1)
+			if g.r.Intn(2) == 0 {
+				g.indent(depth)
+				g.b.WriteString("} else {\n")
+				g.body(fn, inner, depth+1)
+			}
+			g.indent(depth)
+			g.b.WriteString("}\n")
+			s += inner
+		case depth < 3 && g.r.Float64() < g.cfg.LoopProb:
+			inner := 1 + g.r.Intn(3)
+			g.indent(depth)
+			fmt.Fprintf(&g.b, "while (x%d) {\n", g.r.Intn(8))
+			g.body(fn, inner, depth+1)
+			g.indent(depth)
+			g.b.WriteString("}\n")
+			s += inner
+		case fn >= 0 && fn+1 < g.cfg.Functions && g.r.Float64() < g.cfg.CallProb:
+			callee := fn + 1 + g.r.Intn(g.cfg.Functions-fn-1)
+			g.indent(depth)
+			fmt.Fprintf(&g.b, "fn%d(%d);\n", callee, g.r.Intn(100))
+		default:
+			g.indent(depth)
+			fmt.Fprintf(&g.b, "work%d(%d);\n", g.r.Intn(50), g.r.Intn(100))
+		}
+	}
+}
+
+// safePattern grants, drops, then execs: no violation.
+func (g *gen) safePattern() {
+	if g.cfg.FullProperty {
+		// A full drop (groups + all uids) is safe from any state.
+		g.b.WriteString("    setgroups(0);\n")
+		g.b.WriteString("    setresuid(u, u, u);\n")
+		fmt.Fprintf(&g.b, "    execl(\"/bin/%s\", \"x\");\n", g.fresh("safe"))
+		return
+	}
+	g.b.WriteString("    seteuid(0);\n")
+	g.b.WriteString("    seteuid(getuid());\n")
+	fmt.Fprintf(&g.b, "    execl(\"/bin/%s\", \"x\");\n", g.fresh("safe"))
+}
+
+// unsafePattern misses the drop on the else branch (the §6.3 bug), then
+// cleans up so privilege does not leak into unrelated code.
+func (g *gen) unsafePattern() {
+	if g.cfg.FullProperty {
+		fmt.Fprintf(&g.b, "    if (x%d) {\n", g.r.Intn(8))
+		g.b.WriteString("        setresuid(u, u, u);\n")
+		g.b.WriteString("    }\n")
+		fmt.Fprintf(&g.b, "    execl(\"/bin/%s\", \"x\");\n", g.fresh("unsafe"))
+		return
+	}
+	g.b.WriteString("    seteuid(0);\n")
+	fmt.Fprintf(&g.b, "    if (x%d) {\n", g.r.Intn(8))
+	g.b.WriteString("        seteuid(getuid());\n")
+	g.b.WriteString("    }\n")
+	fmt.Fprintf(&g.b, "    execl(\"/bin/%s\", \"x\");\n", g.fresh("unsafe"))
+	g.b.WriteString("    seteuid(getuid());\n")
+}
+
+// TaintConfig parameterizes taint workload generation (for the bit-vector
+// experiment): like Config but with source/sanitize/sink patterns.
+type TaintConfig struct {
+	Seed       int64
+	Functions  int
+	StmtsPerFn int
+	CallProb   float64
+	// Tainted and Cleaned count injected sink-reaching and sanitized
+	// flows respectively.
+	Tainted int
+	Cleaned int
+}
+
+// GenerateTaint produces a taint-analysis workload.
+func GenerateTaint(cfg TaintConfig) string {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &gen{cfg: Config{
+		Seed: cfg.Seed, Functions: cfg.Functions, StmtsPerFn: cfg.StmtsPerFn,
+		CallProb: cfg.CallProb, BranchProb: 0.1, LoopProb: 0.04,
+	}, r: r}
+	n := cfg.Functions
+	taint := map[int]int{}
+	clean := map[int]int{}
+	for i := 0; i < cfg.Tainted; i++ {
+		taint[r.Intn(n)]++
+	}
+	for i := 0; i < cfg.Cleaned; i++ {
+		clean[r.Intn(n)]++
+	}
+	for i := n - 1; i >= 0; i-- {
+		fmt.Fprintf(&g.b, "void fn%d(int a) {\n", i)
+		for j := 0; j < taint[i]; j++ {
+			v := g.fresh("t")
+			fmt.Fprintf(&g.b, "    int %s = source();\n    sink(%s);\n", v, v)
+		}
+		for j := 0; j < clean[i]; j++ {
+			v := g.fresh("c")
+			fmt.Fprintf(&g.b, "    int %s = source();\n    sanitize(%s);\n    sink(%s);\n", v, v, v)
+		}
+		g.body(i, cfg.StmtsPerFn, 1)
+		g.b.WriteString("}\n")
+	}
+	g.b.WriteString("void main() {\n")
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(&g.b, "    fn%d(1);\n", r.Intn(n))
+	}
+	g.b.WriteString("}\n")
+	return g.b.String()
+}

@@ -1,0 +1,258 @@
+// Package terms implements constructor signatures and hash-consed
+// annotated ground terms: the M-annotated domain T^M of §2.3 of the paper.
+// Every constructor in a term carries its own annotation (a representative
+// function standing for a ≡_M class of words); the append operation ·w
+// extends the annotation at every level of the term.
+//
+// Hash-consing is the memory optimization called out in §8: because the
+// solver omits representative function variables during resolution, terms
+// can be interned aggressively, and structurally equal terms share one
+// node.
+package terms
+
+import (
+	"fmt"
+	"strings"
+
+	"rasc/internal/monoid"
+)
+
+// ConsID identifies a constructor within a Signature.
+type ConsID int32
+
+// Variance of a constructor argument. The paper's domain (§2.1) is
+// covariant; contravariant arguments (Banshee-style, used by the
+// points-to encoding's ref "set" component) reverse the derived flow in
+// the structural rule.
+type Variance int8
+
+// Argument variances.
+const (
+	Covariant Variance = iota
+	Contravariant
+)
+
+// Constructor is a named constructor with a fixed arity. Constants are
+// constructors of arity zero. Variances has one entry per argument; nil
+// means all covariant.
+type Constructor struct {
+	Name      string
+	Arity     int
+	Variances []Variance
+}
+
+// Signature interns constructors by name. Declaring the same name twice
+// with different arities is an error.
+type Signature struct {
+	cons  []Constructor
+	index map[string]ConsID
+}
+
+// NewSignature returns an empty signature.
+func NewSignature() *Signature {
+	return &Signature{index: make(map[string]ConsID)}
+}
+
+// Declare interns a covariant constructor, checking arity consistency.
+func (s *Signature) Declare(name string, arity int) (ConsID, error) {
+	return s.DeclareVariance(name, arity, nil)
+}
+
+// DeclareVariance interns a constructor with explicit argument variances
+// (nil = all covariant).
+func (s *Signature) DeclareVariance(name string, arity int, variances []Variance) (ConsID, error) {
+	if id, ok := s.index[name]; ok {
+		if s.cons[id].Arity != arity {
+			return 0, fmt.Errorf("terms: constructor %q redeclared with arity %d (was %d)",
+				name, arity, s.cons[id].Arity)
+		}
+		return id, nil
+	}
+	if arity < 0 {
+		return 0, fmt.Errorf("terms: constructor %q has negative arity", name)
+	}
+	if variances != nil && len(variances) != arity {
+		return 0, fmt.Errorf("terms: constructor %q has %d variances for arity %d",
+			name, len(variances), arity)
+	}
+	id := ConsID(len(s.cons))
+	s.cons = append(s.cons, Constructor{name, arity, append([]Variance{}, variances...)})
+	s.index[name] = id
+	return id, nil
+}
+
+// MustDeclare is Declare that panics on error.
+func (s *Signature) MustDeclare(name string, arity int) ConsID {
+	id, err := s.Declare(name, arity)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Lookup returns the constructor id for name.
+func (s *Signature) Lookup(name string) (ConsID, bool) {
+	id, ok := s.index[name]
+	return id, ok
+}
+
+// Cons returns the constructor for id.
+func (s *Signature) Cons(id ConsID) Constructor { return s.cons[id] }
+
+// Arity returns the arity of id.
+func (s *Signature) Arity(id ConsID) int { return s.cons[id].Arity }
+
+// VarianceOf returns the variance of argument i of id.
+func (s *Signature) VarianceOf(id ConsID, i int) Variance {
+	v := s.cons[id].Variances
+	if len(v) == 0 {
+		return Covariant
+	}
+	return v[i]
+}
+
+// Name returns the name of id.
+func (s *Signature) Name(id ConsID) string { return s.cons[id].Name }
+
+// Size returns the number of declared constructors.
+func (s *Signature) Size() int { return len(s.cons) }
+
+// TermID identifies a hash-consed term within a Bank.
+type TermID int32
+
+// NoTerm is the absence of a term.
+const NoTerm TermID = -1
+
+type termData struct {
+	cons  ConsID
+	annot monoid.FuncID
+	args  []TermID
+}
+
+// Bank hash-conses annotated ground terms over a signature.
+type Bank struct {
+	Sig   *Signature
+	terms []termData
+	index map[string]TermID
+}
+
+// NewBank returns an empty term bank.
+func NewBank(sig *Signature) *Bank {
+	return &Bank{Sig: sig, index: make(map[string]TermID)}
+}
+
+func termKey(cons ConsID, annot monoid.FuncID, args []TermID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d^%d(", cons, annot)
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", a)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Mk interns the term cons^annot(args...). The number of args must match
+// the constructor's arity.
+func (b *Bank) Mk(cons ConsID, annot monoid.FuncID, args ...TermID) (TermID, error) {
+	if got, want := len(args), b.Sig.Arity(cons); got != want {
+		return NoTerm, fmt.Errorf("terms: %s applied to %d args, want %d", b.Sig.Name(cons), got, want)
+	}
+	k := termKey(cons, annot, args)
+	if id, ok := b.index[k]; ok {
+		return id, nil
+	}
+	id := TermID(len(b.terms))
+	b.terms = append(b.terms, termData{cons, annot, append([]TermID{}, args...)})
+	b.index[k] = id
+	return id, nil
+}
+
+// MustMk is Mk that panics on error.
+func (b *Bank) MustMk(cons ConsID, annot monoid.FuncID, args ...TermID) TermID {
+	id, err := b.Mk(cons, annot, args...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Cons returns the root constructor of t.
+func (b *Bank) Cons(t TermID) ConsID { return b.terms[t].cons }
+
+// Annot returns the root annotation of t.
+func (b *Bank) Annot(t TermID) monoid.FuncID { return b.terms[t].annot }
+
+// Args returns the argument terms of t (do not mutate).
+func (b *Bank) Args(t TermID) []TermID { return b.terms[t].args }
+
+// Size returns the number of interned terms.
+func (b *Bank) Size() int { return len(b.terms) }
+
+// Append implements the ·w operation of §2.3 over representative
+// functions: every annotation in the term is extended by f
+// (c^w(t1,…,tn)·w' = c^{ww'}(t1·w', …, tn·w')). Hash-consing makes the
+// rebuilt term share structure with existing terms.
+func (b *Bank) Append(t TermID, f monoid.FuncID, mon *monoid.Monoid) TermID {
+	if f == mon.Identity() {
+		return t
+	}
+	d := b.terms[t]
+	args := make([]TermID, len(d.args))
+	for i, a := range d.args {
+		args[i] = b.Append(a, f, mon)
+	}
+	return b.MustMk(d.cons, mon.Then(d.annot, f), args...)
+}
+
+// Equiv implements ≡_M on terms: equal constructors, ≡_M-equal
+// annotations (identical FuncIDs, since the monoid already quotients by
+// ≡_M) and pointwise-equivalent arguments. With hash-consing this reduces
+// to identity.
+func (b *Bank) Equiv(s, t TermID) bool { return s == t }
+
+// String renders t in the paper's notation, using mon for annotation
+// names when non-nil.
+func (b *Bank) String(t TermID, mon *monoid.Monoid) string {
+	var sb strings.Builder
+	b.render(&sb, t, mon)
+	return sb.String()
+}
+
+func (b *Bank) render(sb *strings.Builder, t TermID, mon *monoid.Monoid) {
+	d := b.terms[t]
+	sb.WriteString(b.Sig.Name(d.cons))
+	if mon != nil {
+		if d.annot == mon.Identity() {
+			sb.WriteString("^ε")
+		} else {
+			fmt.Fprintf(sb, "^[%s]", strings.Join(mon.WitnessNames(d.annot), " "))
+		}
+	} else {
+		fmt.Fprintf(sb, "^%d", d.annot)
+	}
+	if len(d.args) > 0 {
+		sb.WriteByte('(')
+		for i, a := range d.args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			b.render(sb, a, mon)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// Depth returns the constructor depth of t (constants have depth 1).
+func (b *Bank) Depth(t TermID) int {
+	d := b.terms[t]
+	max := 0
+	for _, a := range d.args {
+		if dep := b.Depth(a); dep > max {
+			max = dep
+		}
+	}
+	return max + 1
+}

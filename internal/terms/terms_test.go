@@ -1,0 +1,198 @@
+package terms
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rasc/internal/dfa"
+	"rasc/internal/monoid"
+)
+
+func oneBitMonoid(t testing.TB) *monoid.Monoid {
+	t.Helper()
+	alpha := dfa.NewAlphabet("g", "k")
+	d := dfa.NewDFA(alpha, 2, 0)
+	g, _ := alpha.Lookup("g")
+	k, _ := alpha.Lookup("k")
+	d.SetTransition(0, g, 1)
+	d.SetTransition(1, g, 1)
+	d.SetTransition(0, k, 0)
+	d.SetTransition(1, k, 0)
+	d.SetAccept(1)
+	m, err := monoid.Build(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSignature(t *testing.T) {
+	sig := NewSignature()
+	c, err := sig.Declare("c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Name(c) != "c" || sig.Arity(c) != 1 {
+		t.Error("declare/lookup mismatch")
+	}
+	c2, err := sig.Declare("c", 1)
+	if err != nil || c2 != c {
+		t.Error("re-declaration with same arity should return same id")
+	}
+	if _, err := sig.Declare("c", 2); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if _, err := sig.Declare("bad", -1); err == nil {
+		t.Error("negative arity should error")
+	}
+	if _, ok := sig.Lookup("missing"); ok {
+		t.Error("missing constructor should not be found")
+	}
+	if sig.Size() != 1 {
+		t.Errorf("Size = %d, want 1", sig.Size())
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	mon := oneBitMonoid(t)
+	sig := NewSignature()
+	c := sig.MustDeclare("c", 0)
+	o := sig.MustDeclare("o", 1)
+
+	b := NewBank(sig)
+	t1 := b.MustMk(c, mon.Identity())
+	t2 := b.MustMk(c, mon.Identity())
+	if t1 != t2 {
+		t.Error("identical terms must be shared")
+	}
+	u1 := b.MustMk(o, mon.Identity(), t1)
+	u2 := b.MustMk(o, mon.Identity(), t2)
+	if u1 != u2 {
+		t.Error("identical compound terms must be shared")
+	}
+	if b.Size() != 2 {
+		t.Errorf("bank has %d terms, want 2", b.Size())
+	}
+	fg, _ := mon.SymbolFuncByName("g")
+	u3 := b.MustMk(o, fg, t1)
+	if u3 == u1 {
+		t.Error("different annotations must not be shared")
+	}
+}
+
+func TestMkArityCheck(t *testing.T) {
+	mon := oneBitMonoid(t)
+	sig := NewSignature()
+	o := sig.MustDeclare("o", 1)
+	b := NewBank(sig)
+	if _, err := b.Mk(o, mon.Identity()); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+// The ·w operation appends at every level (§2.3):
+// c^w(t1,…)·w' = c^{ww'}(t1·w', …).
+func TestAppendAllLevels(t *testing.T) {
+	mon := oneBitMonoid(t)
+	fg, _ := mon.SymbolFuncByName("g")
+	fk, _ := mon.SymbolFuncByName("k")
+
+	sig := NewSignature()
+	c := sig.MustDeclare("c", 0)
+	o := sig.MustDeclare("o", 1)
+	b := NewBank(sig)
+
+	inner := b.MustMk(c, fg)
+	outer := b.MustMk(o, mon.Identity(), inner)
+	res := b.Append(outer, fk, mon)
+
+	if b.Annot(res) != fk {
+		t.Errorf("outer annotation = %s, want f_k (ε·k)", mon.String(b.Annot(res)))
+	}
+	in := b.Args(res)[0]
+	if b.Annot(in) != mon.Then(fg, fk) {
+		t.Errorf("inner annotation = %s, want g·k", mon.String(b.Annot(in)))
+	}
+}
+
+func TestAppendIdentityIsNoop(t *testing.T) {
+	mon := oneBitMonoid(t)
+	sig := NewSignature()
+	c := sig.MustDeclare("c", 0)
+	b := NewBank(sig)
+	t1 := b.MustMk(c, mon.Identity())
+	if b.Append(t1, mon.Identity(), mon) != t1 {
+		t.Error("appending ε must be the identity")
+	}
+}
+
+// Lemma 2.2 via hash-consing: t ≡ t' implies t·w ≡ t'·w, trivially because
+// equivalent terms are the same TermID; check Append is deterministic.
+func TestQuickAppendHomomorphism(t *testing.T) {
+	mon := oneBitMonoid(t)
+	sig := NewSignature()
+	c := sig.MustDeclare("c", 0)
+	o := sig.MustDeclare("o", 1)
+	p := sig.MustDeclare("p", 2)
+	b := NewBank(sig)
+
+	var randTerm func(r *rand.Rand, depth int) TermID
+	randTerm = func(r *rand.Rand, depth int) TermID {
+		annot := monoid.FuncID(r.Intn(mon.Size()))
+		if depth == 0 || r.Intn(2) == 0 {
+			return b.MustMk(c, annot)
+		}
+		if r.Intn(2) == 0 {
+			return b.MustMk(o, annot, randTerm(r, depth-1))
+		}
+		return b.MustMk(p, annot, randTerm(r, depth-1), randTerm(r, depth-1))
+	}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tm := randTerm(r, 3)
+		f1 := monoid.FuncID(r.Intn(mon.Size()))
+		f2 := monoid.FuncID(r.Intn(mon.Size()))
+		// (t·f1)·f2 == t·(f1 then f2)
+		lhs := b.Append(b.Append(tm, f1, mon), f2, mon)
+		rhs := b.Append(tm, mon.Then(f1, f2), mon)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	mon := oneBitMonoid(t)
+	sig := NewSignature()
+	c := sig.MustDeclare("c", 0)
+	o := sig.MustDeclare("o", 1)
+	b := NewBank(sig)
+	t0 := b.MustMk(c, mon.Identity())
+	t1 := b.MustMk(o, mon.Identity(), t0)
+	t2 := b.MustMk(o, mon.Identity(), t1)
+	if b.Depth(t0) != 1 || b.Depth(t1) != 2 || b.Depth(t2) != 3 {
+		t.Error("depth wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	mon := oneBitMonoid(t)
+	fg, _ := mon.SymbolFuncByName("g")
+	sig := NewSignature()
+	c := sig.MustDeclare("pc", 0)
+	o := sig.MustDeclare("o1", 1)
+	b := NewBank(sig)
+	tm := b.MustMk(o, fg, b.MustMk(c, mon.Identity()))
+	s := b.String(tm, mon)
+	if !strings.Contains(s, "o1") || !strings.Contains(s, "pc") || !strings.Contains(s, "ε") {
+		t.Errorf("bad rendering %q", s)
+	}
+	s2 := b.String(tm, nil)
+	if !strings.Contains(s2, "o1") {
+		t.Errorf("bad rendering %q", s2)
+	}
+}

@@ -1,0 +1,145 @@
+// Package rasc is a Go implementation of regularly annotated set
+// constraints (Kodumal and Aiken, PLDI 2007): the cubic fragment of set
+// constraints extended with annotations drawn from a regular language,
+// expressing program analyses that combine one context-free and any
+// number of regular reachability properties.
+//
+// The facade re-exports the toolkit's main entry points; the
+// implementation lives under internal/:
+//
+//	internal/dfa        automata (subset construction, Hopcroft, products,
+//	                    prefix/suffix/substring machines)
+//	internal/monoid     representative functions F_M^≡ with composition
+//	                    tables, right/left congruences
+//	internal/spec       the annotation specification language of §8
+//	internal/subst      substitution environments (parametric annotations)
+//	internal/terms      hash-consed annotated terms
+//	internal/core       the constraint solver: bidirectional (online),
+//	                    forward and backward strategies; entailment, PN
+//	                    reachability and term-enumeration queries
+//	internal/minic      mini-C frontend for the model checker
+//	internal/pdm        pushdown model checking (§6)
+//	internal/mops       baseline post* pushdown checker (Table 1 foil)
+//	internal/flow       type-based flow analysis (§7) and its dual
+//	internal/bitvector  gen/kill dataflow (§3.3) + iterative baseline
+//	internal/synth      synthetic workloads for the §8 experiments
+//	internal/clang      textual constraint language (cmd/rasc)
+//
+// Quick start (see examples/quickstart):
+//
+//	prop := rasc.MustCompileSpec(`
+//	    start state Off : | g -> On;
+//	    accept state On : | k -> Off;
+//	`)
+//	sig := rasc.NewSignature()
+//	c := sig.MustDeclare("c", 0)
+//	sys := rasc.NewSystem(rasc.FuncAlgebra{Mon: prop.Mon}, sig, rasc.Options{})
+//	x, y := sys.Var("X"), sys.Var("Y")
+//	g, _ := prop.Mon.SymbolFuncByName("g")
+//	sys.AddLower(sys.Constant(c), x, rasc.Annot(g))
+//	sys.AddVarE(x, y)
+//	sys.Solve()
+//	sys.ConstEntailed(sys.Constant(c), y) // true: word "g" is accepted
+package rasc
+
+import (
+	"rasc/internal/core"
+	"rasc/internal/dfa"
+	"rasc/internal/monoid"
+	"rasc/internal/spec"
+	"rasc/internal/subst"
+	"rasc/internal/terms"
+)
+
+// Core solver API (see internal/core).
+type (
+	// System is a system of regularly annotated set constraints plus the
+	// bidirectional solver's state.
+	System = core.System
+	// Options configures solver optimizations.
+	Options = core.Options
+	// Annot is an interned annotation (a representative function or a
+	// substitution environment, per the system's Algebra).
+	Annot = core.Annot
+	// Algebra abstracts the annotation domain.
+	Algebra = core.Algebra
+	// FuncAlgebra annotates with representative functions.
+	FuncAlgebra = core.FuncAlgebra
+	// EnvAlgebra annotates with substitution environments (§6.4).
+	EnvAlgebra = core.EnvAlgebra
+	// TrivialAlgebra degrades the solver to plain set constraints.
+	TrivialAlgebra = core.TrivialAlgebra
+	// VarID identifies a set variable.
+	VarID = core.VarID
+	// CNode identifies a constructor expression.
+	CNode = core.CNode
+	// Clash is a manifestly inconsistent constraint.
+	Clash = core.Clash
+	// PNResult is a positive-negative reachability query result.
+	PNResult = core.PNResult
+)
+
+// Automata and monoids.
+type (
+	// DFA is a deterministic finite automaton.
+	DFA = dfa.DFA
+	// Alphabet interns symbol names.
+	Alphabet = dfa.Alphabet
+	// Monoid is a transition monoid F_M^≡ with its composition table.
+	Monoid = monoid.Monoid
+	// FuncID is a representative function.
+	FuncID = monoid.FuncID
+)
+
+// Specifications and terms.
+type (
+	// Property is a compiled annotation specification.
+	Property = spec.Property
+	// Signature interns constructors.
+	Signature = terms.Signature
+	// Bank hash-conses annotated ground terms.
+	Bank = terms.Bank
+	// SubstTable interns substitution environments.
+	SubstTable = subst.Table
+)
+
+// NewSystem returns an empty constraint system.
+func NewSystem(alg Algebra, sig *Signature, opts Options) *System {
+	return core.NewSystem(alg, sig, opts)
+}
+
+// NewSignature returns an empty constructor signature.
+func NewSignature() *Signature { return terms.NewSignature() }
+
+// NewBank returns an empty term bank over sig.
+func NewBank(sig *Signature) *Bank { return terms.NewBank(sig) }
+
+// CompileSpec compiles an annotation specification (§8 syntax) into a
+// Property: the automaton plus its representative functions.
+func CompileSpec(src string) (*Property, error) {
+	return spec.Compile(src, spec.Options{})
+}
+
+// MustCompileSpec panics on error.
+func MustCompileSpec(src string) *Property { return spec.MustCompile(src) }
+
+// BuildMonoid computes F_M^≡ for a machine; limit <= 0 uses the default
+// cap.
+func BuildMonoid(m *DFA, limit int) (*Monoid, error) { return monoid.Build(m, limit) }
+
+// NewSubstTable returns an empty substitution-environment table for
+// parametric annotations.
+func NewSubstTable(mon *Monoid) *SubstTable { return subst.NewTable(mon) }
+
+// Derived machines (§2.3, §5).
+var (
+	// SubstringMachine accepts substrings of L(M): the bidirectional
+	// solving domain.
+	SubstringMachine = dfa.SubstringMachine
+	// PrefixMachine accepts prefixes: the forward domain.
+	PrefixMachine = dfa.PrefixMachine
+	// SuffixMachine accepts suffixes: the backward domain.
+	SuffixMachine = dfa.SuffixMachine
+	// Minimize returns the minimal DFA (Hopcroft).
+	Minimize = dfa.Minimize
+)

@@ -1,0 +1,90 @@
+package rasc_test
+
+import (
+	"testing"
+
+	"rasc"
+)
+
+// The README quick start, as a test against the facade.
+func TestQuickStartFacade(t *testing.T) {
+	prop := rasc.MustCompileSpec(`
+start state Off : | g -> On;
+accept state On : | k -> Off;
+`)
+	sig := rasc.NewSignature()
+	c := sig.MustDeclare("c", 0)
+
+	sys := rasc.NewSystem(rasc.FuncAlgebra{Mon: prop.Mon}, sig, rasc.Options{})
+	x, y := sys.Var("X"), sys.Var("Y")
+	g, _ := prop.Mon.SymbolFuncByName("g")
+
+	sys.AddLower(sys.Constant(c), x, rasc.Annot(g))
+	sys.AddVarE(x, y)
+	sys.Solve()
+
+	if !sys.ConstEntailed(sys.Constant(c), y) {
+		t.Error("quick start flow lost")
+	}
+}
+
+func TestFacadeDerivedMachines(t *testing.T) {
+	prop := rasc.MustCompileSpec(`
+start state A : | a -> B;
+accept state B;
+`)
+	sub := rasc.SubstringMachine(prop.Machine)
+	if !sub.AcceptsNames() || !sub.AcceptsNames("a") {
+		t.Error("substring machine wrong")
+	}
+	pre := rasc.PrefixMachine(prop.Machine)
+	if !pre.AcceptsNames() {
+		t.Error("prefix machine wrong")
+	}
+	suf := rasc.SuffixMachine(prop.Machine)
+	if !suf.AcceptsNames("a") {
+		t.Error("suffix machine wrong")
+	}
+	if m := rasc.Minimize(prop.Machine); m.NumStates == 0 {
+		t.Error("minimize broke")
+	}
+}
+
+func TestFacadeMonoidAndSubst(t *testing.T) {
+	prop := rasc.MustCompileSpec(`
+start state Closed : | open(x) -> Opened;
+accept state Opened : | close(x) -> Closed;
+`)
+	mon, err := rasc.BuildMonoid(prop.Machine, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rasc.NewSubstTable(mon)
+	fOpen, _ := mon.SymbolFuncByName("open")
+	id := tab.Instantiate("x", "fd", fOpen)
+	if !tab.Accepting(id) {
+		t.Error("open(fd) should be accepting (Opened)")
+	}
+}
+
+func TestFacadeBankAndTerms(t *testing.T) {
+	prop := rasc.MustCompileSpec(`
+accept start state S : | s -> S;
+`)
+	sig := rasc.NewSignature()
+	c := sig.MustDeclare("c", 0)
+	o := sig.MustDeclare("o", 1)
+	sys := rasc.NewSystem(rasc.FuncAlgebra{Mon: prop.Mon}, sig, rasc.Options{})
+	x, y := sys.Var("x"), sys.Var("y")
+	sys.AddLowerE(sys.Constant(c), x)
+	sys.AddLowerE(sys.Cons(o, x), y)
+	sys.Solve()
+	bank := rasc.NewBank(sig)
+	terms := sys.TermsIn(y, bank, 3, 0)
+	if len(terms) != 1 {
+		t.Fatalf("terms = %d, want 1", len(terms))
+	}
+	if got := bank.String(terms[0], prop.Mon); got == "" {
+		t.Error("term rendering empty")
+	}
+}
