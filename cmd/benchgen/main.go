@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	benchgen [-kind priv|taint] [-seed N] [-functions N] [-stmts N]
+//	benchgen [-kind priv|taint|go] [-seed N] [-functions N] [-stmts N]
 //	         [-unsafe N] [-full]
+//	benchgen -kind go -gofiles 8 -outdir dir   # multi-file Go package
 //	benchgen -row "Sendmail 8.12.8"      # a Table 1 package's program
 //	benchgen -list                        # list Table 1 rows
 package main
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"rasc/internal/synth"
 )
@@ -26,6 +28,8 @@ func main() {
 	safe := flag.Int("safe", 3, "injected safe patterns")
 	full := flag.Bool("full", false, "use the full (11-state) property vocabulary")
 	row := flag.String("row", "", "generate a named Table 1 package program")
+	gofiles := flag.Int("gofiles", 4, "number of Go files (-kind go)")
+	outdir := flag.String("outdir", "", "write -kind go files into this directory")
 	list := flag.Bool("list", false, "list Table 1 rows")
 	flag.Parse()
 
@@ -57,6 +61,32 @@ func main() {
 			Seed: *seed, Functions: *functions, StmtsPerFn: *stmts,
 			CallProb: 0.12, Tainted: *unsafe, Cleaned: *safe,
 		}))
+	case "go":
+		files := synth.GenerateGo(synth.GoConfig{
+			Seed:          *seed,
+			Files:         *gofiles,
+			FuncsPerFile:  *functions,
+			StmtsPerFn:    *stmts,
+			UnsafePerFile: *unsafe,
+		})
+		if *outdir == "" {
+			for _, f := range files {
+				fmt.Printf("// ---- %s ----\n%s", f.Name, f.Src)
+			}
+			return
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			path := filepath.Join(*outdir, f.Name)
+			if err := os.WriteFile(path, []byte(f.Src), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "benchgen:", err)
+				os.Exit(1)
+			}
+			fmt.Println(path)
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "benchgen: unknown kind", *kind)
 		os.Exit(2)

@@ -1,85 +1,91 @@
-// Command gocheck model-checks real Go source against API-usage
-// properties, by translating the Go AST into the toolkit's intermediate
-// form and running the regularly-annotated-set-constraint engine.
+// Command gocheck is the package-level static-analysis driver for Go
+// sources: it loads files, directories or recursive dir/... trees,
+// translates them into the toolkit's intermediate form, and runs the
+// registered API-usage checkers (regularly-annotated-set-constraint
+// properties) concurrently over the package's entry functions.
 //
 // Usage:
 //
-//	gocheck [-prop doublelock|fileleak|taint|file.spec] [-entry fn] file.go
+//	gocheck [-checkers all|name,...] [-entry fn,...] [-format text|json|sarif]
+//	        [-parallel N] path...
+//	gocheck -list
 //
-// With -prop fileleak the report lists files possibly open when the entry
-// function returns; otherwise property violations are reported with
-// witness traces.
+// Diagnostics carry file:line positions from the original Go source and
+// witness traces. A //rasc:ignore or //rasc:ignore=checker,... line
+// comment suppresses findings reported on that line. Exit status is 3
+// when findings remain, 1 on errors, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"rasc/internal/bitvector"
+	"rasc/internal/analysis"
 	"rasc/internal/core"
-	"rasc/internal/gosrc"
-	"rasc/internal/minic"
-	"rasc/internal/spec"
 )
 
 func main() {
-	propFlag := flag.String("prop", "doublelock", "property: doublelock, fileleak, taint, or a .spec file")
-	entry := flag.String("entry", "main", "entry function")
+	checkersFlag := flag.String("checkers", "all", "comma-separated checker names, or all")
+	entryFlag := flag.String("entry", "", "comma-separated entry functions (default: package roots)")
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	list := flag.Bool("list", false, "list registered checkers and exit")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gocheck [flags] file.go")
-		os.Exit(2)
-	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	var prop *spec.Property
-	var events *minic.EventMap
-	switch *propFlag {
-	case "doublelock":
-		prop, events = gosrc.DoubleLockProperty(), gosrc.DoubleLockEvents()
-	case "fileleak":
-		prop, events = gosrc.FileLeakProperty(), gosrc.FileLeakEvents()
-	case "taint":
-		prop, events = bitvector.TaintProperty(), bitvector.TaintEvents()
-	default:
-		specSrc, err := os.ReadFile(*propFlag)
-		if err != nil {
-			fatal(err)
-		}
-		prop, err = spec.Compile(string(specSrc), spec.Options{})
-		if err != nil {
-			fatal(err)
-		}
-		events = gosrc.DoubleLockEvents()
-	}
 
-	res, err := gosrc.Check(string(src), prop, events, *entry, core.Options{})
-	if err != nil {
-		fatal(err)
-	}
-	if *propFlag == "fileleak" {
-		open := res.OpenInstancesAtExit(*entry)
-		if len(open) == 0 {
-			fmt.Println("no files possibly left open")
-			return
+	if *list {
+		for _, c := range analysis.All() {
+			fmt.Printf("%-12s %-7s %s\n", c.Name, c.Severity, c.Doc)
 		}
-		fmt.Println("possibly left open at exit:", open)
-		os.Exit(3)
-	}
-	if len(res.Violations) == 0 {
-		fmt.Println("no violations")
 		return
 	}
-	for _, v := range res.Violations {
-		fmt.Printf("%s:%d: %s\n", flag.Arg(0), v.Line, v.String())
-		for _, tp := range v.Trace {
-			fmt.Printf("    via %s:%d\n", tp.Fn, tp.Line)
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gocheck [flags] path...  (gocheck -list for checkers)")
+		os.Exit(2)
+	}
+	checkers, err := analysis.Resolve(*checkersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var entries []string
+	for _, e := range strings.Split(*entryFlag, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			entries = append(entries, e)
 		}
 	}
-	os.Exit(3)
+
+	pkg, err := analysis.LoadPaths(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := analysis.Analyze(pkg, analysis.Config{
+		Checkers: checkers,
+		Entries:  entries,
+		Parallel: *parallel,
+		Opts:     core.Options{},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "text":
+		err = rep.Text(os.Stdout)
+	case "json":
+		err = rep.JSON(os.Stdout)
+	case "sarif":
+		err = rep.SARIF(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "gocheck: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if rep.HasFindings() {
+		os.Exit(3)
+	}
 }
 
 func fatal(err error) {

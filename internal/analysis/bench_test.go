@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rasc/internal/gosrc"
+	"rasc/internal/synth"
+)
+
+// benchPackage loads a synthetic multi-file Go package (benchgen-style
+// corpus) once; jobs are (checker x root) pairs, one root per file.
+func benchPackage(tb testing.TB, files int) *Package {
+	tb.Helper()
+	gen := synth.GenerateGo(synth.GoConfig{
+		Seed:          7,
+		Files:         files,
+		FuncsPerFile:  6,
+		StmtsPerFn:    25,
+		UnsafePerFile: 2,
+	})
+	in := make([]gosrc.File, len(gen))
+	for i, f := range gen {
+		in[i] = gosrc.File{Name: f.Name, Src: f.Src}
+	}
+	pkg, err := LoadFiles(in)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pkg
+}
+
+// BenchmarkDriver measures the whole-package analysis at worker-pool
+// sizes 1 and GOMAXPROCS; the per-job solves are independent, so the
+// parallel run should scale with cores.
+func BenchmarkDriver(b *testing.B) {
+	pkg := benchPackage(b, 8)
+	pools := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pools = append(pools, n)
+	} else {
+		// Single-core machine: still exercise the pool path so the
+		// comparison exists, even though no speedup is possible.
+		pools = append(pools, 4)
+	}
+	for _, par := range pools {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := Analyze(pkg, Config{Parallel: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Diagnostics) == 0 {
+					b.Fatal("benchmark corpus must produce findings")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"rasc/internal/bitvector"
+	"rasc/internal/gosrc"
+)
+
+// The built-in checker suite: the Go-facing properties already in the
+// toolkit (doublelock, fileleak, taint) plus the sql.Rows and
+// sync.WaitGroup typestate checkers.
+func init() {
+	Register(&Checker{
+		Name:        "doublelock",
+		Doc:         "sync.Mutex locked while held, or unlocked while not held",
+		Severity:    SeverityError,
+		Mode:        ModeViolations,
+		NewProperty: gosrc.DoubleLockProperty,
+		NewEvents:   gosrc.DoubleLockEvents,
+		Message:     "mutex %s locked while already held (or unlocked while not held)",
+	})
+	Register(&Checker{
+		Name:        "fileleak",
+		Doc:         "file opened with os.Open/OpenFile/Create possibly not closed",
+		Severity:    SeverityWarning,
+		Mode:        ModeLeakAtExit,
+		NewProperty: gosrc.FileLeakProperty,
+		NewEvents:   gosrc.FileLeakEvents,
+		Message:     "file %s possibly still open when the entry function returns",
+	})
+	Register(&Checker{
+		Name:        "taint",
+		Doc:         "value from source() reaches sink() without sanitize()",
+		Severity:    SeverityError,
+		Mode:        ModeViolations,
+		NewProperty: bitvector.TaintProperty,
+		NewEvents:   bitvector.TaintEvents,
+		Message:     "tainted value %s reaches a sink unsanitized",
+	})
+	Register(&Checker{
+		Name:        "sqlrows",
+		Doc:         "sql.Rows from Query/QueryContext possibly not closed",
+		Severity:    SeverityWarning,
+		Mode:        ModeLeakAtExit,
+		NewProperty: gosrc.SQLRowsProperty,
+		NewEvents:   gosrc.SQLRowsEvents,
+		Message:     "rows %s possibly still open when the entry function returns",
+	})
+	Register(&Checker{
+		Name:        "waitgroup",
+		Doc:         "sync.WaitGroup.Add called after Wait has started",
+		Severity:    SeverityError,
+		Mode:        ModeViolations,
+		NewProperty: gosrc.WaitGroupProperty,
+		NewEvents:   gosrc.WaitGroupEvents,
+		Message:     "WaitGroup %s: Add after Wait (reuse without a new round of Adds)",
+	})
+}

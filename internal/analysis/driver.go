@@ -1,0 +1,369 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"rasc/internal/core"
+	"rasc/internal/gosrc"
+	"rasc/internal/minic"
+	"rasc/internal/pdm"
+)
+
+// Package is a loaded and translated set of Go sources, ready to be
+// analyzed any number of times.
+type Package struct {
+	// Files in load order.
+	Files []gosrc.File
+	// Tr is the merged translation (program, notes, ignore directives).
+	Tr *gosrc.Translation
+
+	rootsOnce sync.Once
+	roots     []string
+}
+
+// Config drives one Analyze run.
+type Config struct {
+	// Checkers to run; nil means every registered checker.
+	Checkers []*Checker
+	// Entries are the entry functions; nil means the package roots
+	// (defined functions never called by another defined function).
+	Entries []string
+	// Parallel bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Opts configures the underlying constraint solver.
+	Opts core.Options
+	// KeepSuppressed reports suppressed diagnostics instead of dropping
+	// them (still counted in Report.Suppressed).
+	KeepSuppressed bool
+}
+
+// LoadPaths loads Go sources from a mix of files, directories and
+// recursive "dir/..." patterns, and translates them as one package.
+// Files ending in _test.go are skipped. The file order (and therefore
+// duplicate-definition resolution) is the sorted path order.
+func LoadPaths(paths []string) (*Package, error) {
+	var names []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for _, p := range paths {
+		switch {
+		case strings.HasSuffix(p, "/...") || p == "...":
+			root := strings.TrimSuffix(p, "...")
+			root = strings.TrimSuffix(root, "/")
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+		default:
+			info, err := os.Stat(p)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			if !info.IsDir() {
+				// Explicit files are loaded even without a .go suffix.
+				if !seen[p] {
+					seen[p] = true
+					names = append(names, p)
+				}
+				continue
+			}
+			entries, err := os.ReadDir(p)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			for _, e := range entries {
+				if !e.IsDir() {
+					add(filepath.Join(p, e.Name()))
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %v", paths)
+	}
+	files := make([]gosrc.File, 0, len(names))
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, gosrc.File{Name: name, Src: string(src)})
+	}
+	return LoadFiles(files)
+}
+
+// LoadFiles translates in-memory sources as one package.
+func LoadFiles(files []gosrc.File) (*Package, error) {
+	tr, err := gosrc.TranslateFiles(files)
+	if err != nil {
+		return nil, err
+	}
+	// Surface CFG construction errors (unresolvable labels, stray
+	// break/continue) at load time, once, instead of per job.
+	if _, err := minic.Build(tr.Prog); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	return &Package{Files: files, Tr: tr}, nil
+}
+
+// Roots returns the default entry functions: canonical names of defined
+// functions that no other defined function calls, sorted; if the call
+// graph has no such root (everything is called), every function is an
+// entry.
+func (p *Package) Roots() []string {
+	p.rootsOnce.Do(func() {
+		prog := p.Tr.Prog
+		called := map[string]bool{}
+		cfg := minic.MustBuild(prog)
+		for _, n := range cfg.Nodes {
+			if n.Kind != minic.NAction {
+				continue
+			}
+			if def, ok := prog.ByName[n.Call.Name]; ok {
+				called[def.Name] = true
+			}
+		}
+		for _, fd := range prog.Funcs {
+			if !called[fd.Name] {
+				p.roots = append(p.roots, fd.Name)
+			}
+		}
+		if len(p.roots) == 0 {
+			for _, fd := range prog.Funcs {
+				p.roots = append(p.roots, fd.Name)
+			}
+		}
+		sort.Strings(p.roots)
+	})
+	return p.roots
+}
+
+// fileOf maps a (canonical or alias) function name to its source file.
+func (p *Package) fileOf(fn string) string {
+	if def, ok := p.Tr.Prog.ByName[fn]; ok {
+		return def.File
+	}
+	return ""
+}
+
+// Analyze runs (checker x entry) jobs over a bounded worker pool. Each
+// job is an independent pdm.Check solve: the shared translated program
+// and compiled properties are read-only, so jobs need no locking.
+func Analyze(pkg *Package, cfg Config) (*Report, error) {
+	checkers := cfg.Checkers
+	if len(checkers) == 0 {
+		checkers = All()
+	}
+	entries := cfg.Entries
+	if len(entries) == 0 {
+		entries = pkg.Roots()
+	}
+	for _, e := range entries {
+		if _, ok := pkg.Tr.Prog.ByName[e]; !ok {
+			return nil, fmt.Errorf("analysis: entry function %q not defined", e)
+		}
+	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		checker *Checker
+		entry   string
+	}
+	jobs := make([]job, 0, len(checkers)*len(entries))
+	for _, c := range checkers {
+		for _, e := range entries {
+			jobs = append(jobs, job{c, e})
+		}
+	}
+	results := make([][]Diagnostic, len(jobs))
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = runJob(pkg, jobs[i].checker, jobs[i].entry, cfg.Opts)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{
+		Notes:     pkg.Tr.Notes,
+		Files:     len(pkg.Files),
+		Functions: len(pkg.Tr.Prog.Funcs),
+		Entries:   entries,
+		Jobs:      len(jobs),
+	}
+	for _, c := range checkers {
+		rep.Checkers = append(rep.Checkers, c.Name)
+	}
+	sort.Strings(rep.Checkers)
+	// Merge in job order (deterministic regardless of completion order),
+	// dedup across entries, and apply suppression.
+	seen := map[string]bool{}
+	for _, ds := range results {
+		for _, d := range ds {
+			k := d.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if pkg.suppressed(&d) {
+				rep.Suppressed++
+				if !cfg.KeepSuppressed {
+					continue
+				}
+			}
+			rep.Diagnostics = append(rep.Diagnostics, d)
+		}
+	}
+	sortDiagnostics(rep.Diagnostics)
+	return rep, nil
+}
+
+// suppressed reports whether a //rasc:ignore comment on the diagnostic's
+// line covers its checker.
+func (p *Package) suppressed(d *Diagnostic) bool {
+	lines, ok := p.Tr.Ignores[d.File]
+	if !ok {
+		return false
+	}
+	names, ok := lines[d.Line]
+	if !ok {
+		return false
+	}
+	if len(names) == 0 {
+		return true // bare //rasc:ignore suppresses every checker
+	}
+	for _, n := range names {
+		if n == d.Checker {
+			return true
+		}
+	}
+	return false
+}
+
+// runJob executes one (checker, entry) solve and maps the solver result
+// to diagnostics.
+func runJob(pkg *Package, c *Checker, entry string, opts core.Options) ([]Diagnostic, error) {
+	prop, events := c.compiled()
+	res, err := pdm.Check(pkg.Tr.Prog, prop, events, entry, opts)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
+	}
+	switch c.Mode {
+	case ModeLeakAtExit:
+		return leakDiagnostics(pkg, c, entry, res, events), nil
+	default:
+		return violationDiagnostics(pkg, c, entry, res), nil
+	}
+}
+
+func violationDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Result) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range res.Violations {
+		d := Diagnostic{
+			Checker:  c.Name,
+			Severity: c.Severity,
+			File:     pkg.fileOf(v.Fn),
+			Line:     v.Line,
+			Message:  c.message(v.Label),
+			Label:    v.Label,
+			Entry:    entry,
+		}
+		for _, tp := range v.Trace {
+			d.Trace = append(d.Trace, TraceStep{
+				File:  pkg.fileOf(tp.Fn),
+				Fn:    tp.Fn,
+				Line:  tp.Line,
+				Enter: tp.Enter,
+			})
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// leakDiagnostics reports each label still accepting at the entry's
+// exit, positioned at the earliest event that mentions the label (its
+// acquisition site).
+func leakDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Result, events *minic.EventMap) []Diagnostic {
+	labels := res.OpenInstancesAtExit(entry)
+	if len(labels) == 0 {
+		return nil
+	}
+	type site struct {
+		fn   string
+		line int
+	}
+	sites := map[string]site{}
+	for _, n := range res.CFG().Nodes {
+		if n.Kind != minic.NAction {
+			continue
+		}
+		ev, ok := events.Match(n.Call, n.AssignTo)
+		if !ok || ev.Label == "" {
+			continue
+		}
+		if s, ok := sites[ev.Label]; !ok || n.Line < s.line {
+			sites[ev.Label] = site{n.Fn, n.Line}
+		}
+	}
+	var out []Diagnostic
+	for _, lbl := range labels {
+		s, ok := sites[lbl]
+		if !ok {
+			// No event site (shouldn't happen): fall back to the entry
+			// function's definition line.
+			s = site{entry, pkg.Tr.Prog.ByName[entry].Line}
+		}
+		out = append(out, Diagnostic{
+			Checker:  c.Name,
+			Severity: c.Severity,
+			File:     pkg.fileOf(s.fn),
+			Line:     s.line,
+			Message:  c.message(lbl),
+			Label:    lbl,
+			Entry:    entry,
+		})
+	}
+	return out
+}

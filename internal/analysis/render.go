@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Text writes the human-readable report: one line per diagnostic with
+// its witness trace indented, then notes and a summary.
+func (r *Report) Text(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintf(w, "%s:%d: %s: %s: %s\n", d.File, d.Line, d.Severity, d.Checker, d.Message); err != nil {
+			return err
+		}
+		for _, tp := range d.Trace {
+			arrow := "via"
+			if tp.Enter {
+				arrow = "into"
+			}
+			if _, err := fmt.Fprintf(w, "    %s %s (%s:%d)\n", arrow, tp.Fn, tp.File, tp.Line); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "%s:%d: note: translate: %s\n", n.File, n.Line, n.Msg); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d finding(s), %d suppressed; %d file(s), %d function(s), %d job(s)\n",
+		len(r.Diagnostics), r.Suppressed, r.Files, r.Functions, r.Jobs)
+	return err
+}
+
+// JSON writes the report as indented JSON.
+func (r *Report) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SARIF 2.1.0 output, for CI annotation tooling.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          *sarifMessage         `json:"message,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLocation `json:"locations"`
+}
+
+type sarifThreadFlowLocation struct {
+	Location sarifLocation `json:"location"`
+}
+
+// SARIF writes the report in SARIF 2.1.0, one run with one rule per
+// checker that produced or could have produced findings; witness traces
+// become codeFlows.
+func (r *Report) SARIF(w io.Writer) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:           "gocheck",
+			InformationURI: "https://example.invalid/rasc",
+		}},
+		Results: []sarifResult{},
+	}
+	for _, name := range r.Checkers {
+		rule := sarifRule{ID: name}
+		if c, ok := Get(name); ok {
+			rule.ShortDescription = sarifMessage{Text: c.Doc}
+		}
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, rule)
+	}
+	for _, d := range r.Diagnostics {
+		res := sarifResult{
+			RuleID:  d.Checker,
+			Level:   d.Severity.String(),
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line},
+				},
+			}},
+		}
+		if len(d.Trace) > 0 {
+			tf := sarifThreadFlow{}
+			for _, tp := range d.Trace {
+				tf.Locations = append(tf.Locations, sarifThreadFlowLocation{
+					Location: sarifLocation{
+						PhysicalLocation: sarifPhysicalLocation{
+							ArtifactLocation: sarifArtifactLocation{URI: tp.File},
+							Region:           sarifRegion{StartLine: tp.Line},
+						},
+						Message: &sarifMessage{Text: tp.Fn},
+					},
+				})
+			}
+			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{tf}}}
+		}
+		run.Results = append(run.Results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

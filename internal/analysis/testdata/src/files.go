@@ -1,0 +1,39 @@
+package demo
+
+import "os"
+
+// ReadConfig leaks the opened file on the success path.
+func ReadConfig() {
+	f, err := os.Open("config")
+	if err != nil {
+		return
+	}
+	parse(f)
+}
+
+// QueryUsers leaks the sql.Rows when use() is reached.
+func QueryUsers(db DB) {
+	rows, err := db.Query("select id from users")
+	if err != nil {
+		return
+	}
+	use(rows)
+}
+
+// CopyFile is clean: both files are closed on every path.
+func CopyFile() {
+	src, _ := os.Open("a")
+	defer src.Close()
+	dst, _ := os.Create("b")
+	defer dst.Close()
+	transfer(dst, src)
+}
+
+func parse(f File)       {}
+func use(rows Rows)      {}
+func transfer(d, s File) {}
+
+// DB, File and Rows stand in for the real database/sql and os types.
+type DB struct{}
+type File struct{}
+type Rows struct{}

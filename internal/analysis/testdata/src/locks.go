@@ -1,0 +1,17 @@
+package demo
+
+import "sync"
+
+var mu sync.Mutex
+
+// LockTwice double-locks mu through a cross-file helper.
+func LockTwice() {
+	mu.Lock()
+	helperLock()
+	mu.Unlock()
+}
+
+// SuppressedUnlock misuses mu but is suppressed for doublelock.
+func SuppressedUnlock() {
+	mu.Unlock() //rasc:ignore=doublelock
+}

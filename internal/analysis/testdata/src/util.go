@@ -1,0 +1,10 @@
+package demo
+
+// helperLock acquires the package mutex; callers must not hold it.
+func helperLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	work()
+}
+
+func work() {}

@@ -1,0 +1,16 @@
+package demo
+
+import "sync"
+
+// Broadcast reuses the WaitGroup without a new round of Adds: the
+// second Add races with the completed Wait.
+func Broadcast() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go run(&wg)
+	go run(&wg)
+	wg.Wait()
+	wg.Add(1)
+}
+
+func run(wg *sync.WaitGroup) {}

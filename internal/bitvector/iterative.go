@@ -150,8 +150,8 @@ func CheckIterative(prog *minic.Program) (*IterResult, error) {
 		}
 		if ev, ok := events.Match(n.Call, n.AssignTo); ok {
 			nodeEvs[n.ID] = nodeEv{ev.Symbol, intern(ev.Label)}
-		} else if _, defined := prog.ByName[n.Call.Name]; defined {
-			callTo[n.ID] = n.Call.Name
+		} else if def, defined := prog.ByName[n.Call.Name]; defined {
+			callTo[n.ID] = def.Name // resolve aliases to the canonical name
 		}
 	}
 	nf := len(labels)

@@ -61,6 +61,56 @@ func FileLeakEvents() *minic.EventMap {
 	}}
 }
 
+// SQLRowsSpecSrc: a *sql.Rows returned by Query must be closed before
+// the function exits, or the connection is held. Same shape as the file
+// leak property: the accepting Open state at exit marks the leak.
+const SQLRowsSpecSrc = `
+start state Done :
+    | query(x) -> Pending;
+
+accept state Pending :
+    | close(x) -> Done;
+`
+
+// SQLRowsProperty compiles SQLRowsSpecSrc.
+func SQLRowsProperty() *spec.Property { return spec.MustCompile(SQLRowsSpecSrc) }
+
+// SQLRowsEvents: rows, err := db.Query(...) opens rows; rows.Close()
+// closes them.
+func SQLRowsEvents() *minic.EventMap {
+	return &minic.EventMap{Rules: []minic.Rule{
+		{Callee: "Query", ArgIndex: -1, Symbol: "query", LabelArg: -1, LabelFromAssign: true},
+		{Callee: "QueryContext", ArgIndex: -1, Symbol: "query", LabelArg: -1, LabelFromAssign: true},
+		{Callee: "Close", ArgIndex: -1, Symbol: "close", LabelArg: 0},
+	}}
+}
+
+// WaitGroupSpecSrc: calling wg.Add after wg.Wait has started is a
+// documented sync.WaitGroup misuse (reuse without a new round of Adds
+// races with the Wait). Parametric in the wait-group receiver.
+const WaitGroupSpecSrc = `
+start state Counting :
+    | add(x) -> Counting
+    | wait(x) -> Waited;
+
+state Waited :
+    | wait(x) -> Waited
+    | add(x) -> Error;
+
+accept state Error;
+`
+
+// WaitGroupProperty compiles WaitGroupSpecSrc.
+func WaitGroupProperty() *spec.Property { return spec.MustCompile(WaitGroupSpecSrc) }
+
+// WaitGroupEvents: wg.Add(n) and wg.Wait(), labelled by the receiver.
+func WaitGroupEvents() *minic.EventMap {
+	return &minic.EventMap{Rules: []minic.Rule{
+		{Callee: "Add", ArgIndex: -1, Symbol: "add", LabelArg: 0},
+		{Callee: "Wait", ArgIndex: -1, Symbol: "wait", LabelArg: 0},
+	}}
+}
+
 // Check translates Go source and model-checks it against the property.
 func Check(src string, prop *spec.Property, events *minic.EventMap, entry string, opts core.Options) (*pdm.Result, error) {
 	prog, err := Translate(src)

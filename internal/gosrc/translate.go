@@ -18,10 +18,16 @@
 //   - range loops become condition-less loops over the body;
 //   - switch (expression and type switches) becomes the branch structure
 //     with Go's implicit break, honoring explicit fallthrough;
-//   - select branches are all considered possible.
+//   - select branches are all considered possible;
+//   - labeled break/continue target the labeled loop or switch; labeled
+//     non-loop statements become break targets; goto is NOT modeled (it
+//     over-approximates as fall-through) and is reported as a Note.
 //
-// Functions are identified by bare name (methods by method name); calls
-// to unknown names are external calls, exactly like mini-C.
+// Plain functions are identified by name; methods are qualified by their
+// receiver type ("T.M") so same-named methods on different receivers are
+// all analyzed. When a method name is unambiguous across the program, a
+// bare-name alias ("M" -> "T.M") is registered so call sites x.M(...)
+// resolve interprocedurally; ambiguous method calls stay external calls.
 package gosrc
 
 import (
@@ -31,60 +37,221 @@ import (
 	"go/parser"
 	"go/printer"
 	"go/token"
+	"strings"
 
 	"rasc/internal/minic"
 )
 
-// Translate parses Go source and translates every function (including
-// methods) into a mini-C program. Functions keep their Go source line
-// numbers so diagnostics point into the original file.
+// File is one Go source file handed to the translator.
+type File struct {
+	// Name is the file's (display) path, used in positions and notes.
+	Name string
+	// Src is the file's content.
+	Src string
+}
+
+// Note is a translation remark: a construct the abstraction handles
+// imprecisely (goto, duplicate definitions, ambiguous method names).
+type Note struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (n Note) String() string { return fmt.Sprintf("%s:%d: %s", n.File, n.Line, n.Msg) }
+
+// Translation is the result of translating a set of Go files.
+type Translation struct {
+	// Prog is the merged mini-C program; every FuncDef carries the source
+	// File it came from.
+	Prog *minic.Program
+	// Notes lists translation imprecisions, ordered by file then line.
+	Notes []Note
+	// Ignores maps file name -> line -> checker names named in
+	// //rasc:ignore comments on that line. An empty name list means the
+	// line suppresses every checker.
+	Ignores map[string]map[int][]string
+}
+
+// Translate parses a single Go source buffer and translates every
+// function (including methods) into a mini-C program. Functions keep
+// their Go source line numbers so diagnostics point into the original
+// file. Translation notes are discarded; use TranslateFiles to get them.
 func Translate(src string) (*minic.Program, error) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	tr, err := TranslateFiles([]File{{Name: "src.go", Src: src}})
 	if err != nil {
-		return nil, fmt.Errorf("gosrc: %w", err)
+		return nil, err
 	}
-	tr := &translator{fset: fset}
-	prog := &minic.Program{ByName: map[string]*minic.FuncDef{}}
-	for _, decl := range file.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
+	return tr.Prog, nil
+}
+
+// TranslateFiles parses a set of Go files and merges every function
+// across them into one mini-C program, so whole-package properties check
+// interprocedurally before CFG construction. Files are processed in the
+// given order; duplicate definitions keep the first body and add a Note.
+func TranslateFiles(files []File) (*Translation, error) {
+	fset := token.NewFileSet()
+	out := &Translation{
+		Prog:    &minic.Program{ByName: map[string]*minic.FuncDef{}},
+		Ignores: map[string]map[int][]string{},
+	}
+	prog := out.Prog
+	// methodsByBare collects method defs per bare name for alias
+	// registration once all files are seen.
+	methodsByBare := map[string][]*minic.FuncDef{}
+	for _, f := range files {
+		file, err := parser.ParseFile(fset, f.Name, f.Src, parser.SkipObjectResolution|parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("gosrc: %w", err)
 		}
-		name := fd.Name.Name
-		if _, dup := prog.ByName[name]; dup {
-			// Same method name on two receivers: merge is unsound in
-			// general; keep the first and skip (documented name-based
-			// approximation).
-			continue
-		}
-		tr.deferred = nil
-		def := &minic.FuncDef{
-			Name: name,
-			Line: tr.line(fd.Pos()),
-		}
-		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
-			def.Params = append(def.Params, fd.Recv.List[0].Names[0].Name)
-		}
-		if fd.Type.Params != nil {
-			for _, p := range fd.Type.Params.List {
-				for _, n := range p.Names {
-					def.Params = append(def.Params, n.Name)
+		tr := &translator{fset: fset, file: f.Name, out: out}
+		collectIgnores(fset, f.Name, file, out.Ignores)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			isMethod := false
+			if fd.Recv != nil {
+				if rt := recvTypeName(fd.Recv); rt != "" {
+					name = rt + "." + name
+					isMethod = true
 				}
 			}
+			if _, dup := prog.ByName[name]; dup {
+				// Same qualified name twice (e.g. two files defining
+				// main): keep the first body, note the rest.
+				tr.note(fd.Pos(), fmt.Sprintf("duplicate definition of %s ignored (first wins)", name))
+				continue
+			}
+			tr.deferred = nil
+			def := &minic.FuncDef{
+				Name: name,
+				Line: tr.line(fd.Pos()),
+				File: f.Name,
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				def.Params = append(def.Params, fd.Recv.List[0].Names[0].Name)
+			}
+			if fd.Type.Params != nil {
+				for _, p := range fd.Type.Params.List {
+					for _, n := range p.Names {
+						def.Params = append(def.Params, n.Name)
+					}
+				}
+			}
+			body := tr.block(fd.Body)
+			// Deferred calls run at the end of the body (return statements
+			// were already expanded inside).
+			body = append(body, tr.deferredCalls()...)
+			def.Body = body
+			prog.Funcs = append(prog.Funcs, def)
+			prog.ByName[name] = def
+			if isMethod {
+				methodsByBare[fd.Name.Name] = append(methodsByBare[fd.Name.Name], def)
+			}
 		}
-		body := tr.block(fd.Body)
-		// Deferred calls run at the end of the body (return statements
-		// were already expanded inside).
-		body = append(body, tr.deferredCalls()...)
-		def.Body = body
-		prog.Funcs = append(prog.Funcs, def)
-		prog.ByName[name] = def
 	}
 	if len(prog.Funcs) == 0 {
 		return nil, fmt.Errorf("gosrc: no function bodies found")
 	}
-	return prog, nil
+	// Bare-name aliases: x.M(...) translates to M(x, ...), so a uniquely
+	// named method resolves interprocedurally through the alias. An
+	// ambiguous name (several receivers) stays external, noted once.
+	for bare, defs := range methodsByBare {
+		if _, taken := prog.ByName[bare]; taken {
+			continue // a plain function M shadows method aliases
+		}
+		if len(defs) == 1 {
+			prog.ByName[bare] = defs[0]
+			continue
+		}
+		out.Notes = append(out.Notes, Note{
+			File: defs[0].File,
+			Line: defs[0].Line,
+			Msg: fmt.Sprintf("method name %s is defined on %d receivers; calls through it are treated as external",
+				bare, len(defs)),
+		})
+	}
+	sortNotes(out.Notes)
+	return out, nil
+}
+
+// recvTypeName extracts the receiver's base type name: *T -> T,
+// T[P] -> T.
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	typ := recv.List[0].Type
+	for {
+		switch t := typ.(type) {
+		case *ast.StarExpr:
+			typ = t.X
+		case *ast.IndexExpr:
+			typ = t.X
+		case *ast.IndexListExpr:
+			typ = t.X
+		case *ast.ParenExpr:
+			typ = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// collectIgnores records //rasc:ignore[=checker,...] comments per line.
+func collectIgnores(fset *token.FileSet, name string, file *ast.File, into map[string]map[int][]string) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "rasc:ignore") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "rasc:ignore")
+			var checkers []string
+			if strings.HasPrefix(rest, "=") {
+				for _, n := range strings.Split(rest[1:], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						checkers = append(checkers, n)
+					}
+				}
+			} else if rest != "" && !strings.HasPrefix(rest, " ") {
+				continue // e.g. "rasc:ignorethis" is not a directive
+			}
+			line := fset.Position(c.Pos()).Line
+			m := into[name]
+			if m == nil {
+				m = map[int][]string{}
+				into[name] = m
+			}
+			// An empty checker list (bare //rasc:ignore) suppresses all
+			// checkers on the line and absorbs any named ones.
+			cur, seen := m[line]
+			switch {
+			case len(checkers) == 0 || (seen && len(cur) == 0):
+				m[line] = []string{}
+			default:
+				m[line] = append(cur, checkers...)
+			}
+		}
+	}
+}
+
+func sortNotes(notes []Note) {
+	for i := 1; i < len(notes); i++ {
+		for j := i; j > 0; j-- {
+			a, b := notes[j-1], notes[j]
+			if a.File < b.File || (a.File == b.File && a.Line <= b.Line) {
+				break
+			}
+			notes[j-1], notes[j] = b, a
+		}
+	}
 }
 
 // MustTranslate panics on error.
@@ -98,11 +265,20 @@ func MustTranslate(src string) *minic.Program {
 
 type translator struct {
 	fset *token.FileSet
+	file string
+	out  *Translation
 	// deferred calls of the current function, in defer order.
 	deferred []*minic.CallExpr
 }
 
 func (t *translator) line(p token.Pos) int { return t.fset.Position(p).Line }
+
+func (t *translator) note(p token.Pos, msg string) {
+	if t.out == nil {
+		return
+	}
+	t.out.Notes = append(t.out.Notes, Note{File: t.file, Line: t.line(p), Msg: msg})
+}
 
 func (t *translator) render(e ast.Expr) string {
 	var buf bytes.Buffer
@@ -260,24 +436,27 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 		out = append(out, t.deferredCalls()...)
 		return append(out, &minic.ReturnStmt{Line: t.line(s.Pos())})
 	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
 		switch s.Tok {
 		case token.BREAK:
-			if s.Label == nil {
-				return []minic.Stmt{&minic.BreakStmt{Line: t.line(s.Pos())}}
-			}
+			return []minic.Stmt{&minic.BreakStmt{Line: t.line(s.Pos()), Label: label}}
 		case token.CONTINUE:
-			if s.Label == nil {
-				return []minic.Stmt{&minic.ContinueStmt{Line: t.line(s.Pos())}}
-			}
+			return []minic.Stmt{&minic.ContinueStmt{Line: t.line(s.Pos()), Label: label}}
 		case token.FALLTHROUGH:
 			// Handled by the switch translation.
 			return []minic.Stmt{&minic.ExprStmt{
 				X:    &minic.CallExpr{Name: "$fallthrough", Line: t.line(s.Pos())},
 				Line: t.line(s.Pos()),
 			}}
+		case token.GOTO:
+			// goto is not modeled: the translation over-approximates it
+			// as fall-through, which can miss or invent event orderings.
+			t.note(s.Pos(), fmt.Sprintf("goto %s is not modeled (over-approximated as fall-through)", label))
+			return nil
 		}
-		// Labeled branches and goto: not modeled (over-approximated by
-		// falling through).
 		return nil
 	case *ast.BlockStmt:
 		return []minic.Stmt{&minic.BlockStmt{Body: t.block(s), Line: t.line(s.Pos())}}
@@ -315,11 +494,45 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 		fixSwitchDefaults(sw)
 		return []minic.Stmt{sw}
 	case *ast.LabeledStmt:
-		return t.stmt(s.Stmt)
+		label := s.Label.Name
+		out := t.stmt(s.Stmt)
+		if attachLabel(out, label) {
+			return out
+		}
+		if len(out) == 0 {
+			// Only a goto target; nothing to translate.
+			return nil
+		}
+		// Labeled non-loop statement: wrap in a labeled block so
+		// "break label" still resolves.
+		return []minic.Stmt{&minic.BlockStmt{Label: label, Body: out, Line: t.line(s.Pos())}}
 	case *ast.IncDecStmt, *ast.EmptyStmt, *ast.SendStmt:
 		return nil
 	}
 	return nil
+}
+
+// attachLabel sets the label on the first loop or switch in out (a
+// labeled statement translates to at most one, possibly after hoisted
+// init statements) and reports whether it found one.
+func attachLabel(out []minic.Stmt, label string) bool {
+	for _, st := range out {
+		switch x := st.(type) {
+		case *minic.ForStmt:
+			x.Label = label
+			return true
+		case *minic.WhileStmt:
+			x.Label = label
+			return true
+		case *minic.DoWhileStmt:
+			x.Label = label
+			return true
+		case *minic.SwitchStmt:
+			x.Label = label
+			return true
+		}
+	}
+	return false
 }
 
 // switchLike translates expression and type switches with Go's implicit

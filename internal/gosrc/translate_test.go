@@ -1,9 +1,12 @@
 package gosrc
 
 import (
+	"strings"
 	"testing"
 
+	"rasc/internal/core"
 	"rasc/internal/minic"
+	"rasc/internal/pdm"
 )
 
 // Focused translation tests for the trickier Go constructs.
@@ -244,8 +247,8 @@ func main() {
 	}
 }
 
-func TestDuplicateMethodNamesSkipped(t *testing.T) {
-	prog := MustTranslate(`
+func TestDuplicateMethodNamesBothKept(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "m.go", Src: `
 package p
 
 type A struct{}
@@ -255,10 +258,57 @@ func (a A) M() { x() }
 func (b B) M() { y() }
 
 func main() { z() }
-`)
-	// Only the first M is kept (documented approximation).
-	if len(prog.Funcs) != 2 {
-		t.Errorf("got %d funcs, want 2 (first M + main)", len(prog.Funcs))
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := tr.Prog
+	// Both method bodies are analyzed, qualified by receiver type.
+	if len(prog.Funcs) != 3 {
+		t.Fatalf("got %d funcs, want 3 (A.M, B.M, main)", len(prog.Funcs))
+	}
+	if prog.ByName["A.M"] == nil || prog.ByName["B.M"] == nil {
+		t.Errorf("qualified method names missing: %v", prog.ByName)
+	}
+	// The bare name is ambiguous: no alias, and a note explains it.
+	if prog.ByName["M"] != nil {
+		t.Error("ambiguous bare name M must not alias a single method")
+	}
+	found := false
+	for _, n := range tr.Notes {
+		if strings.Contains(n.Msg, "method name M") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected ambiguity note, got %v", tr.Notes)
+	}
+}
+
+func TestUniqueMethodNameAliased(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "m.go", Src: `
+package p
+
+type T struct{}
+
+func (t *T) Work() { locked() }
+
+func locked() { mu.Lock() }
+
+func main() {
+	var t T
+	t.Work()
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := tr.Prog
+	if prog.ByName["T.Work"] == nil {
+		t.Fatal("qualified name T.Work missing")
+	}
+	if prog.ByName["Work"] != prog.ByName["T.Work"] {
+		t.Error("unique method name must alias its only definition")
 	}
 }
 
@@ -276,5 +326,236 @@ func main() {
 	}
 	if !has["arg"] {
 		t.Error("argument effects of indirect calls must be kept")
+	}
+}
+
+func TestLabeledContinueSkipsUnlock(t *testing.T) {
+	// continue outer skips mu.Unlock(): the next iteration's Lock is a
+	// double lock. The unlabeled-continue translation would miss it.
+	src := `
+package p
+
+func f() {
+outer:
+	for {
+		mu.Lock()
+		for {
+			if cond() {
+				continue outer
+			}
+			break
+		}
+		mu.Unlock()
+	}
+}
+`
+	res, err := Check(src, DoubleLockProperty(), DoubleLockEvents(), "f", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Errorf("got %d violations, want 1: %v", len(res.Violations), res.Violations)
+	}
+}
+
+func TestLabeledBreakLeavesLockHeld(t *testing.T) {
+	src := `
+package p
+
+func f() {
+outer:
+	for {
+		mu.Lock()
+		for {
+			if cond() {
+				break outer
+			}
+			break
+		}
+		mu.Unlock()
+	}
+	mu.Lock()
+	mu.Unlock()
+}
+`
+	res, err := Check(src, DoubleLockProperty(), DoubleLockEvents(), "f", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Errorf("got %d violations, want 1: %v", len(res.Violations), res.Violations)
+	}
+}
+
+func TestLabeledBreakCleanCode(t *testing.T) {
+	// Exiting both loops before locking again is clean: no false positive.
+	src := `
+package p
+
+func f() {
+outer:
+	for {
+		for {
+			if cond() {
+				mu.Lock()
+				work()
+				mu.Unlock()
+				break outer
+			}
+			break
+		}
+	}
+	mu.Lock()
+	mu.Unlock()
+}
+`
+	res, err := Check(src, DoubleLockProperty(), DoubleLockEvents(), "f", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("clean labeled break produced %v", res.Violations)
+	}
+}
+
+func TestLabeledRangeAndSwitch(t *testing.T) {
+	// Labels on range loops and switches must build without errors.
+	prog := MustTranslate(`
+package p
+
+func f(items []int) {
+loop:
+	for range items {
+	sw:
+		switch pick() {
+		case 1:
+			break sw
+		case 2:
+			break loop
+		default:
+			continue loop
+		}
+		after()
+	}
+}
+`)
+	if _, err := minic.Build(prog); err != nil {
+		t.Fatalf("labeled range/switch: %v", err)
+	}
+}
+
+func TestGotoProducesNote(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "g.go", Src: `
+package p
+
+func f() {
+	work()
+	goto done
+done:
+	more()
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tr.Notes {
+		if strings.Contains(n.Msg, "goto") && n.File == "g.go" && n.Line == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected goto note at g.go:6, got %v", tr.Notes)
+	}
+}
+
+func TestTranslateFilesMergesAcrossFiles(t *testing.T) {
+	tr, err := TranslateFiles([]File{
+		{Name: "a.go", Src: `
+package p
+
+func caller() {
+	mu.Lock()
+	helper()
+}
+`},
+		{Name: "b.go", Src: `
+package p
+
+func helper() {
+	mu.Lock()
+}
+`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Prog.ByName["caller"].File; got != "a.go" {
+		t.Errorf("caller.File = %q", got)
+	}
+	if got := tr.Prog.ByName["helper"].File; got != "b.go" {
+		t.Errorf("helper.File = %q", got)
+	}
+	res, err := pdm.Check(tr.Prog, DoubleLockProperty(), DoubleLockEvents(), "caller", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("cross-file double lock: got %v", res.Violations)
+	}
+	// The violation is in helper, whose def maps to b.go.
+	if res.Violations[0].Fn != "helper" {
+		t.Errorf("violation fn = %s, want helper", res.Violations[0].Fn)
+	}
+}
+
+func TestTranslateFilesDuplicateFunction(t *testing.T) {
+	tr, err := TranslateFiles([]File{
+		{Name: "a.go", Src: "package p\n\nfunc main() { x() }\n"},
+		{Name: "b.go", Src: "package p\n\nfunc main() { y() }\n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Prog.Funcs) != 1 || tr.Prog.ByName["main"].File != "a.go" {
+		t.Errorf("first definition must win: %+v", tr.Prog.Funcs)
+	}
+	found := false
+	for _, n := range tr.Notes {
+		if strings.Contains(n.Msg, "duplicate definition of main") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected duplicate note, got %v", tr.Notes)
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "i.go", Src: `
+package p
+
+func f() {
+	a() //rasc:ignore
+	b() //rasc:ignore=doublelock
+	c() //rasc:ignore=doublelock,fileleak
+	d() //rasc:ignored-not-a-directive is ignored
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := tr.Ignores["i.go"]
+	if got, ok := ig[5]; !ok || len(got) != 0 {
+		t.Errorf("line 5 = %v, want suppress-all", got)
+	}
+	if got := ig[6]; len(got) != 1 || got[0] != "doublelock" {
+		t.Errorf("line 6 = %v", got)
+	}
+	if got := ig[7]; len(got) != 2 || got[0] != "doublelock" || got[1] != "fileleak" {
+		t.Errorf("line 7 = %v", got)
+	}
+	if _, ok := ig[8]; ok {
+		t.Errorf("line 8 must not be a directive: %v", ig[8])
 	}
 }

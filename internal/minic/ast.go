@@ -17,6 +17,9 @@ type FuncDef struct {
 	Params []string
 	Body   []Stmt
 	Line   int
+	// File is the source file the definition came from, when the front
+	// end tracks one (multi-file Go translation); "" otherwise.
+	File string
 }
 
 // Stmt is a statement.
@@ -59,33 +62,44 @@ type IfStmt struct {
 
 // WhileStmt is a loop.
 type WhileStmt struct {
-	Cond Expr
-	Body []Stmt
-	Line int
+	Cond  Expr
+	Body  []Stmt
+	Line  int
+	Label string
 }
 
 // DoWhileStmt is a do { } while (cond); loop: the body executes at least
 // once.
 type DoWhileStmt struct {
-	Cond Expr
-	Body []Stmt
-	Line int
+	Cond  Expr
+	Body  []Stmt
+	Line  int
+	Label string
 }
 
 // ForStmt is for (init; cond; post) body. Init and Post may be nil.
 type ForStmt struct {
-	Init Stmt
-	Cond Expr // may be nil (infinite)
-	Post Stmt
-	Body []Stmt
-	Line int
+	Init  Stmt
+	Cond  Expr // may be nil (infinite)
+	Post  Stmt
+	Body  []Stmt
+	Line  int
+	Label string
 }
 
-// BreakStmt exits the innermost loop or switch.
-type BreakStmt struct{ Line int }
+// BreakStmt exits the innermost loop or switch, or the enclosing
+// statement named Label when one is set.
+type BreakStmt struct {
+	Line  int
+	Label string
+}
 
-// ContinueStmt jumps to the innermost loop's head.
-type ContinueStmt struct{ Line int }
+// ContinueStmt jumps to the innermost loop's head, or the head of the
+// enclosing loop named Label when one is set.
+type ContinueStmt struct {
+	Line  int
+	Label string
+}
 
 // SwitchStmt is a C switch with fallthrough semantics.
 type SwitchStmt struct {
@@ -93,6 +107,7 @@ type SwitchStmt struct {
 	// Cases in source order; a case with IsDefault set has no Value.
 	Cases []SwitchCase
 	Line  int
+	Label string
 }
 
 // SwitchCase is one case (or default) arm.
@@ -109,10 +124,12 @@ type ReturnStmt struct {
 	Line int
 }
 
-// BlockStmt is a nested block.
+// BlockStmt is a nested block. A labeled block is a break target
+// (Go's "L: { ... break L }" and labeled non-loop statements).
 type BlockStmt struct {
-	Body []Stmt
-	Line int
+	Body  []Stmt
+	Line  int
+	Label string
 }
 
 func (*ExprStmt) stmt()     {}

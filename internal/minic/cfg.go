@@ -88,11 +88,22 @@ type cfgBuilder struct {
 	fn   string
 	exit int
 	// breakFrames collects the dangling tails of break statements per
-	// enclosing loop/switch; continueTargets holds the node continue
-	// jumps to per enclosing loop.
-	breakFrames     [][]int
-	continueTargets []int
+	// enclosing loop/switch/labeled block; continueTargets holds the node
+	// continue jumps to per enclosing loop. Frames carry the statement's
+	// label so labeled break/continue can address outer frames.
+	breakFrames     []breakFrame
+	continueTargets []continueTarget
 	err             error
+}
+
+type breakFrame struct {
+	label string
+	tails []int
+}
+
+type continueTarget struct {
+	label string
+	node  int
 }
 
 func (b *cfgBuilder) node(kind NodeKind, call *CallExpr, assignTo string, line int) *Node {
@@ -155,7 +166,14 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 	case *StoreStmt:
 		return b.chainCalls(s.X, "", s.Line, tails)
 	case *BlockStmt:
-		return b.stmts(s.Body, tails)
+		if s.Label == "" {
+			return b.stmts(s.Body, tails)
+		}
+		// Labeled block: a break target ("L: { ... break L }").
+		b.breakFrames = append(b.breakFrames, breakFrame{label: s.Label})
+		out := b.stmts(s.Body, tails)
+		breaks := b.popBreakFrame()
+		return append(out, breaks...)
 	case *ReturnStmt:
 		tails = b.chainCalls(s.X, "", s.Line, tails)
 		b.linkAll(tails, b.exit)
@@ -172,7 +190,7 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 		head := b.node(NJoin, nil, "", s.Line)
 		b.linkAll(tails, head.ID)
 		condTails := b.chainCalls(s.Cond, "", s.Line, []int{head.ID})
-		breaks := b.loop(head.ID, func() []int {
+		breaks := b.loop(s.Label, head.ID, func() []int {
 			bodyTails := b.stmts(s.Body, condTails)
 			b.linkAll(bodyTails, head.ID)
 			return nil
@@ -183,7 +201,7 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 		b.linkAll(tails, bodyHead.ID)
 		condJoin := b.node(NJoin, nil, "", s.Line)
 		var condTails []int
-		breaks := b.loop(condJoin.ID, func() []int {
+		breaks := b.loop(s.Label, condJoin.ID, func() []int {
 			bodyTails := b.stmts(s.Body, []int{bodyHead.ID})
 			b.linkAll(bodyTails, condJoin.ID)
 			condTails = b.chainCalls(s.Cond, "", s.Line, []int{condJoin.ID})
@@ -199,7 +217,7 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 		b.linkAll(tails, head.ID)
 		condTails := b.chainCalls(s.Cond, "", s.Line, []int{head.ID})
 		postJoin := b.node(NJoin, nil, "", s.Line)
-		breaks := b.loop(postJoin.ID, func() []int {
+		breaks := b.loop(s.Label, postJoin.ID, func() []int {
 			bodyTails := b.stmts(s.Body, condTails)
 			b.linkAll(bodyTails, postJoin.ID)
 			postTails := []int{postJoin.ID}
@@ -215,23 +233,32 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 		}
 		return append(append([]int{}, condTails...), breaks...)
 	case *BreakStmt:
-		if len(b.breakFrames) == 0 {
-			b.err = &SyntaxError{s.Line, 1, "break outside loop or switch"}
+		idx := b.findBreakFrame(s.Label)
+		if idx < 0 {
+			if s.Label != "" {
+				b.err = &SyntaxError{s.Line, 1, "break label " + s.Label + " not found"}
+			} else {
+				b.err = &SyntaxError{s.Line, 1, "break outside loop or switch"}
+			}
 			return nil
 		}
-		top := len(b.breakFrames) - 1
-		b.breakFrames[top] = append(b.breakFrames[top], tails...)
+		b.breakFrames[idx].tails = append(b.breakFrames[idx].tails, tails...)
 		return nil
 	case *ContinueStmt:
-		if len(b.continueTargets) == 0 {
-			b.err = &SyntaxError{s.Line, 1, "continue outside loop"}
+		target, ok := b.findContinueTarget(s.Label)
+		if !ok {
+			if s.Label != "" {
+				b.err = &SyntaxError{s.Line, 1, "continue label " + s.Label + " not found"}
+			} else {
+				b.err = &SyntaxError{s.Line, 1, "continue outside loop"}
+			}
 			return nil
 		}
-		b.linkAll(tails, b.continueTargets[len(b.continueTargets)-1])
+		b.linkAll(tails, target)
 		return nil
 	case *SwitchStmt:
 		tails = b.chainCalls(s.Cond, "", s.Line, tails)
-		b.breakFrames = append(b.breakFrames, nil)
+		b.breakFrames = append(b.breakFrames, breakFrame{label: s.Label})
 		var fall []int
 		hasDefault := false
 		for _, c := range s.Cases {
@@ -241,8 +268,7 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 			entry := append(append([]int{}, tails...), fall...)
 			fall = b.stmts(c.Body, entry)
 		}
-		breaks := b.breakFrames[len(b.breakFrames)-1]
-		b.breakFrames = b.breakFrames[:len(b.breakFrames)-1]
+		breaks := b.popBreakFrame()
 		out := append(append([]int{}, fall...), breaks...)
 		if !hasDefault {
 			out = append(out, tails...) // no case taken
@@ -253,16 +279,46 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 	}
 }
 
-// loop runs body with a continue target and a fresh break frame, and
-// returns the collected break tails.
-func (b *cfgBuilder) loop(continueTarget int, body func() []int) []int {
-	b.continueTargets = append(b.continueTargets, continueTarget)
-	b.breakFrames = append(b.breakFrames, nil)
+// loop runs body with a continue target and a fresh break frame (both
+// tagged with the loop's label, if any), and returns the collected break
+// tails.
+func (b *cfgBuilder) loop(label string, target int, body func() []int) []int {
+	b.continueTargets = append(b.continueTargets, continueTarget{label: label, node: target})
+	b.breakFrames = append(b.breakFrames, breakFrame{label: label})
 	body()
-	breaks := b.breakFrames[len(b.breakFrames)-1]
-	b.breakFrames = b.breakFrames[:len(b.breakFrames)-1]
+	breaks := b.popBreakFrame()
 	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
 	return breaks
+}
+
+// popBreakFrame removes the innermost break frame and returns its tails.
+func (b *cfgBuilder) popBreakFrame() []int {
+	top := len(b.breakFrames) - 1
+	breaks := b.breakFrames[top].tails
+	b.breakFrames = b.breakFrames[:top]
+	return breaks
+}
+
+// findBreakFrame resolves a break statement to a frame index: the
+// innermost frame when label is empty, the innermost frame with that
+// label otherwise. Returns -1 when there is no match.
+func (b *cfgBuilder) findBreakFrame(label string) int {
+	for i := len(b.breakFrames) - 1; i >= 0; i-- {
+		if label == "" || b.breakFrames[i].label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// findContinueTarget resolves a continue statement to its loop head.
+func (b *cfgBuilder) findContinueTarget(label string) (int, bool) {
+	for i := len(b.continueTargets) - 1; i >= 0; i-- {
+		if label == "" || b.continueTargets[i].label == label {
+			return b.continueTargets[i].node, true
+		}
+	}
+	return 0, false
 }
 
 // NumActions returns the number of action (call) nodes, a proxy for

@@ -254,3 +254,131 @@ void main() {
 		t.Errorf("NumActions = %d", g.NumActions())
 	}
 }
+
+// reaches reports whether to is reachable from from along Succs.
+func reaches(g *CFG, from, to int) bool {
+	seen := map[int]bool{}
+	stack := []int{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.Nodes[n].Succs...)
+	}
+	return false
+}
+
+func TestLabeledBreakCFG(t *testing.T) {
+	// break "outer" must exit both loops: inner() never reaches post().
+	inner := []Stmt{
+		&ExprStmt{X: &CallExpr{Name: "inner", Line: 3}, Line: 3},
+		&BreakStmt{Line: 4, Label: "outer"},
+		&ExprStmt{X: &CallExpr{Name: "post", Line: 5}, Line: 5},
+	}
+	prog := &Program{ByName: map[string]*FuncDef{}}
+	fd := &FuncDef{Name: "main", Body: []Stmt{
+		&WhileStmt{
+			Label: "outer",
+			Cond:  &IdentExpr{Name: "c"},
+			Body: []Stmt{
+				&WhileStmt{Cond: &IdentExpr{Name: "d"}, Body: inner, Line: 2},
+				&ExprStmt{X: &CallExpr{Name: "afterInner", Line: 6}, Line: 6},
+			},
+			Line: 1,
+		},
+		&ExprStmt{X: &CallExpr{Name: "done", Line: 7}, Line: 7},
+	}}
+	prog.Funcs = append(prog.Funcs, fd)
+	prog.ByName["main"] = fd
+	g := MustBuild(prog)
+	innerN, _ := succMap(t, g, "inner")
+	postN, _ := succMap(t, g, "post")
+	afterN, _ := succMap(t, g, "afterInner")
+	doneN, _ := succMap(t, g, "done")
+	if reaches(g, innerN.ID, postN.ID) && len(innerN.Succs) == 1 && innerN.Succs[0] == postN.ID {
+		t.Error("labeled break must not fall through to post")
+	}
+	// inner -> break outer -> done, without passing afterInner.
+	if !reaches(g, innerN.ID, doneN.ID) {
+		t.Error("labeled break must reach the statement after the outer loop")
+	}
+	for _, s := range innerN.Succs {
+		if s == afterN.ID {
+			t.Error("labeled break must not target the outer loop body")
+		}
+	}
+}
+
+func TestLabeledContinueCFG(t *testing.T) {
+	// continue "outer" from the inner loop must jump to the outer head.
+	prog := &Program{ByName: map[string]*FuncDef{}}
+	fd := &FuncDef{Name: "main", Body: []Stmt{
+		&WhileStmt{
+			Label: "outer",
+			Cond:  &IdentExpr{Name: "c"},
+			Body: []Stmt{
+				&WhileStmt{Cond: &IdentExpr{Name: "d"}, Body: []Stmt{
+					&ExprStmt{X: &CallExpr{Name: "inner", Line: 3}, Line: 3},
+					&ContinueStmt{Line: 4, Label: "outer"},
+				}, Line: 2},
+				&ExprStmt{X: &CallExpr{Name: "afterInner", Line: 6}, Line: 6},
+			},
+			Line: 1,
+		},
+	}}
+	prog.Funcs = append(prog.Funcs, fd)
+	prog.ByName["main"] = fd
+	g := MustBuild(prog)
+	innerN, _ := succMap(t, g, "inner")
+	afterN, _ := succMap(t, g, "afterInner")
+	for _, s := range innerN.Succs {
+		if s == afterN.ID {
+			t.Error("labeled continue must not fall through to the outer body tail")
+		}
+	}
+}
+
+func TestUnknownLabelErrors(t *testing.T) {
+	prog := &Program{ByName: map[string]*FuncDef{}}
+	fd := &FuncDef{Name: "main", Body: []Stmt{
+		&WhileStmt{Cond: &IdentExpr{Name: "c"}, Body: []Stmt{
+			&BreakStmt{Line: 2, Label: "nosuch"},
+		}, Line: 1},
+	}}
+	prog.Funcs = append(prog.Funcs, fd)
+	prog.ByName["main"] = fd
+	if _, err := Build(prog); err == nil {
+		t.Error("unknown break label must be a build error")
+	}
+}
+
+func TestLabeledBlockBreak(t *testing.T) {
+	// L: { a(); break L; b(); } c() — a reaches c, b is dead.
+	prog := &Program{ByName: map[string]*FuncDef{}}
+	fd := &FuncDef{Name: "main", Body: []Stmt{
+		&BlockStmt{Label: "L", Body: []Stmt{
+			&ExprStmt{X: &CallExpr{Name: "a", Line: 2}, Line: 2},
+			&BreakStmt{Line: 3, Label: "L"},
+			&ExprStmt{X: &CallExpr{Name: "b", Line: 4}, Line: 4},
+		}, Line: 1},
+		&ExprStmt{X: &CallExpr{Name: "c", Line: 5}, Line: 5},
+	}}
+	prog.Funcs = append(prog.Funcs, fd)
+	prog.ByName["main"] = fd
+	g := MustBuild(prog)
+	aN, _ := succMap(t, g, "a")
+	cN, _ := succMap(t, g, "c")
+	if !reaches(g, aN.ID, cN.ID) {
+		t.Error("break out of labeled block must reach the following statement")
+	}
+	bN, preds := succMap(t, g, "b")
+	if preds[bN.ID] != 0 {
+		t.Error("statement after break L must be unreachable")
+	}
+}

@@ -178,7 +178,7 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BlockStmt{body, t.line}, nil
+		return &BlockStmt{Body: body, Line: t.line}, nil
 	case t.kind == tPunct && t.text == ";":
 		p.bump()
 		return nil, nil
@@ -197,13 +197,13 @@ func (p *parser) stmt() (Stmt, error) {
 		if _, err := p.punct(";"); err != nil {
 			return nil, err
 		}
-		return &BreakStmt{t.line}, nil
+		return &BreakStmt{Line: t.line}, nil
 	case t.kind == tIdent && t.text == "continue":
 		p.bump()
 		if _, err := p.punct(";"); err != nil {
 			return nil, err
 		}
-		return &ContinueStmt{t.line}, nil
+		return &ContinueStmt{Line: t.line}, nil
 	case t.kind == tIdent && t.text == "return":
 		p.bump()
 		var x Expr
@@ -323,7 +323,7 @@ func (p *parser) whileStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WhileStmt{cond, body, line}, nil
+	return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
 }
 
 func (p *parser) doWhileStmt() (Stmt, error) {
@@ -349,7 +349,7 @@ func (p *parser) doWhileStmt() (Stmt, error) {
 	if _, err := p.punct(";"); err != nil {
 		return nil, err
 	}
-	return &DoWhileStmt{cond, body, line}, nil
+	return &DoWhileStmt{Cond: cond, Body: body, Line: line}, nil
 }
 
 func (p *parser) forStmt() (Stmt, error) {

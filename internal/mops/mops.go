@@ -245,9 +245,11 @@ func Check(prog *minic.Program, prop *spec.Property, events *minic.EventMap, ent
 	if entry == "" {
 		entry = "main"
 	}
-	if _, ok := prog.ByName[entry]; !ok {
+	entryDef, ok := prog.ByName[entry]
+	if !ok {
 		return nil, fmt.Errorf("mops: entry function %q not defined", entry)
 	}
+	entry = entryDef.Name // resolve aliases to the canonical name
 	if prop.IsParametric() {
 		return nil, fmt.Errorf("mops: parametric properties unsupported by the baseline checker")
 	}
@@ -296,9 +298,9 @@ func buildPDS(prog *minic.Program, prop *spec.Property, events *minic.EventMap) 
 					return nil, nil, fmt.Errorf("mops: event symbol %q not in property alphabet", ev.Symbol)
 				}
 				sym = s
-			} else if _, defined := prog.ByName[n.Call.Name]; defined {
+			} else if def, defined := prog.ByName[n.Call.Name]; defined {
 				isCall = true
-				callee = n.Call.Name
+				callee = def.Name // resolve aliases to the canonical name
 			}
 		}
 		switch {
@@ -336,9 +338,11 @@ func ChopLines(prog *minic.Program, prop *spec.Property, events *minic.EventMap,
 	if entry == "" {
 		entry = "main"
 	}
-	if _, ok := prog.ByName[entry]; !ok {
+	entryDef, ok := prog.ByName[entry]
+	if !ok {
 		return nil, fmt.Errorf("mops: entry function %q not defined", entry)
 	}
+	entry = entryDef.Name // resolve aliases to the canonical name
 	if prop.IsParametric() {
 		return nil, fmt.Errorf("mops: parametric properties unsupported")
 	}

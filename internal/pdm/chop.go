@@ -35,7 +35,7 @@ func DangerPoints(prog *minic.Program, prop *spec.Property, events *minic.EventM
 	if !ok {
 		return nil, fmt.Errorf("pdm: function %q not defined", fn)
 	}
-	_ = fd
+	fn = fd.Name // resolve aliases to the canonical name
 	cfg := minic.MustBuild(prog)
 
 	sig := terms.NewSignature()

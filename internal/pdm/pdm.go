@@ -80,9 +80,13 @@ func Check(prog *minic.Program, prop *spec.Property, events *minic.EventMap, ent
 	if entry == "" {
 		entry = "main"
 	}
-	if _, ok := prog.ByName[entry]; !ok {
+	entryDef, ok := prog.ByName[entry]
+	if !ok {
 		return nil, fmt.Errorf("pdm: entry function %q not defined", entry)
 	}
+	// ByName may hold aliases (gosrc registers bare method names for
+	// uniquely named methods); Entry/Exit are keyed by canonical names.
+	entry = entryDef.Name
 	cfg := minic.MustBuild(prog)
 
 	var alg core.Algebra
@@ -138,9 +142,9 @@ func Check(prog *minic.Program, prop *spec.Property, events *minic.EventMap, ent
 					return nil, err
 				}
 				nodeEvent[n.ID] = a
-			} else if _, defined := prog.ByName[n.Call.Name]; defined {
+			} else if def, defined := prog.ByName[n.Call.Name]; defined {
 				isCall = true
-				callee = n.Call.Name
+				callee = def.Name // resolve aliases to the canonical name
 			}
 		}
 		if isCall {
