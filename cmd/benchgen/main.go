@@ -8,14 +8,19 @@
 //	benchgen -kind go -gofiles 8 -outdir dir   # multi-file Go package
 //	benchgen -row "Sendmail 8.12.8"      # a Table 1 package's program
 //	benchgen -list                        # list Table 1 rows
+//	benchgen -bench-json BENCH_analysis.json   # run the driver benchmark
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"rasc/internal/analysis"
+	"rasc/internal/gosrc"
 	"rasc/internal/synth"
 )
 
@@ -31,7 +36,16 @@ func main() {
 	gofiles := flag.Int("gofiles", 4, "number of Go files (-kind go)")
 	outdir := flag.String("outdir", "", "write -kind go files into this directory")
 	list := flag.Bool("list", false, "list Table 1 rows")
+	benchJSON := flag.String("bench-json", "", "generate a Go corpus, run the analysis driver, write timing/findings JSON to this path")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBench(*benchJSON, *seed, *gofiles, *functions, *stmts, *unsafe); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range synth.Table1() {
@@ -91,4 +105,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgen: unknown kind", *kind)
 		os.Exit(2)
 	}
+}
+
+// benchResult is the schema of the -bench-json report. Solver totals
+// come from the driver's summed per-job constraint-system stats; the
+// model-based checkers (race, lockorder) contribute findings but no
+// constraints.
+type benchResult struct {
+	Corpus struct {
+		Seed      int64 `json:"seed"`
+		Files     int   `json:"files"`
+		Functions int   `json:"functions"`
+	} `json:"corpus"`
+	WallMS     float64              `json:"wall_ms"`
+	Jobs       int                  `json:"jobs"`
+	Checkers   []string             `json:"checkers"`
+	Findings   int                  `json:"findings"`
+	BySeverity map[string]int       `json:"by_severity"`
+	Solver     analysis.SolverStats `json:"solver"`
+}
+
+func runBench(path string, seed int64, files, functions, stmts, unsafe int) error {
+	gen := synth.GenerateGo(synth.GoConfig{
+		Seed:          seed,
+		Files:         files,
+		FuncsPerFile:  functions,
+		StmtsPerFn:    stmts,
+		UnsafePerFile: unsafe,
+		Racy:          true,
+	})
+	in := make([]gosrc.File, len(gen))
+	for i, f := range gen {
+		in[i] = gosrc.File{Name: f.Name, Src: f.Src}
+	}
+	pkg, err := analysis.LoadFiles(in)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := analysis.Analyze(pkg, analysis.Config{})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	var out benchResult
+	out.Corpus.Seed = seed
+	out.Corpus.Files = rep.Files
+	out.Corpus.Functions = rep.Functions
+	out.WallMS = float64(wall.Microseconds()) / 1000
+	out.Jobs = rep.Jobs
+	out.Checkers = rep.Checkers
+	out.Findings = len(rep.Diagnostics)
+	out.BySeverity = map[string]int{}
+	for _, d := range rep.Diagnostics {
+		out.BySeverity[d.Severity.String()]++
+	}
+	out.Solver = rep.Solver
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d findings over %d jobs in %.1f ms\n", path, out.Findings, out.Jobs, out.WallMS)
+	return nil
 }

@@ -6,14 +6,19 @@
 //
 // Usage:
 //
-//	gocheck [-checkers all|name,...] [-entry fn,...] [-format text|json|sarif]
+//	gocheck [-checkers all|name,...] [-entry fn,...]
+//	        [-format text|json|sarif|github] [-fail-on error|warning|note]
 //	        [-parallel N] path...
 //	gocheck -list
 //
 // Diagnostics carry file:line positions from the original Go source and
-// witness traces. A //rasc:ignore or //rasc:ignore=checker,... line
-// comment suppresses findings reported on that line. Exit status is 3
-// when findings remain, 1 on errors, 2 on usage errors.
+// witness traces (two traces for race and lockorder findings, one per
+// goroutine). A //rasc:ignore or //rasc:ignore=checker,... line comment
+// suppresses findings reported on that line; //rasc:ignore-file[=...]
+// suppresses a whole file. The github format emits ::error/::warning
+// workflow commands for inline pull-request annotations. Exit status is
+// 3 when findings at or above the -fail-on severity remain, 1 on
+// errors, 2 on usage errors.
 package main
 
 import (
@@ -29,7 +34,8 @@ import (
 func main() {
 	checkersFlag := flag.String("checkers", "all", "comma-separated checker names, or all")
 	entryFlag := flag.String("entry", "", "comma-separated entry functions (default: package roots)")
-	format := flag.String("format", "text", "output format: text, json or sarif")
+	format := flag.String("format", "text", "output format: text, json, sarif or github")
+	failOn := flag.String("fail-on", "warning", "lowest severity that fails the run (error, warning or note)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list registered checkers and exit")
 	flag.Parse()
@@ -69,6 +75,19 @@ func main() {
 		fatal(err)
 	}
 
+	var threshold analysis.Severity
+	switch *failOn {
+	case "error":
+		threshold = analysis.SeverityError
+	case "warning":
+		threshold = analysis.SeverityWarning
+	case "note":
+		threshold = analysis.SeverityNote
+	default:
+		fmt.Fprintf(os.Stderr, "gocheck: unknown -fail-on severity %q\n", *failOn)
+		os.Exit(2)
+	}
+
 	switch *format {
 	case "text":
 		err = rep.Text(os.Stdout)
@@ -76,6 +95,8 @@ func main() {
 		err = rep.JSON(os.Stdout)
 	case "sarif":
 		err = rep.SARIF(os.Stdout)
+	case "github":
+		err = rep.Github(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "gocheck: unknown format %q\n", *format)
 		os.Exit(2)
@@ -83,7 +104,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if rep.HasFindings() {
+	if rep.HasFindingsAtLeast(threshold) {
 		os.Exit(3)
 	}
 }

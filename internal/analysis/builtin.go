@@ -6,9 +6,43 @@ import (
 )
 
 // The built-in checker suite: the Go-facing properties already in the
-// toolkit (doublelock, fileleak, taint) plus the sql.Rows and
-// sync.WaitGroup typestate checkers.
+// toolkit (doublelock, fileleak, taint), the sql.Rows and sync.WaitGroup
+// typestate checkers, the per-channel close/send-after-close and RWMutex
+// properties, and the model-based concurrency checkers (race,
+// lockorder) built on the goroutine/lockset abstraction in conc.go.
 func init() {
+	Register(&Checker{
+		Name:     "race",
+		Doc:      "shared variable accessed by concurrent goroutines without a common lock",
+		Severity: SeverityError,
+		Run:      raceDiagnostics,
+		Message:  "possible data race on %s: conflicting accesses from concurrent goroutines with no common lock held",
+	})
+	Register(&Checker{
+		Name:     "lockorder",
+		Doc:      "two locks acquired in opposite orders on different paths (deadlock risk)",
+		Severity: SeverityWarning,
+		Run:      lockOrderDiagnostics,
+		Message:  "locks %s are acquired in opposite orders on different paths (deadlock risk)",
+	})
+	Register(&Checker{
+		Name:        "chanclose",
+		Doc:         "channel closed twice or sent on after close",
+		Severity:    SeverityError,
+		Mode:        ModeViolations,
+		NewProperty: gosrc.ChanCloseProperty,
+		NewEvents:   gosrc.ChanCloseEvents,
+		Message:     "channel %s may be closed or sent on after being closed",
+	})
+	Register(&Checker{
+		Name:        "rwlock",
+		Doc:         "sync.RWMutex.RUnlock called with no read lock held",
+		Severity:    SeverityError,
+		Mode:        ModeViolations,
+		NewProperty: gosrc.RWLockProperty,
+		NewEvents:   gosrc.RWLockEvents,
+		Message:     "RWMutex %s: RUnlock without a matching RLock",
+	})
 	Register(&Checker{
 		Name:        "doublelock",
 		Doc:         "sync.Mutex locked while held, or unlocked while not held",

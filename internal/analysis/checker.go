@@ -74,6 +74,11 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 // Checker is one registered API-usage property. The property and event
 // map are built lazily, once, and shared across concurrent jobs: compiled
 // properties (DFA + transition monoid) are read-only after construction.
+//
+// A checker is either property-based (NewProperty + NewEvents, solved
+// with the RASC pushdown engine) or model-based (Run set, inspecting the
+// package's concurrency model directly — the race and lockorder
+// checkers). Exactly one of the two forms must be provided.
 type Checker struct {
 	// Name is the registry key ("doublelock").
 	Name string
@@ -87,6 +92,10 @@ type Checker struct {
 	NewProperty func() *spec.Property
 	// NewEvents builds the call-to-alphabet event map.
 	NewEvents func() *minic.EventMap
+	// Run, when set, replaces the property solve: the checker computes
+	// its diagnostics from the package directly. Run must be safe for
+	// concurrent calls with distinct entries.
+	Run func(pkg *Package, c *Checker, entry string) []Diagnostic
 	// Message is the diagnostic text; a "%s" verb, if present, receives
 	// the parameter label (the offending mutex, file, rows value, ...).
 	Message string
@@ -135,8 +144,9 @@ var (
 func Register(c *Checker) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	if c.Name == "" || c.NewProperty == nil || c.NewEvents == nil {
-		panic("analysis: Register: incomplete checker")
+	propertyBased := c.NewProperty != nil && c.NewEvents != nil
+	if c.Name == "" || propertyBased == (c.Run != nil) {
+		panic("analysis: Register: checker needs a name and exactly one of Run or NewProperty+NewEvents")
 	}
 	if _, dup := registry[c.Name]; dup {
 		panic("analysis: Register: duplicate checker " + c.Name)

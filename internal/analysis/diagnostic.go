@@ -25,6 +25,10 @@ type Diagnostic struct {
 	// Trace is the witness path, oldest hop first (empty for leak-mode
 	// findings, which have no single violating statement).
 	Trace []TraceStep `json:"trace,omitempty"`
+	// SecondTrace is the second witness for two-sided findings: the
+	// other goroutine's path to a racy access, or the inverted
+	// acquisition order of a lock-order finding.
+	SecondTrace []TraceStep `json:"second_trace,omitempty"`
 }
 
 // TraceStep is one hop of a witness trace.
@@ -70,13 +74,32 @@ type Report struct {
 	Checkers  []string `json:"checkers"`
 	Entries   []string `json:"entries"`
 	Jobs      int      `json:"jobs"`
+	// Solver sums constraint-solver statistics over every property job
+	// (model-based checkers contribute nothing).
+	Solver SolverStats `json:"solver"`
+}
+
+// SolverStats aggregates constraint-system sizes across jobs.
+type SolverStats struct {
+	// Vars is the total number of set variables created.
+	Vars int `json:"vars"`
+	// ConsNodes is the total number of constructed-term nodes.
+	ConsNodes int `json:"cons_nodes"`
+	// Edges is the total number of constraint-graph edges added.
+	Edges int `json:"edges"`
 }
 
 // HasFindings reports whether any diagnostic of Severity error or
 // warning survived suppression (the CI failure condition).
 func (r *Report) HasFindings() bool {
+	return r.HasFindingsAtLeast(SeverityWarning)
+}
+
+// HasFindingsAtLeast reports whether any surviving diagnostic is at
+// least as severe as min (severities rank error > warning > note).
+func (r *Report) HasFindingsAtLeast(min Severity) bool {
 	for _, d := range r.Diagnostics {
-		if d.Severity != SeverityNote {
+		if d.Severity <= min {
 			return true
 		}
 	}

@@ -25,6 +25,9 @@ type Package struct {
 
 	rootsOnce sync.Once
 	roots     []string
+
+	concOnce sync.Once
+	conc     *concModel
 }
 
 // Config drives one Analyze run.
@@ -139,7 +142,9 @@ func (p *Package) Roots() []string {
 		called := map[string]bool{}
 		cfg := minic.MustBuild(prog)
 		for _, n := range cfg.Nodes {
-			if n.Kind != minic.NAction {
+			// Spawned callees count as called: a worker started only via
+			// `go worker()` is not a root.
+			if (n.Kind != minic.NAction && n.Kind != minic.NSpawn) || n.Call == nil {
 				continue
 			}
 			if def, ok := prog.ByName[n.Call.Name]; ok {
@@ -202,6 +207,7 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 		}
 	}
 	results := make([][]Diagnostic, len(jobs))
+	stats := make([]core.Stats, len(jobs))
 	errs := make([]error, len(jobs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -210,7 +216,7 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = runJob(pkg, jobs[i].checker, jobs[i].entry, cfg.Opts)
+				results[i], stats[i], errs[i] = runJob(pkg, jobs[i].checker, jobs[i].entry, cfg.Opts)
 			}
 		}()
 	}
@@ -231,6 +237,13 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 		Functions: len(pkg.Tr.Prog.Funcs),
 		Entries:   entries,
 		Jobs:      len(jobs),
+	}
+	// Aggregate solver statistics; a sum is independent of completion
+	// order, so the report stays deterministic under any -parallel.
+	for _, st := range stats {
+		rep.Solver.Vars += st.Vars
+		rep.Solver.ConsNodes += st.ConsNodes
+		rep.Solver.Edges += st.Edges
 	}
 	for _, c := range checkers {
 		rep.Checkers = append(rep.Checkers, c.Name)
@@ -260,40 +273,50 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 }
 
 // suppressed reports whether a //rasc:ignore comment on the diagnostic's
-// line covers its checker.
+// line, or a //rasc:ignore-file comment in its file, covers its checker.
 func (p *Package) suppressed(d *Diagnostic) bool {
-	lines, ok := p.Tr.Ignores[d.File]
-	if !ok {
-		return false
+	if names, ok := p.Tr.FileIgnores[d.File]; ok && coversChecker(names, d.Checker) {
+		return true
 	}
-	names, ok := lines[d.Line]
-	if !ok {
-		return false
-	}
-	if len(names) == 0 {
-		return true // bare //rasc:ignore suppresses every checker
-	}
-	for _, n := range names {
-		if n == d.Checker {
+	if lines, ok := p.Tr.Ignores[d.File]; ok {
+		if names, ok := lines[d.Line]; ok && coversChecker(names, d.Checker) {
 			return true
 		}
 	}
 	return false
 }
 
-// runJob executes one (checker, entry) solve and maps the solver result
-// to diagnostics.
-func runJob(pkg *Package, c *Checker, entry string, opts core.Options) ([]Diagnostic, error) {
+// coversChecker: an empty directive list suppresses every checker.
+func coversChecker(names []string, checker string) bool {
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if n == checker {
+			return true
+		}
+	}
+	return false
+}
+
+// runJob executes one (checker, entry) job — a constraint solve for
+// property checkers, a concurrency-model query for Run checkers — and
+// maps the result to diagnostics plus solver statistics.
+func runJob(pkg *Package, c *Checker, entry string, opts core.Options) ([]Diagnostic, core.Stats, error) {
+	if c.Run != nil {
+		return c.Run(pkg, c, entry), core.Stats{}, nil
+	}
 	prop, events := c.compiled()
 	res, err := pdm.Check(pkg.Tr.Prog, prop, events, entry, opts)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
+		return nil, core.Stats{}, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
 	}
+	stats := res.Sys.Stats()
 	switch c.Mode {
 	case ModeLeakAtExit:
-		return leakDiagnostics(pkg, c, entry, res, events), nil
+		return leakDiagnostics(pkg, c, entry, res, events), stats, nil
 	default:
-		return violationDiagnostics(pkg, c, entry, res), nil
+		return violationDiagnostics(pkg, c, entry, res), stats, nil
 	}
 }
 

@@ -7,18 +7,20 @@ import (
 )
 
 // Text writes the human-readable report: one line per diagnostic with
-// its witness trace indented, then notes and a summary.
+// its witness trace(s) indented, then notes and a summary.
 func (r *Report) Text(w io.Writer) error {
 	for _, d := range r.Diagnostics {
 		if _, err := fmt.Fprintf(w, "%s:%d: %s: %s: %s\n", d.File, d.Line, d.Severity, d.Checker, d.Message); err != nil {
 			return err
 		}
-		for _, tp := range d.Trace {
-			arrow := "via"
-			if tp.Enter {
-				arrow = "into"
+		if err := writeTrace(w, d.Trace); err != nil {
+			return err
+		}
+		if len(d.SecondTrace) > 0 {
+			if _, err := fmt.Fprintln(w, "  concurrent with:"); err != nil {
+				return err
 			}
-			if _, err := fmt.Fprintf(w, "    %s %s (%s:%d)\n", arrow, tp.Fn, tp.File, tp.Line); err != nil {
+			if err := writeTrace(w, d.SecondTrace); err != nil {
 				return err
 			}
 		}
@@ -31,6 +33,60 @@ func (r *Report) Text(w io.Writer) error {
 	_, err := fmt.Fprintf(w, "%d finding(s), %d suppressed; %d file(s), %d function(s), %d job(s)\n",
 		len(r.Diagnostics), r.Suppressed, r.Files, r.Functions, r.Jobs)
 	return err
+}
+
+func writeTrace(w io.Writer, trace []TraceStep) error {
+	for _, tp := range trace {
+		arrow := "via"
+		if tp.Enter {
+			arrow = "into"
+		}
+		if _, err := fmt.Fprintf(w, "    %s %s (%s:%d)\n", arrow, tp.Fn, tp.File, tp.Line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Github writes one GitHub Actions workflow command per diagnostic
+// (::error file=...,line=...::message), so a CI step's findings surface
+// as inline annotations on the pull request without extra tooling.
+func (r *Report) Github(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		level := "error"
+		switch d.Severity {
+		case SeverityWarning:
+			level = "warning"
+		case SeverityNote:
+			level = "notice"
+		}
+		msg := d.Message
+		if d.Checker != "" {
+			msg = d.Checker + ": " + msg
+		}
+		if _, err := fmt.Fprintf(w, "::%s file=%s,line=%d::%s\n", level, d.File, d.Line, escapeGithub(msg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeGithub applies the workflow-command data escaping rules.
+func escapeGithub(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '%':
+			out = append(out, "%25"...)
+		case '\r':
+			out = append(out, "%0D"...)
+		case '\n':
+			out = append(out, "%0A"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
 }
 
 // JSON writes the report as indented JSON.
@@ -140,9 +196,16 @@ func (r *Report) SARIF(w io.Writer) error {
 				},
 			}},
 		}
-		if len(d.Trace) > 0 {
+		// A two-sided finding (race, lockorder) renders as ONE codeFlow
+		// with TWO threadFlows — SARIF's native shape for concurrent
+		// witness paths.
+		var flows []sarifThreadFlow
+		for _, trace := range [][]TraceStep{d.Trace, d.SecondTrace} {
+			if len(trace) == 0 {
+				continue
+			}
 			tf := sarifThreadFlow{}
-			for _, tp := range d.Trace {
+			for _, tp := range trace {
 				tf.Locations = append(tf.Locations, sarifThreadFlowLocation{
 					Location: sarifLocation{
 						PhysicalLocation: sarifPhysicalLocation{
@@ -153,7 +216,10 @@ func (r *Report) SARIF(w io.Writer) error {
 					},
 				})
 			}
-			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{tf}}}
+			flows = append(flows, tf)
+		}
+		if len(flows) > 0 {
+			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: flows}}
 		}
 		run.Results = append(run.Results, res)
 	}

@@ -1,0 +1,31 @@
+// Package race seeds one data race and one correctly guarded access
+// pattern: counter is written by main and by the spawned updater with no
+// lock, total is only ever touched under mu. The race checker must flag
+// counter — with one witness trace per goroutine — and stay silent
+// about total.
+package race
+
+import "sync"
+
+var mu sync.Mutex
+
+var counter int
+var total int
+
+func main() {
+	go update()
+	counter = 1
+	mu.Lock()
+	total = 1
+	mu.Unlock()
+	publish(counter)
+}
+
+func update() {
+	counter++
+	mu.Lock()
+	total++
+	mu.Unlock()
+}
+
+func publish(v int) {}

@@ -111,6 +111,66 @@ func WaitGroupEvents() *minic.EventMap {
 	}}
 }
 
+// ChanCloseSpecSrc: closing an already-closed channel and sending on a
+// closed channel both panic at run time. The translation exposes channel
+// operations as $chan.send/$chan.close calls parametric in the channel,
+// so the property is per channel object.
+const ChanCloseSpecSrc = `
+start state Open :
+    | send(x) -> Open
+    | close(x) -> Closed;
+
+state Closed :
+    | close(x) -> Error
+    | send(x) -> Error;
+
+accept state Error;
+`
+
+// ChanCloseProperty compiles ChanCloseSpecSrc.
+func ChanCloseProperty() *spec.Property { return spec.MustCompile(ChanCloseSpecSrc) }
+
+// ChanCloseEvents: the synthesized $chan.send/$chan.close actions,
+// labelled by the channel rendering (argument 0).
+func ChanCloseEvents() *minic.EventMap {
+	return &minic.EventMap{Rules: []minic.Rule{
+		{Callee: "$chan.send", ArgIndex: -1, Symbol: "send", LabelArg: 0},
+		{Callee: "$chan.close", ArgIndex: -1, Symbol: "close", LabelArg: 0},
+	}}
+}
+
+// RWLockSpecSrc: calling RUnlock on a sync.RWMutex with no read lock
+// held is a run-time fatal error. A finite property cannot count reader
+// depth, so depth two and beyond is an absorbing state (Deep) that never
+// errors: nesting is under-approximated rather than false-flagged, and
+// only a clearly unmatched RUnlock reaches Error.
+const RWLockSpecSrc = `
+start state Free :
+    | rlock(x) -> R1
+    | runlock(x) -> Error;
+
+state R1 :
+    | rlock(x) -> Deep
+    | runlock(x) -> Free;
+
+state Deep :
+    | rlock(x) -> Deep
+    | runlock(x) -> Deep;
+
+accept state Error;
+`
+
+// RWLockProperty compiles RWLockSpecSrc.
+func RWLockProperty() *spec.Property { return spec.MustCompile(RWLockSpecSrc) }
+
+// RWLockEvents: mu.RLock()/mu.RUnlock(), labelled by the receiver.
+func RWLockEvents() *minic.EventMap {
+	return &minic.EventMap{Rules: []minic.Rule{
+		{Callee: "RLock", ArgIndex: -1, Symbol: "rlock", LabelArg: 0},
+		{Callee: "RUnlock", ArgIndex: -1, Symbol: "runlock", LabelArg: 0},
+	}}
+}
+
 // Check translates Go source and model-checks it against the property.
 func Check(src string, prop *spec.Property, events *minic.EventMap, entry string, opts core.Options) (*pdm.Result, error) {
 	prog, err := Translate(src)

@@ -14,7 +14,19 @@
 //     receiver (mu.Lock() → Lock(mu), matched per mutex name);
 //   - defer is expanded: the deferred calls run, in LIFO order, before
 //     every return and at the end of the function body;
-//   - go f() and goroutine structure are ignored beyond the call itself;
+//   - go f() becomes a spawn statement (minic.SpawnStmt): the spawned
+//     call starts a new goroutine in the CFG; go func(){...}() closures
+//     are translated into synthesized functions ("f$go1") and spawned;
+//   - channel operations become channel statements: ch <- v, <-ch and
+//     close(ch) map to minic.SendStmt/RecvStmt/CloseStmt, parametric in
+//     the channel's rendering;
+//   - sync.Mutex/RWMutex usage keeps per-object lock identities (the
+//     receiver rendering), and once.Do(f) becomes a conditional call
+//     to f (it runs at most once);
+//   - reads and writes of package-level var declarations (except sync,
+//     channel and func values) are recorded as shared-variable access
+//     statements for the race checker — scope-blind: a local that
+//     shadows a package var in a nested scope may be misattributed;
 //   - range loops become condition-less loops over the body;
 //   - switch (expression and type switches) becomes the branch structure
 //     with Go's implicit break, honoring explicit fallthrough;
@@ -37,6 +49,7 @@ import (
 	"go/parser"
 	"go/printer"
 	"go/token"
+	"sort"
 	"strings"
 
 	"rasc/internal/minic"
@@ -71,6 +84,15 @@ type Translation struct {
 	// //rasc:ignore comments on that line. An empty name list means the
 	// line suppresses every checker.
 	Ignores map[string]map[int][]string
+	// FileIgnores maps file name -> checker names named in
+	// //rasc:ignore-file comments anywhere in that file. A present file
+	// with an empty name list suppresses every checker in the file.
+	FileIgnores map[string][]string
+	// Shared lists the package-level variables treated as shared state
+	// by the concurrency checkers, sorted.
+	Shared []string
+
+	gocount int // synthesized goroutine-closure counter
 }
 
 // Translate parses a single Go source buffer and translates every
@@ -92,20 +114,33 @@ func Translate(src string) (*minic.Program, error) {
 func TranslateFiles(files []File) (*Translation, error) {
 	fset := token.NewFileSet()
 	out := &Translation{
-		Prog:    &minic.Program{ByName: map[string]*minic.FuncDef{}},
-		Ignores: map[string]map[int][]string{},
+		Prog:        &minic.Program{ByName: map[string]*minic.FuncDef{}},
+		Ignores:     map[string]map[int][]string{},
+		FileIgnores: map[string][]string{},
 	}
 	prog := out.Prog
-	// methodsByBare collects method defs per bare name for alias
-	// registration once all files are seen.
-	methodsByBare := map[string][]*minic.FuncDef{}
-	for _, f := range files {
+	// Pass 1: parse every file, so package-level shared variables are
+	// known before any function body is translated.
+	parsed := make([]*ast.File, len(files))
+	for i, f := range files {
 		file, err := parser.ParseFile(fset, f.Name, f.Src, parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("gosrc: %w", err)
 		}
-		tr := &translator{fset: fset, file: f.Name, out: out}
-		collectIgnores(fset, f.Name, file, out.Ignores)
+		parsed[i] = file
+	}
+	globals := collectGlobals(fset, parsed)
+	for name := range globals {
+		out.Shared = append(out.Shared, name)
+	}
+	sort.Strings(out.Shared)
+	// methodsByBare collects method defs per bare name for alias
+	// registration once all files are seen.
+	methodsByBare := map[string][]*minic.FuncDef{}
+	for i, f := range files {
+		file := parsed[i]
+		tr := &translator{fset: fset, file: f.Name, out: out, globals: globals}
+		collectIgnores(fset, f.Name, file, out)
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -126,6 +161,8 @@ func TranslateFiles(files []File) (*Translation, error) {
 				continue
 			}
 			tr.deferred = nil
+			tr.fnName = name
+			tr.locals = localNames(fd)
 			def := &minic.FuncDef{
 				Name: name,
 				Line: tr.line(fd.Pos()),
@@ -203,8 +240,133 @@ func recvTypeName(recv *ast.FieldList) string {
 	}
 }
 
-// collectIgnores records //rasc:ignore[=checker,...] comments per line.
-func collectIgnores(fset *token.FileSet, name string, file *ast.File, into map[string]map[int][]string) {
+// collectGlobals gathers package-level var names across all files; these
+// are the shared variables the concurrency checkers track. Variables of
+// synchronization or function shape (sync.*, channels, funcs) are
+// excluded: they are modeled as events, not data.
+func collectGlobals(fset *token.FileSet, files []*ast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || syncShaped(fset, vs) {
+					continue
+				}
+				for _, n := range vs.Names {
+					if n.Name != "_" {
+						out[n.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// syncShaped reports whether a var spec's type or initializer names a
+// synchronization or function type (type-blind, by rendering).
+func syncShaped(fset *token.FileSet, vs *ast.ValueSpec) bool {
+	check := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, e); err != nil {
+			return false
+		}
+		s := buf.String()
+		return strings.Contains(s, "sync.") || containsWord(s, "chan") || containsWord(s, "func")
+	}
+	if check(vs.Type) {
+		return true
+	}
+	for _, v := range vs.Values {
+		if check(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWord reports whether s contains word as a whole identifier.
+func containsWord(s, word string) bool {
+	for i := 0; i+len(word) <= len(s); i++ {
+		if s[i:i+len(word)] != word {
+			continue
+		}
+		before := i == 0 || !isIdentByte(s[i-1])
+		after := i+len(word) == len(s) || !isIdentByte(s[i+len(word)])
+		if before && after {
+			return true
+		}
+	}
+	return false
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+// localNames gathers every name bound inside a function declaration —
+// receiver, parameters, results, :=-definitions, var/const declarations,
+// range and closure bindings — scope-blind, to decide when an identifier
+// refers to a package-level shared variable.
+func localNames(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				out[n.Name] = true
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, l := range x.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range x.Names {
+				out[id.Name] = true
+			}
+		case *ast.RangeStmt:
+			if x.Tok == token.DEFINE {
+				if id, ok := x.Key.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+				if id, ok := x.Value.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+		case *ast.FuncLit:
+			addFields(x.Type.Params)
+			addFields(x.Type.Results)
+		}
+		return true
+	})
+	return out
+}
+
+// collectIgnores records //rasc:ignore[=checker,...] line directives and
+// //rasc:ignore-file[=checker,...] file directives.
+func collectIgnores(fset *token.FileSet, name string, file *ast.File, out *Translation) {
+	into := out.Ignores
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -212,16 +374,26 @@ func collectIgnores(fset *token.FileSet, name string, file *ast.File, into map[s
 			if !strings.HasPrefix(text, "rasc:ignore") {
 				continue
 			}
-			rest := strings.TrimPrefix(text, "rasc:ignore")
-			var checkers []string
-			if strings.HasPrefix(rest, "=") {
-				for _, n := range strings.Split(rest[1:], ",") {
-					if n = strings.TrimSpace(n); n != "" {
-						checkers = append(checkers, n)
-					}
+			if strings.HasPrefix(text, "rasc:ignore-file") {
+				rest := strings.TrimPrefix(text, "rasc:ignore-file")
+				checkers, ok := ignoreCheckers(rest)
+				if !ok {
+					continue
 				}
-			} else if rest != "" && !strings.HasPrefix(rest, " ") {
-				continue // e.g. "rasc:ignorethis" is not a directive
+				// A bare //rasc:ignore-file suppresses every checker in
+				// the file and absorbs any named ones.
+				cur, seen := out.FileIgnores[name]
+				if len(checkers) == 0 || (seen && len(cur) == 0) {
+					out.FileIgnores[name] = []string{}
+				} else {
+					out.FileIgnores[name] = append(cur, checkers...)
+				}
+				continue
+			}
+			rest := strings.TrimPrefix(text, "rasc:ignore")
+			checkers, ok := ignoreCheckers(rest)
+			if !ok {
+				continue
 			}
 			line := fset.Position(c.Pos()).Line
 			m := into[name]
@@ -240,6 +412,22 @@ func collectIgnores(fset *token.FileSet, name string, file *ast.File, into map[s
 			}
 		}
 	}
+}
+
+// ignoreCheckers parses the tail of an ignore directive: "" (bare),
+// "=a,b" (named). Any other tail means the comment is not a directive.
+func ignoreCheckers(rest string) ([]string, bool) {
+	var checkers []string
+	if strings.HasPrefix(rest, "=") {
+		for _, n := range strings.Split(rest[1:], ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				checkers = append(checkers, n)
+			}
+		}
+	} else if rest != "" && !strings.HasPrefix(rest, " ") {
+		return nil, false // e.g. "rasc:ignorethis" is not a directive
+	}
+	return checkers, true
 }
 
 func sortNotes(notes []Note) {
@@ -267,6 +455,13 @@ type translator struct {
 	fset *token.FileSet
 	file string
 	out  *Translation
+	// globals holds the package-level shared variables; locals the names
+	// bound in the current function (scope-blind, see localNames).
+	globals map[string]bool
+	locals  map[string]bool
+	// fnName is the (qualified) name of the function being translated,
+	// used to name synthesized goroutine closures.
+	fnName string
 	// deferred calls of the current function, in defer order.
 	deferred []*minic.CallExpr
 }
@@ -297,6 +492,130 @@ func (t *translator) deferredCalls() []minic.Stmt {
 	return out
 }
 
+// closureFn synthesizes a function definition from a closure body (a
+// go func(){...}() spawn or a once.Do(func(){...}) argument) and returns
+// its name. The "$" in the name cannot collide with a Go identifier.
+func (t *translator) closureFn(fl *ast.FuncLit, suffix string) string {
+	t.out.gocount++
+	name := fmt.Sprintf("%s$%s%d", t.fnName, suffix, t.out.gocount)
+	def := &minic.FuncDef{Name: name, Line: t.line(fl.Pos()), File: t.file}
+	if fl.Type.Params != nil {
+		for _, p := range fl.Type.Params.List {
+			for _, n := range p.Names {
+				def.Params = append(def.Params, n.Name)
+			}
+		}
+	}
+	// The closure gets its own defer scope; captured locals stay in
+	// t.locals, which localNames already collected closure-deep.
+	saved := t.deferred
+	t.deferred = nil
+	body := t.block(fl.Body)
+	body = append(body, t.deferredCalls()...)
+	t.deferred = saved
+	def.Body = body
+	t.out.Prog.Funcs = append(t.out.Prog.Funcs, def)
+	t.out.Prog.ByName[name] = def
+	return name
+}
+
+// collectShared walks an expression collecting reads of package-level
+// shared variables (globals not shadowed by a function-local name).
+// Callee names and selector fields are skipped; receivers and arguments
+// are visited. Closure bodies are not entered (their accesses surface
+// where the closure is translated as a function, or not at all for
+// hoisted-call closures).
+func (t *translator) collectShared(e ast.Expr, seen map[string]bool, names *[]string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				// skip the callee name
+			case *ast.SelectorExpr:
+				t.collectShared(fun.X, seen, names)
+			default:
+				t.collectShared(fun, seen, names)
+			}
+			for _, a := range x.Args {
+				t.collectShared(a, seen, names)
+			}
+			return false
+		case *ast.SelectorExpr:
+			t.collectShared(x.X, seen, names)
+			return false
+		case *ast.KeyValueExpr:
+			t.collectShared(x.Value, seen, names)
+			return false
+		case *ast.Ident:
+			if t.globals[x.Name] && !t.locals[x.Name] && !seen[x.Name] {
+				seen[x.Name] = true
+				*names = append(*names, x.Name)
+			}
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+// sharedReads returns read-access statements for every shared variable
+// read in exprs, deduplicated, in source encounter order.
+func (t *translator) sharedReads(line int, exprs ...ast.Expr) []minic.Stmt {
+	seen := map[string]bool{}
+	var names []string
+	for _, e := range exprs {
+		t.collectShared(e, seen, &names)
+	}
+	var out []minic.Stmt
+	for _, n := range names {
+		out = append(out, &minic.AccessStmt{Name: n, Line: line})
+	}
+	return out
+}
+
+// sharedWriteTarget unwraps an assignment target (x, x.f, x[i], *x, (x))
+// to its base identifier and returns it if it is a shared variable.
+func (t *translator) sharedWriteTarget(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			if t.globals[x.Name] && !t.locals[x.Name] {
+				return x.Name
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// sharedWrites returns write-access statements for the shared variables
+// among the assignment targets in lhs.
+func (t *translator) sharedWrites(line int, lhs []ast.Expr) []minic.Stmt {
+	var out []minic.Stmt
+	seen := map[string]bool{}
+	for _, l := range lhs {
+		if name := t.sharedWriteTarget(l); name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, &minic.AccessStmt{Name: name, Write: true, Line: line})
+		}
+	}
+	return out
+}
+
 func (t *translator) block(b *ast.BlockStmt) []minic.Stmt {
 	var out []minic.Stmt
 	for _, st := range b.List {
@@ -316,15 +635,44 @@ func (t *translator) stmts(list []ast.Stmt) []minic.Stmt {
 func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 	switch s := st.(type) {
 	case *ast.ExprStmt:
-		if x := t.expr(s.X); x != nil {
-			return []minic.Stmt{&minic.ExprStmt{X: x, Line: t.line(s.Pos())}}
+		line := t.line(s.Pos())
+		// <-ch as a statement is a channel receive.
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return []minic.Stmt{&minic.RecvStmt{Chan: t.render(u.X), Line: line}}
 		}
-		return nil
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			if special := t.specialCall(c, line); special != nil {
+				return special
+			}
+		}
+		out := t.sharedReads(line, s.X)
+		if x := t.expr(s.X); x != nil {
+			out = append(out, &minic.ExprStmt{X: x, Line: line})
+		}
+		return out
 	case *ast.AssignStmt:
+		line := t.line(s.Pos())
+		var out []minic.Stmt
+		out = append(out, t.sharedReads(line, s.Rhs...)...)
+		// x = <-ch / x := <-ch is a channel receive labelled with x.
+		if len(s.Rhs) == 1 {
+			if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				assignTo := ""
+				if len(s.Lhs) == 1 {
+					if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						assignTo = id.Name
+					}
+				}
+				out = append(out, &minic.RecvStmt{Chan: t.render(u.X), AssignTo: assignTo, Line: line})
+				if s.Tok != token.DEFINE {
+					out = append(out, t.sharedWrites(line, s.Lhs)...)
+				}
+				return out
+			}
+		}
 		// Single-target assignment keeps the name (for parametric label
 		// extraction: f, err := os.Open(...) labels f); multi-target
 		// keeps only the calls.
-		var out []minic.Stmt
 		name := ""
 		if len(s.Lhs) >= 1 {
 			if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
@@ -337,10 +685,21 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 				continue
 			}
 			if i == 0 && name != "" {
-				out = append(out, &minic.AssignStmt{Name: name, X: x, Line: t.line(s.Pos())})
+				out = append(out, &minic.AssignStmt{Name: name, X: x, Line: line})
 			} else {
-				out = append(out, &minic.ExprStmt{X: x, Line: t.line(s.Pos())})
+				out = append(out, &minic.ExprStmt{X: x, Line: line})
 			}
+		}
+		if s.Tok != token.DEFINE {
+			// Compound assignment (x += ...) reads its target first.
+			if s.Tok != token.ASSIGN {
+				for _, l := range s.Lhs {
+					if n := t.sharedWriteTarget(l); n != "" {
+						out = append(out, &minic.AccessStmt{Name: n, Line: line})
+					}
+				}
+			}
+			out = append(out, t.sharedWrites(line, s.Lhs)...)
 		}
 		return out
 	case *ast.DeclStmt:
@@ -355,6 +714,7 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 			if !ok {
 				continue
 			}
+			out = append(out, t.sharedReads(t.line(s.Pos()), vs.Values...)...)
 			for i, v := range vs.Values {
 				x := t.expr(v)
 				if x == nil {
@@ -377,6 +737,7 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 		if s.Init != nil {
 			out = append(out, t.stmt(s.Init)...)
 		}
+		out = append(out, t.sharedReads(t.line(s.Pos()), s.Cond)...)
 		ifs := &minic.IfStmt{
 			Cond: t.condExpr(s.Cond),
 			Then: t.block(s.Body),
@@ -403,6 +764,8 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 			}
 		}
 		if s.Cond != nil {
+			// The condition's shared reads surface once, before the loop.
+			out = append(out, t.sharedReads(t.line(s.Cond.Pos()), s.Cond)...)
 			f.Cond = t.condExpr(s.Cond)
 		}
 		if s.Post != nil {
@@ -416,7 +779,7 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 	case *ast.RangeStmt:
 		// range loops: a loop whose body may run zero or more times.
 		body := t.block(s.Body)
-		var out []minic.Stmt
+		out := t.sharedReads(t.line(s.Pos()), s.X)
 		if x := t.expr(s.X); x != nil {
 			out = append(out, &minic.ExprStmt{X: x, Line: t.line(s.Pos())})
 		}
@@ -426,7 +789,7 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 			Line: t.line(s.Pos()),
 		})
 	case *ast.ReturnStmt:
-		var out []minic.Stmt
+		out := t.sharedReads(t.line(s.Pos()), s.Results...)
 		for _, r := range s.Results {
 			if x := t.expr(r); x != nil {
 				out = append(out, &minic.ExprStmt{X: x, Line: t.line(s.Pos())})
@@ -466,8 +829,35 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 		}
 		return nil
 	case *ast.GoStmt:
-		if call := t.call(s.Call); call != nil {
-			return []minic.Stmt{&minic.ExprStmt{X: call, Line: t.line(s.Pos())}}
+		line := t.line(s.Pos())
+		var call *minic.CallExpr
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// go func(...){...}(args): synthesize the closure as a named
+			// function and spawn it; args are evaluated at the spawn.
+			call = &minic.CallExpr{Name: t.closureFn(fl, "go"), Line: line}
+			for _, a := range s.Call.Args {
+				call.Args = append(call.Args, t.argExpr(a))
+			}
+		} else {
+			call = t.call(s.Call)
+		}
+		if call == nil {
+			return nil
+		}
+		out := t.sharedReads(line, s.Call.Args...)
+		return append(out, &minic.SpawnStmt{Call: call, Line: line})
+	case *ast.SendStmt:
+		line := t.line(s.Pos())
+		out := t.sharedReads(line, s.Value)
+		return append(out, &minic.SendStmt{Chan: t.render(s.Chan), Value: t.expr(s.Value), Line: line})
+	case *ast.IncDecStmt:
+		line := t.line(s.Pos())
+		if name := t.sharedWriteTarget(s.X); name != "" {
+			// x++ reads and writes x.
+			return []minic.Stmt{
+				&minic.AccessStmt{Name: name, Line: line},
+				&minic.AccessStmt{Name: name, Write: true, Line: line},
+			}
 		}
 		return nil
 	case *ast.SwitchStmt:
@@ -506,10 +896,43 @@ func (t *translator) stmt(st ast.Stmt) []minic.Stmt {
 		// Labeled non-loop statement: wrap in a labeled block so
 		// "break label" still resolves.
 		return []minic.Stmt{&minic.BlockStmt{Label: label, Body: out, Line: t.line(s.Pos())}}
-	case *ast.IncDecStmt, *ast.EmptyStmt, *ast.SendStmt:
+	case *ast.EmptyStmt:
 		return nil
 	}
 	return nil
+}
+
+// specialCall translates the concurrency-special call statements:
+// close(ch) (the builtin) and once.Do(f). Returns nil when c is an
+// ordinary call.
+func (t *translator) specialCall(c *ast.CallExpr, line int) []minic.Stmt {
+	if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "close" && len(c.Args) == 1 {
+		return []minic.Stmt{&minic.CloseStmt{Chan: t.render(c.Args[0]), Line: line}}
+	}
+	// once.Do(f): f runs at most once — a conditional call. Type-blind
+	// heuristic: the receiver's rendering must mention "once" so that
+	// e.g. httpClient.Do(req) stays an ordinary call.
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" || len(c.Args) != 1 ||
+		!strings.Contains(strings.ToLower(t.render(sel.X)), "once") {
+		return nil
+	}
+	var inner *minic.CallExpr
+	switch arg := c.Args[0].(type) {
+	case *ast.FuncLit:
+		inner = &minic.CallExpr{Name: t.closureFn(arg, "once"), Line: line}
+	case *ast.Ident:
+		inner = &minic.CallExpr{Name: arg.Name, Line: line}
+	case *ast.SelectorExpr:
+		inner = &minic.CallExpr{Name: arg.Sel.Name, Args: []minic.Expr{t.argExpr(arg.X)}, Line: line}
+	default:
+		return nil
+	}
+	return []minic.Stmt{&minic.IfStmt{
+		Cond: &minic.IdentExpr{Name: "$once"},
+		Then: []minic.Stmt{&minic.ExprStmt{X: inner, Line: line}},
+		Line: line,
+	}}
 }
 
 // attachLabel sets the label on the first loop or switch in out (a
@@ -544,6 +967,7 @@ func (t *translator) switchLike(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt
 	}
 	cond := minic.Expr(&minic.IdentExpr{Name: "$switch"})
 	if tag != nil {
+		out = append(out, t.sharedReads(t.line(pos), tag)...)
 		if x := t.expr(tag); x != nil {
 			if c, ok := x.(*minic.CallExpr); ok {
 				out = append(out, &minic.ExprStmt{X: c, Line: t.line(pos)})

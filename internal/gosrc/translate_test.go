@@ -204,7 +204,7 @@ func main() {
 }
 
 func TestGoStmtAndClosures(t *testing.T) {
-	names := actions(t, `
+	prog, err := Translate(`
 package p
 
 func main() {
@@ -215,12 +215,22 @@ func main() {
 	f()
 }
 `)
-	has := map[string]bool{}
-	for _, n := range names {
-		has[n] = true
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !has["worker"] {
-		t.Error("go statement call missing")
+	g := minic.MustBuild(prog)
+	spawned := map[string]bool{}
+	has := map[string]bool{}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case minic.NSpawn:
+			spawned[n.Call.Name] = true
+		case minic.NAction:
+			has[n.Call.Name] = true
+		}
+	}
+	if !spawned["worker"] {
+		t.Error("go statement should become a spawn node")
 	}
 	if !has["inner"] {
 		t.Error("closure body calls should be hoisted to the creation point")
@@ -557,5 +567,205 @@ func f() {
 	}
 	if _, ok := ig[8]; ok {
 		t.Errorf("line 8 must not be a directive: %v", ig[8])
+	}
+}
+
+func TestGoClosureSynthesized(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "c.go", Src: `
+package p
+
+func main() {
+	go func(n int) {
+		work(n)
+	}(compute())
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := minic.MustBuild(tr.Prog)
+	var spawned string
+	sawCompute, sawWork := false, false
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case minic.NSpawn:
+			spawned = n.Call.Name
+		case minic.NAction:
+			switch n.Call.Name {
+			case "compute":
+				sawCompute = true
+			case "work":
+				sawWork = true
+			}
+		}
+	}
+	if spawned != "main$go1" {
+		t.Errorf("spawned = %q, want synthesized closure main$go1", spawned)
+	}
+	def, ok := tr.Prog.ByName["main$go1"]
+	if !ok || len(def.Params) != 1 || def.Params[0] != "n" {
+		t.Fatalf("closure def = %+v", def)
+	}
+	if !sawCompute {
+		t.Error("spawn argument compute() must be evaluated by the spawner")
+	}
+	if !sawWork {
+		t.Error("closure body call work() must be inside the synthesized function")
+	}
+}
+
+func TestChannelOpsTranslated(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "ch.go", Src: `
+package p
+
+func main() {
+	ch := make(chan int)
+	ch <- produce()
+	v := <-ch
+	<-ch
+	close(ch)
+	use(v)
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := minic.MustBuild(tr.Prog)
+	counts := map[minic.ConcOp]int{}
+	assignTo := ""
+	for _, n := range g.Nodes {
+		counts[n.Conc]++
+		if n.Conc == minic.ConcRecv && n.AssignTo != "" {
+			assignTo = n.AssignTo
+		}
+	}
+	if counts[minic.ConcSend] != 1 || counts[minic.ConcRecv] != 2 || counts[minic.ConcClose] != 1 {
+		t.Errorf("channel ops = %v", counts)
+	}
+	if assignTo != "v" {
+		t.Errorf("recv assign label = %q, want v", assignTo)
+	}
+}
+
+func TestSharedAccessEvents(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "s.go", Src: `
+package p
+
+import "sync"
+
+var mu sync.Mutex
+var counter int
+var handler func()
+
+func main() {
+	counter = 1
+	counter++
+	local := counter
+	if counter > 0 {
+		use(local)
+	}
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mu (sync-shaped) and handler (func-shaped) are not shared data.
+	if len(tr.Shared) != 1 || tr.Shared[0] != "counter" {
+		t.Fatalf("Shared = %v, want [counter]", tr.Shared)
+	}
+	g := minic.MustBuild(tr.Prog)
+	reads, writes := 0, 0
+	for _, n := range g.Nodes {
+		switch n.Conc {
+		case minic.ConcLoad:
+			reads++
+		case minic.ConcStore:
+			writes++
+		}
+	}
+	// writes: counter = 1, counter++; reads: counter++, local := counter,
+	// if counter > 0.
+	if writes != 2 || reads != 3 {
+		t.Errorf("accesses = %d writes, %d reads; want 2 and 3", writes, reads)
+	}
+}
+
+func TestLocalShadowNotShared(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "sh.go", Src: `
+package p
+
+var counter int
+
+func main() {
+	counter := 0
+	counter++
+	use(counter)
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := minic.MustBuild(tr.Prog)
+	for _, n := range g.Nodes {
+		if n.Kind == minic.NAccess {
+			t.Fatal("a shadowing local must not produce access events")
+		}
+	}
+}
+
+func TestOnceDoConditionalCall(t *testing.T) {
+	tr, err := TranslateFiles([]File{{Name: "o.go", Src: `
+package p
+
+import "sync"
+
+var once sync.Once
+
+func main() {
+	once.Do(setup)
+	client.Do(req)
+}
+`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := minic.MustBuild(tr.Prog)
+	sawSetup, sawClientDo := false, false
+	for _, n := range g.Nodes {
+		if n.Kind != minic.NAction {
+			continue
+		}
+		switch n.Call.Name {
+		case "setup":
+			sawSetup = true
+		case "Do":
+			sawClientDo = true
+		}
+	}
+	if !sawSetup {
+		t.Error("once.Do(setup) must conditionally call setup")
+	}
+	if !sawClientDo {
+		t.Error("client.Do(req) must stay an ordinary method call")
+	}
+}
+
+func TestFileIgnoreCollected(t *testing.T) {
+	tr, err := TranslateFiles([]File{
+		{Name: "a.go", Src: "//rasc:ignore-file\npackage p\n\nfunc A() { f() }\n"},
+		{Name: "b.go", Src: "//rasc:ignore-file=race,fileleak\npackage p\n\nfunc B() { g() }\n"},
+		{Name: "c.go", Src: "package p\n\nfunc C() { h() }\n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tr.FileIgnores["a.go"]; !ok || len(got) != 0 {
+		t.Errorf("a.go = %v, want suppress-all", got)
+	}
+	if got := tr.FileIgnores["b.go"]; len(got) != 2 || got[0] != "race" || got[1] != "fileleak" {
+		t.Errorf("b.go = %v", got)
+	}
+	if _, ok := tr.FileIgnores["c.go"]; ok {
+		t.Error("c.go has no directive")
 	}
 }

@@ -132,6 +132,44 @@ type BlockStmt struct {
 	Label string
 }
 
+// SpawnStmt starts a new thread of control (a goroutine) executing Call;
+// the spawning function continues immediately and never joins the
+// spawned call's return. Arguments are evaluated by the spawner.
+type SpawnStmt struct {
+	Call *CallExpr
+	Line int
+}
+
+// SendStmt sends on a channel: ch <- value. Value may be nil.
+type SendStmt struct {
+	Chan  string
+	Value Expr
+	Line  int
+}
+
+// RecvStmt receives from a channel, optionally assigning the received
+// value: x = <-ch, or bare <-ch when AssignTo is "".
+type RecvStmt struct {
+	Chan     string
+	AssignTo string
+	Line     int
+}
+
+// CloseStmt closes a channel.
+type CloseStmt struct {
+	Chan string
+	Line int
+}
+
+// AccessStmt records a read or write of a shared (package-level)
+// variable. The Go front end emits these for the concurrency checkers;
+// they have no effect on the sequential analyses.
+type AccessStmt struct {
+	Name  string
+	Write bool
+	Line  int
+}
+
 func (*ExprStmt) stmt()     {}
 func (*DeclStmt) stmt()     {}
 func (*AssignStmt) stmt()   {}
@@ -145,6 +183,11 @@ func (*ContinueStmt) stmt() {}
 func (*SwitchStmt) stmt()   {}
 func (*ReturnStmt) stmt()   {}
 func (*BlockStmt) stmt()    {}
+func (*SpawnStmt) stmt()    {}
+func (*SendStmt) stmt()     {}
+func (*RecvStmt) stmt()     {}
+func (*CloseStmt) stmt()    {}
+func (*AccessStmt) stmt()   {}
 
 // Expr is an expression.
 type Expr interface {

@@ -11,6 +11,8 @@ const (
 	NExit                   // function exit
 	NAction                 // a call (possibly property-relevant)
 	NJoin                   // control-flow join / loop head
+	NSpawn                  // goroutine spawn; Call is the spawned call
+	NAccess                 // shared-variable read/write (concurrency checkers)
 )
 
 func (k NodeKind) String() string {
@@ -23,8 +25,59 @@ func (k NodeKind) String() string {
 		return "action"
 	case NJoin:
 		return "join"
+	case NSpawn:
+		return "spawn"
+	case NAccess:
+		return "access"
 	}
 	return "?"
+}
+
+// ConcOp classifies a node's concurrency event, if any. Lock events
+// carry the lock object's identity (the receiver's rendering) in
+// ConcArg, so checkers distinguish mu1 from mu2; channel events carry
+// the channel's rendering, accesses the variable name.
+type ConcOp int
+
+// Concurrency events.
+const (
+	ConcNone    ConcOp = iota
+	ConcSpawn          // go f(...)
+	ConcSend           // ch <- v
+	ConcRecv           // <-ch
+	ConcClose          // close(ch)
+	ConcLock           // mu.Lock()
+	ConcUnlock         // mu.Unlock()
+	ConcRLock          // mu.RLock()
+	ConcRUnlock        // mu.RUnlock()
+	ConcLoad           // shared-variable read
+	ConcStore          // shared-variable write
+)
+
+func (c ConcOp) String() string {
+	switch c {
+	case ConcSpawn:
+		return "spawn"
+	case ConcSend:
+		return "send"
+	case ConcRecv:
+		return "recv"
+	case ConcClose:
+		return "close"
+	case ConcLock:
+		return "lock"
+	case ConcUnlock:
+		return "unlock"
+	case ConcRLock:
+		return "rlock"
+	case ConcRUnlock:
+		return "runlock"
+	case ConcLoad:
+		return "load"
+	case ConcStore:
+		return "store"
+	}
+	return "none"
 }
 
 // Node is one control-flow-graph node. Action nodes carry the call they
@@ -40,8 +93,15 @@ type Node struct {
 	// AssignTo is the variable receiving the call's result, used by
 	// parametric event labels ("int fd1 = open(...)").
 	AssignTo string
-	Line     int
-	Succs    []int
+	// Conc classifies the node's concurrency event (spawn, channel
+	// operation, lock acquisition/release with its lock identity, or a
+	// shared-variable access); ConcNone for sequential nodes.
+	Conc ConcOp
+	// ConcArg is the event's object: the spawned callee, the channel or
+	// lock rendering, or the accessed variable name.
+	ConcArg string
+	Line    int
+	Succs   []int
 }
 
 // CFG is the whole-program control flow graph: one subgraph per function
@@ -108,8 +168,32 @@ type continueTarget struct {
 
 func (b *cfgBuilder) node(kind NodeKind, call *CallExpr, assignTo string, line int) *Node {
 	n := &Node{ID: len(b.g.Nodes), Kind: kind, Fn: b.fn, Call: call, AssignTo: assignTo, Line: line}
+	if kind == NAction && call != nil {
+		b.classifyLock(n, call)
+	}
 	b.g.Nodes = append(b.g.Nodes, n)
 	return n
+}
+
+// lockCallOps maps sync.Mutex/RWMutex method names (receiver as arg 0
+// after the Go translation) to their concurrency events.
+var lockCallOps = map[string]ConcOp{
+	"Lock": ConcLock, "Unlock": ConcUnlock,
+	"RLock": ConcRLock, "RUnlock": ConcRUnlock,
+}
+
+// classifyLock tags lock-identity-carrying call events. A call to a
+// function the program defines under the same name is an ordinary
+// interprocedural call, not a lock event.
+func (b *cfgBuilder) classifyLock(n *Node, call *CallExpr) {
+	op, ok := lockCallOps[call.Name]
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if _, defined := b.g.Prog.ByName[call.Name]; defined {
+		return
+	}
+	n.Conc, n.ConcArg = op, call.Args[0].Render()
 }
 
 func (b *cfgBuilder) link(from, to int) {
@@ -165,6 +249,32 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 		return b.chainCalls(s.X, s.Name, s.Line, tails)
 	case *StoreStmt:
 		return b.chainCalls(s.X, "", s.Line, tails)
+	case *SpawnStmt:
+		// Argument calls are evaluated by the spawner; the spawned call
+		// itself becomes the NSpawn node (it runs concurrently and never
+		// returns into this function's flow).
+		for _, a := range s.Call.Args {
+			tails = b.chainCalls(a, "", s.Line, tails)
+		}
+		n := b.node(NSpawn, s.Call, "", s.Line)
+		n.Conc, n.ConcArg = ConcSpawn, s.Call.Name
+		b.linkAll(tails, n.ID)
+		return []int{n.ID}
+	case *SendStmt:
+		tails = b.chainCalls(s.Value, "", s.Line, tails)
+		return []int{b.chanOp(ConcSend, "$chan.send", s.Chan, "", s.Line, tails)}
+	case *RecvStmt:
+		return []int{b.chanOp(ConcRecv, "$chan.recv", s.Chan, s.AssignTo, s.Line, tails)}
+	case *CloseStmt:
+		return []int{b.chanOp(ConcClose, "$chan.close", s.Chan, "", s.Line, tails)}
+	case *AccessStmt:
+		n := b.node(NAccess, nil, "", s.Line)
+		n.Conc, n.ConcArg = ConcLoad, s.Name
+		if s.Write {
+			n.Conc = ConcStore
+		}
+		b.linkAll(tails, n.ID)
+		return []int{n.ID}
 	case *BlockStmt:
 		if s.Label == "" {
 			return b.stmts(s.Body, tails)
@@ -277,6 +387,18 @@ func (b *cfgBuilder) stmt(st Stmt, tails []int) []int {
 	default:
 		panic(fmt.Sprintf("minic: unknown statement %T", st))
 	}
+}
+
+// chanOp appends a channel-operation action node. The operation is
+// exposed as a synthesized $chan.* call so event maps (and therefore
+// RASC properties) can match it like any other call, parametric in the
+// channel.
+func (b *cfgBuilder) chanOp(op ConcOp, name, ch, assignTo string, line int, tails []int) int {
+	call := &CallExpr{Name: name, Args: []Expr{&IdentExpr{Name: ch}}, Line: line}
+	n := b.node(NAction, call, assignTo, line)
+	n.Conc, n.ConcArg = op, ch
+	b.linkAll(tails, n.ID)
+	return n.ID
 }
 
 // loop runs body with a continue target and a fresh break frame (both

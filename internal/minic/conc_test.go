@@ -1,0 +1,200 @@
+package minic
+
+import "testing"
+
+// findConc collects (op, arg) pairs of concurrency-marked nodes in
+// node-ID order.
+func findConc(t *testing.T, src string) []ConcOp {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	var ops []ConcOp
+	for _, n := range g.Nodes {
+		if n.Conc != ConcNone {
+			ops = append(ops, n.Conc)
+		}
+	}
+	return ops
+}
+
+func TestParseSpawn(t *testing.T) {
+	prog, err := Parse(`void worker(int a) { use(a); } void main() { spawn worker(f()); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	var spawn *Node
+	sawArgCall := false
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == NSpawn:
+			spawn = n
+		case n.Kind == NAction && n.Call.Name == "f":
+			sawArgCall = true
+		}
+	}
+	if spawn == nil || spawn.Conc != ConcSpawn || spawn.ConcArg != "worker" {
+		t.Fatalf("spawn node = %+v", spawn)
+	}
+	if !sawArgCall {
+		t.Error("spawn argument calls must be evaluated by the spawner")
+	}
+}
+
+func TestSpawnIsNotAKeyword(t *testing.T) {
+	// A function named spawn is still callable: the keyword form needs
+	// `spawn ident(...)`.
+	prog, err := Parse(`void spawn() { g(); } void main() { spawn(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	for _, n := range g.Nodes {
+		if n.Kind == NSpawn {
+			t.Fatal("spawn() call must stay a plain call")
+		}
+	}
+	_ = g
+}
+
+func TestParseChannelOps(t *testing.T) {
+	src := `void main() { ch <- v; <-ch; x = <-ch; close ch; }`
+	ops := findConc(t, src)
+	want := []ConcOp{ConcSend, ConcRecv, ConcRecv, ConcClose}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestChannelOpsAreActions(t *testing.T) {
+	// Channel operations surface as $chan.* calls so event maps (and
+	// RASC properties) can match them, parametric in the channel.
+	prog, err := Parse(`void main() { ch <- v; <-ch; close ch; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	var names []string
+	for _, n := range g.Nodes {
+		if n.Kind == NAction {
+			names = append(names, n.Call.Name)
+			if len(n.Call.Args) != 1 || n.Call.Args[0].Render() != "ch" {
+				t.Errorf("%s must carry the channel as arg 0", n.Call.Name)
+			}
+		}
+	}
+	want := []string{"$chan.send", "$chan.recv", "$chan.close"}
+	if len(names) != len(want) {
+		t.Fatalf("actions = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("action %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestCloseCallStaysACall(t *testing.T) {
+	// close(fd) with parens is an ordinary call (e.g. the POSIX file
+	// close); only `close ch;` is the channel statement.
+	prog, err := Parse(`void main() { int fd = open("x"); close(fd); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	for _, n := range g.Nodes {
+		if n.Conc == ConcClose {
+			t.Fatal("close(fd) must not be a channel close")
+		}
+	}
+}
+
+func TestRecvAssignKeepsName(t *testing.T) {
+	prog, err := Parse(`void main() { x = <-ch; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	for _, n := range g.Nodes {
+		if n.Conc == ConcRecv {
+			if n.AssignTo != "x" {
+				t.Errorf("recv AssignTo = %q, want x", n.AssignTo)
+			}
+			return
+		}
+	}
+	t.Fatal("no recv node")
+}
+
+func TestLockClassification(t *testing.T) {
+	src := `void main() { Lock(mu); RLock(rw); RUnlock(rw); Unlock(mu); Lock(); }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	type lk struct {
+		op  ConcOp
+		arg string
+	}
+	var got []lk
+	for _, n := range g.Nodes {
+		if n.Conc != ConcNone {
+			got = append(got, lk{n.Conc, n.ConcArg})
+		}
+	}
+	want := []lk{{ConcLock, "mu"}, {ConcRLock, "rw"}, {ConcRUnlock, "rw"}, {ConcUnlock, "mu"}}
+	if len(got) != len(want) {
+		t.Fatalf("lock events = %v, want %v (zero-arg Lock() must not classify)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProgramDefinedLockNotClassified(t *testing.T) {
+	// A program-defined function named Lock is not a sync primitive.
+	src := `void Lock(int m) { g(m); } void main() { Lock(mu); }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustBuild(prog)
+	for _, n := range g.Nodes {
+		if n.Conc == ConcLock {
+			t.Fatal("program-defined Lock must not classify as a lock event")
+		}
+	}
+}
+
+func TestSpawnRoundTrip(t *testing.T) {
+	// Spawn statements survive a render/re-parse round trip.
+	src := `void w() { g(); }
+void main() { spawn w(); ch <- 1; <-ch; close ch; }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := MustBuild(prog)
+	count := func(g *CFG) map[ConcOp]int {
+		m := map[ConcOp]int{}
+		for _, n := range g.Nodes {
+			m[n.Conc]++
+		}
+		return m
+	}
+	c1 := count(g1)
+	if c1[ConcSpawn] != 1 || c1[ConcSend] != 1 || c1[ConcRecv] != 1 || c1[ConcClose] != 1 {
+		t.Fatalf("conc ops = %v", c1)
+	}
+}

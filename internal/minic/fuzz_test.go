@@ -16,6 +16,15 @@ func FuzzParse(f *testing.F) {
 		"void main() { /* comment */ f(); // line\n }",
 		"void main() { \"unterminated",
 		"}{",
+		// Concurrency statements: spawn, channel send/recv/close.
+		"void w() { g(); } void main() { spawn w(); }",
+		"void main() { ch <- v; <-ch; x = <-ch; close ch; }",
+		"void w(int a) { use(a); } void main() { while (c) { spawn w(f()); } }",
+		"void main() { ch <- f(); close(ch); }",
+		"void main() { spawn 1; }",
+		"void main() { <- ; }",
+		"void main() { close }",
+		"void spawn() { } void main() { spawn(); }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -127,7 +127,7 @@ func (l *lexer) skip() error {
 var twoCharPunct = map[string]bool{
 	"==": true, "!=": true, "<=": true, ">=": true,
 	"&&": true, "||": true, "->": true, "++": true, "--": true,
-	"+=": true, "-=": true,
+	"+=": true, "-=": true, "<-": true,
 }
 
 func (l *lexer) next() (tok, error) {

@@ -149,6 +149,13 @@ func (p *parser) peekIs(text string) bool {
 	return t.kind == tPunct && t.text == text
 }
 
+func (p *parser) peekKind() tokKind {
+	if p.pos+1 >= len(p.toks) {
+		return tEOF
+	}
+	return p.toks[p.pos+1].kind
+}
+
 func (p *parser) block() ([]Stmt, error) {
 	if _, err := p.punct("{"); err != nil {
 		return nil, err
@@ -204,6 +211,59 @@ func (p *parser) stmt() (Stmt, error) {
 			return nil, err
 		}
 		return &ContinueStmt{Line: t.line}, nil
+	case t.kind == tIdent && t.text == "spawn" && p.peekKind() == tIdent:
+		// spawn f(args); — start a goroutine running the call.
+		p.bump()
+		x, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		call, ok := x.(*CallExpr)
+		if !ok {
+			return nil, p.errf(t, "spawn requires a call")
+		}
+		if _, err := p.punct(";"); err != nil {
+			return nil, err
+		}
+		return &SpawnStmt{Call: call, Line: t.line}, nil
+	case t.kind == tIdent && t.text == "close" && p.peekKind() == tIdent:
+		// close ch; — the parenthesized form close(ch) stays a plain call.
+		p.bump()
+		ch, err := p.ident("channel name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.punct(";"); err != nil {
+			return nil, err
+		}
+		return &CloseStmt{Chan: ch.text, Line: t.line}, nil
+	case t.kind == tPunct && t.text == "<-":
+		// <-ch; — a receive whose value is discarded.
+		p.bump()
+		ch, err := p.ident("channel name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.punct(";"); err != nil {
+			return nil, err
+		}
+		return &RecvStmt{Chan: ch.text, Line: t.line}, nil
+	case t.kind == tIdent && p.peekIs("<-"):
+		// ch <- expr; — a channel send.
+		ch := p.bump()
+		p.bump() // <-
+		var val Expr
+		if !p.isPunct(";") {
+			var err error
+			val, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.punct(";"); err != nil {
+			return nil, err
+		}
+		return &SendStmt{Chan: ch.text, Value: val, Line: t.line}, nil
 	case t.kind == tIdent && t.text == "return":
 		p.bump()
 		var x Expr
@@ -242,6 +302,18 @@ func (p *parser) stmt() (Stmt, error) {
 	case t.kind == tIdent && p.peekIs("="):
 		name := p.bump()
 		p.bump() // =
+		if p.isPunct("<-") {
+			// x = <-ch; — a receive into x.
+			p.bump()
+			ch, err := p.ident("channel name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.punct(";"); err != nil {
+				return nil, err
+			}
+			return &RecvStmt{Chan: ch.text, AssignTo: name.text, Line: t.line}, nil
+		}
 		x, err := p.expr()
 		if err != nil {
 			return nil, err

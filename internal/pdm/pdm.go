@@ -147,6 +147,22 @@ func Check(prog *minic.Program, prop *spec.Property, events *minic.EventMap, ent
 				callee = def.Name // resolve aliases to the canonical name
 			}
 		}
+		if n.Kind == minic.NSpawn && n.Call != nil {
+			// A goroutine spawn: the spawned function starts from the
+			// spawn point's annotations (so events in its body are
+			// reachable and carry a witness through the spawn), but its
+			// exit never flows back into the spawner — the spawner
+			// continues unchanged. This is a sound single-trace
+			// abstraction, not a happens-before model; interleavings with
+			// the spawner are not enumerated.
+			if def, defined := prog.ByName[n.Call.Name]; defined {
+				sys.AddVar(sv, nodeVar[cfg.Entry[def.Name]], ident)
+			}
+			for _, m := range n.Succs {
+				sys.AddVar(sv, nodeVar[m], ident)
+			}
+			continue
+		}
 		if isCall {
 			// Case 3: o_i(S) ⊆ F_entry and o_i^-1(F_exit) ⊆ S_i.
 			oc := sig.MustDeclare(fmt.Sprintf("o@%d", n.ID), 1)

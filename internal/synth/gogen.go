@@ -15,7 +15,8 @@ type GoConfig struct {
 	Files         int
 	FuncsPerFile  int
 	StmtsPerFn    int
-	UnsafePerFile int // injected double-lock / leak patterns per file
+	UnsafePerFile int  // injected double-lock / leak patterns per file
+	Racy          bool // leave some goroutine writes unguarded (race corpus)
 }
 
 // GoFile is one generated source file.
@@ -43,10 +44,22 @@ func GenerateGo(cfg GoConfig) []GoFile {
 	for i := 0; i < cfg.Files; i++ {
 		var b strings.Builder
 		fmt.Fprintf(&b, "package bench\n\nimport (\n\t\"os\"\n\t\"sync\"\n)\n\n")
-		fmt.Fprintf(&b, "var mu%d sync.Mutex\n\n", i)
-		// Root: the entry function the driver will pick up.
+		fmt.Fprintf(&b, "var mu%d sync.Mutex\n", i)
+		fmt.Fprintf(&b, "var shared%d int\n\n", i)
+		// Root: the entry function the driver will pick up. It spawns a
+		// background bumper so the race checker has ≥2 goroutines to
+		// reason about.
 		fmt.Fprintf(&b, "func Root%d() {\n", i)
+		fmt.Fprintf(&b, "\tgo bump%d()\n", i)
+		fmt.Fprintf(&b, "\tmu%d.Lock()\n\tshared%d = 1\n\tmu%d.Unlock()\n", i, i, i)
 		fmt.Fprintf(&b, "\tg%d_0(1)\n", i)
+		b.WriteString("}\n\n")
+		fmt.Fprintf(&b, "func bump%d() {\n", i)
+		if cfg.Racy && i%2 == 0 {
+			fmt.Fprintf(&b, "\tshared%d++\n", i)
+		} else {
+			fmt.Fprintf(&b, "\tmu%d.Lock()\n\tshared%d++\n\tmu%d.Unlock()\n", i, i, i)
+		}
 		b.WriteString("}\n\n")
 		unsafeAt := map[int]bool{}
 		for u := 0; u < cfg.UnsafePerFile; u++ {
