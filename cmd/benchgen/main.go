@@ -9,6 +9,7 @@
 //	benchgen -row "Sendmail 8.12.8"      # a Table 1 package's program
 //	benchgen -list                        # list Table 1 rows
 //	benchgen -bench-json BENCH_analysis.json   # run the driver benchmark
+//	benchgen -core-json BENCH_core.json [-iters N]   # solver microbenchmarks
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"time"
 
 	"rasc/internal/analysis"
+	"rasc/internal/core"
+	"rasc/internal/corebench"
 	"rasc/internal/gosrc"
 	"rasc/internal/synth"
 )
@@ -37,10 +40,19 @@ func main() {
 	outdir := flag.String("outdir", "", "write -kind go files into this directory")
 	list := flag.Bool("list", false, "list Table 1 rows")
 	benchJSON := flag.String("bench-json", "", "generate a Go corpus, run the analysis driver, write timing/findings JSON to this path")
+	coreJSON := flag.String("core-json", "", "run the solver-only microbenchmark suite, write timing JSON to this path")
+	iters := flag.Int("iters", 5, "timed iterations per core microbenchmark (-core-json)")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *seed, *gofiles, *functions, *stmts, *unsafe); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *coreJSON != "" {
+		if err := runCoreBench(*coreJSON, *iters); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgen:", err)
 			os.Exit(1)
 		}
@@ -123,6 +135,63 @@ type benchResult struct {
 	Findings   int                  `json:"findings"`
 	BySeverity map[string]int       `json:"by_severity"`
 	Solver     analysis.SolverStats `json:"solver"`
+}
+
+// coreBenchResult is the schema of one -core-json suite entry. Times
+// are per measured operation (best and mean of -iters runs after one
+// warm-up); the solver stats identify the workload so that regressions
+// in derived-fact counts are visible next to regressions in time.
+type coreBenchResult struct {
+	Name     string  `json:"name"`
+	Desc     string  `json:"desc"`
+	Iters    int     `json:"iters"`
+	BestMS   float64 `json:"best_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	Vars     int     `json:"vars"`
+	Edges    int     `json:"edges"`
+	Reach    int     `json:"reach"`
+	ConsN    int     `json:"cons_nodes"`
+	Collapse int     `json:"collapsed"`
+}
+
+func runCoreBench(path string, iters int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	var out struct {
+		Iters     int               `json:"iters"`
+		Scenarios []coreBenchResult `json:"scenarios"`
+	}
+	out.Iters = iters
+	for _, sc := range corebench.Scenarios() {
+		op := sc.Setup(core.Options{})
+		st := op() // warm-up, and the workload fingerprint
+		r := coreBenchResult{
+			Name: sc.Name, Desc: sc.Desc, Iters: iters,
+			Vars: st.Vars, Edges: st.Edges, Reach: st.Reach,
+			ConsN: st.ConsNodes, Collapse: st.Collapsed,
+		}
+		var total float64
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			op()
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			total += ms
+			if i == 0 || ms < r.BestMS {
+				r.BestMS = ms
+			}
+		}
+		r.MeanMS = total / float64(iters)
+		out.Scenarios = append(out.Scenarios, r)
+		fmt.Printf("%-40s best %8.3f ms  mean %8.3f ms  (%d reach, %d edges)\n",
+			sc.Name, r.BestMS, r.MeanMS, r.Reach, r.Edges)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
 }
 
 func runBench(path string, seed int64, files, functions, stmts, unsafe int) error {

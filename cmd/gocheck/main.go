@@ -8,7 +8,7 @@
 //
 //	gocheck [-checkers all|name,...] [-entry fn,...]
 //	        [-format text|json|sarif|github] [-fail-on error|warning|note]
-//	        [-parallel N] path...
+//	        [-parallel N] [-cpuprofile f.prof] [-memprofile f.prof] path...
 //	gocheck -list
 //
 // Diagnostics carry file:line positions from the original Go source and
@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rasc/internal/analysis"
@@ -32,27 +34,35 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole driver so that deferred profile writers execute
+// before the process exits (os.Exit in main would skip them).
+func run() int {
 	checkersFlag := flag.String("checkers", "all", "comma-separated checker names, or all")
 	entryFlag := flag.String("entry", "", "comma-separated entry functions (default: package roots)")
 	format := flag.String("format", "text", "output format: text, json, sarif or github")
 	failOn := flag.String("fail-on", "warning", "lowest severity that fails the run (error, warning or note)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list registered checkers and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the analysis to this file")
 	flag.Parse()
 
 	if *list {
 		for _, c := range analysis.All() {
 			fmt.Printf("%-12s %-7s %s\n", c.Name, c.Severity, c.Doc)
 		}
-		return
+		return 0
 	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gocheck [flags] path...  (gocheck -list for checkers)")
-		os.Exit(2)
+		return 2
 	}
 	checkers, err := analysis.Resolve(*checkersFlag)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var entries []string
 	for _, e := range strings.Split(*entryFlag, ",") {
@@ -61,9 +71,21 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	pkg, err := analysis.LoadPaths(flag.Args())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	rep, err := analysis.Analyze(pkg, analysis.Config{
 		Checkers: checkers,
@@ -72,7 +94,22 @@ func main() {
 		Opts:     core.Options{},
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fail(err)
+		}
+		runtime.GC() // materialize live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
 	}
 
 	var threshold analysis.Severity
@@ -85,7 +122,7 @@ func main() {
 		threshold = analysis.SeverityNote
 	default:
 		fmt.Fprintf(os.Stderr, "gocheck: unknown -fail-on severity %q\n", *failOn)
-		os.Exit(2)
+		return 2
 	}
 
 	switch *format {
@@ -99,17 +136,18 @@ func main() {
 		err = rep.Github(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "gocheck: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if rep.HasFindingsAtLeast(threshold) {
-		os.Exit(3)
+		return 3
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "gocheck:", err)
-	os.Exit(1)
+	return 1
 }

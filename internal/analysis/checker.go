@@ -135,6 +135,7 @@ func containsVerb(s string) bool {
 
 var (
 	regMu    sync.RWMutex
+	regGen   int
 	registry = map[string]*Checker{}
 )
 
@@ -152,6 +153,34 @@ func Register(c *Checker) {
 		panic("analysis: Register: duplicate checker " + c.Name)
 	}
 	registry[c.Name] = c
+	regGen++
+}
+
+// generation identifies the registry state; it changes whenever a
+// checker registers, invalidating skeletons whose deferred-statement set
+// was computed against the smaller registry.
+func generation() int {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return regGen
+}
+
+// eventCallees returns the union of callee names appearing in any
+// registered property checker's event rules — a conservative
+// over-approximation of "some checker might treat a call to this
+// function as an event".
+func eventCallees() map[string]bool {
+	set := map[string]bool{}
+	for _, c := range All() {
+		if c.NewProperty == nil || c.NewEvents == nil {
+			continue
+		}
+		_, events := c.compiled()
+		for _, r := range events.Rules {
+			set[r.Callee] = true
+		}
+	}
+	return set
 }
 
 // Get looks a checker up by name.

@@ -28,6 +28,60 @@ type Package struct {
 
 	concOnce sync.Once
 	conc     *concModel
+
+	cfgOnce sync.Once
+	cfg     *minic.CFG
+
+	// skels caches the property-independent constraint skeleton per entry
+	// function, shared read-only by every property checker's job. The
+	// cache is keyed by the checker-registry generation and the solver
+	// options the skeletons were built under; a mismatch (new checker
+	// registered, different Options) drops it wholesale.
+	skelMu  sync.Mutex
+	skelKey skelCacheKey
+	skels   map[string]*skelEntry
+}
+
+type skelCacheKey struct {
+	gen  int
+	opts core.Options
+}
+
+type skelEntry struct {
+	once sync.Once
+	sk   *pdm.Skeleton
+	err  error
+}
+
+// cfgGraph returns the package's interprocedural CFG, built once and
+// shared by root discovery, the concurrency model and every skeleton.
+func (p *Package) cfgGraph() *minic.CFG {
+	p.cfgOnce.Do(func() { p.cfg = minic.MustBuild(p.Tr.Prog) })
+	return p.cfg
+}
+
+// skeleton returns the cached property-independent skeleton for entry,
+// building it on first use. Concurrent callers for the same entry block
+// on one build; distinct entries build independently.
+func (p *Package) skeleton(entry string, opts core.Options) (*pdm.Skeleton, error) {
+	key := skelCacheKey{gen: generation(), opts: opts}
+	p.skelMu.Lock()
+	if p.skels == nil || p.skelKey != key {
+		p.skelKey = key
+		p.skels = map[string]*skelEntry{}
+	}
+	e := p.skels[entry]
+	if e == nil {
+		e = &skelEntry{}
+		p.skels[entry] = e
+	}
+	p.skelMu.Unlock()
+	e.once.Do(func() {
+		callees := eventCallees()
+		e.sk, e.err = pdm.BuildSkeleton(p.Tr.Prog, p.cfgGraph(), entry, opts,
+			func(call *minic.CallExpr, _ string) bool { return callees[call.Name] })
+	})
+	return e.sk, e.err
 }
 
 // Config drives one Analyze run.
@@ -140,7 +194,7 @@ func (p *Package) Roots() []string {
 	p.rootsOnce.Do(func() {
 		prog := p.Tr.Prog
 		called := map[string]bool{}
-		cfg := minic.MustBuild(prog)
+		cfg := p.cfgGraph()
 		for _, n := range cfg.Nodes {
 			// Spawned callees count as called: a worker started only via
 			// `go worker()` is not a root.
@@ -174,9 +228,12 @@ func (p *Package) fileOf(fn string) string {
 	return ""
 }
 
-// Analyze runs (checker x entry) jobs over a bounded worker pool. Each
-// job is an independent pdm.Check solve: the shared translated program
-// and compiled properties are read-only, so jobs need no locking.
+// Analyze runs (checker x entry) jobs over a bounded worker pool. The
+// property-independent constraint skeleton of each entry is built once
+// (first job to need it) and shared read-only: each property job forks
+// it and solves only its own event layer. The shared translated program,
+// compiled properties and frozen skeletons are read-only, so jobs need
+// no locking beyond the skeleton cache's.
 func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	checkers := cfg.Checkers
 	if len(checkers) == 0 {
@@ -239,11 +296,32 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 		Jobs:      len(jobs),
 	}
 	// Aggregate solver statistics; a sum is independent of completion
-	// order, so the report stays deterministic under any -parallel.
+	// order, so the report stays deterministic under any -parallel. Job
+	// stats are per-property deltas; each entry's shared skeleton is
+	// counted once, not once per property checker.
 	for _, st := range stats {
 		rep.Solver.Vars += st.Vars
 		rep.Solver.ConsNodes += st.ConsNodes
 		rep.Solver.Edges += st.Edges
+	}
+	hasProperty := false
+	for _, c := range checkers {
+		if c.Run == nil {
+			hasProperty = true
+			break
+		}
+	}
+	if hasProperty {
+		for _, e := range entries {
+			sk, err := pkg.skeleton(e, cfg.Opts)
+			if err != nil {
+				return nil, err
+			}
+			base := sk.BaseStats()
+			rep.Solver.Vars += base.Vars
+			rep.Solver.ConsNodes += base.ConsNodes
+			rep.Solver.Edges += base.Edges
+		}
 	}
 	for _, c := range checkers {
 		rep.Checkers = append(rep.Checkers, c.Name)
@@ -307,11 +385,18 @@ func runJob(pkg *Package, c *Checker, entry string, opts core.Options) ([]Diagno
 		return c.Run(pkg, c, entry), core.Stats{}, nil
 	}
 	prop, events := c.compiled()
-	res, err := pdm.Check(pkg.Tr.Prog, prop, events, entry, opts)
+	sk, err := pkg.skeleton(entry, opts)
 	if err != nil {
 		return nil, core.Stats{}, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
 	}
-	stats := res.Sys.Stats()
+	res, err := sk.Check(prop, events)
+	if err != nil {
+		return nil, core.Stats{}, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
+	}
+	// The skeleton's structure is shared by every checker on this entry;
+	// report only this property's layered work here. Analyze adds each
+	// skeleton's base once.
+	stats := res.Sys.Stats().Minus(res.Base)
 	switch c.Mode {
 	case ModeLeakAtExit:
 		return leakDiagnostics(pkg, c, entry, res, events), stats, nil

@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"testing"
+
+	"rasc/internal/core"
+	"rasc/internal/corebench"
+)
+
+// BenchmarkSolver runs the shared solver-only scenarios (see
+// internal/corebench) under the default options; cmd/benchgen -core-json
+// renders the same suite into BENCH_core.json.
+func BenchmarkSolver(b *testing.B) {
+	for _, sc := range corebench.Scenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			op := sc.Setup(core.Options{})
+			var st core.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st = op()
+			}
+			b.ReportMetric(float64(st.Reach), "reach/op")
+			b.ReportMetric(float64(st.Edges), "edges/op")
+		})
+	}
+}
+
+// BenchmarkSolverNoOpt measures the same scenarios with every solver
+// optimization disabled, for before/after comparisons of the
+// optimizations themselves.
+func BenchmarkSolverNoOpt(b *testing.B) {
+	opts := core.Options{NoCycleElim: true, NoProjMerge: true, NoHashCons: true}
+	for _, sc := range corebench.Scenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			op := sc.Setup(opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+	}
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rasc/internal/terms"
+)
+
+// sysOp is one constraint of a randomly generated system, replayable
+// into any System so that monolithic and fork-layered builds see
+// byte-identical input.
+type sysOp struct {
+	kind    int // 0 var-var, 1 cons lower, 2 upper, 3 proj, 4 const lower
+	x, y, z int // var indices
+	c       int // constant index (kind 4)
+	idx     int // projection index (kind 3)
+	a       Annot
+}
+
+func randomOps(r *rand.Rand, nOps, nVars, nConsts int, annot func() Annot) []sysOp {
+	ops := make([]sysOp, nOps)
+	for i := range ops {
+		ops[i] = sysOp{
+			kind: r.Intn(5),
+			x:    r.Intn(nVars), y: r.Intn(nVars), z: r.Intn(nVars),
+			c: r.Intn(nConsts), idx: r.Intn(2),
+			a: annot(),
+		}
+	}
+	return ops
+}
+
+// sysEnv binds a System to the shared var/constant layout the ops index.
+type sysEnv struct {
+	s      *System
+	pair   terms.ConsID
+	vars   []VarID
+	consts []CNode
+}
+
+func newSysEnv(alg Algebra, opts Options, nVars, nConsts int) *sysEnv {
+	sig := terms.NewSignature()
+	s := NewSystem(alg, sig, opts)
+	e := &sysEnv{s: s, pair: sig.MustDeclare("pair", 2)}
+	for i := 0; i < nVars; i++ {
+		e.vars = append(e.vars, s.Fresh("v"))
+	}
+	for i := 0; i < nConsts; i++ {
+		c := sig.MustDeclare(fmt.Sprintf("k%d", i), 0)
+		e.consts = append(e.consts, s.Constant(c))
+	}
+	return e
+}
+
+// fork continues the environment on a forked System.
+func (e *sysEnv) fork(alg Algebra) *sysEnv {
+	f := *e
+	f.s = e.s.Fork(alg)
+	return &f
+}
+
+func (e *sysEnv) apply(ops []sysOp) {
+	s := e.s
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			s.AddVar(e.vars[op.x], e.vars[op.y], op.a)
+		case 1:
+			s.AddLower(s.Cons(e.pair, e.vars[op.x], e.vars[op.y]), e.vars[op.z], op.a)
+		case 2:
+			s.AddUpper(e.vars[op.x], s.Cons(e.pair, e.vars[op.y], e.vars[op.z]), op.a)
+		case 3:
+			s.AddProj(e.pair, op.idx, e.vars[op.x], e.vars[op.y], op.a)
+		case 4:
+			s.AddLower(e.consts[op.c], e.vars[op.x], op.a)
+		}
+	}
+}
+
+// canonClashes renders the clash set up to solver-internal identity:
+// constructor names instead of CNode ids (hash-consing granularity
+// differs between variants) and each argument named by the smallest test
+// variable of its union-find class (representative choice and cons
+// interning relative to cycle collapsing are timing-dependent). Two
+// semantically equal clash sets render identically regardless of
+// options or fork layering; entries are sorted and deduplicated.
+func (e *sysEnv) canonClashes() []string { return e.canonClashesNorm(nil) }
+
+// canonClashesNorm additionally maps each class-minimal test variable
+// through norm, so that clash sets from systems with different collapsing
+// behaviour (e.g. NoCycleElim) can be compared under one reference
+// equivalence.
+func (e *sysEnv) canonClashesNorm(norm map[VarID]VarID) []string {
+	s := e.s
+	classMin := map[VarID]VarID{}
+	for _, v := range e.vars {
+		r := s.Rep(v)
+		if m, ok := classMin[r]; !ok || v < m {
+			classMin[r] = v
+		}
+	}
+	render := func(cn CNode) string {
+		cd := &s.cons[cn]
+		out := s.Sig.Name(cd.cons)
+		if len(cd.args) == 0 {
+			return out
+		}
+		out += "("
+		for i, a := range cd.args {
+			if i > 0 {
+				out += ","
+			}
+			if m, ok := classMin[s.Rep(a)]; ok {
+				if n, ok := norm[m]; ok {
+					m = n
+				}
+				out += fmt.Sprint(int(m))
+			} else {
+				out += "?"
+			}
+		}
+		return out + ")"
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, cl := range s.Clashes() {
+		key := render(cl.Src) + " <= " + render(cl.Dst) + " @ " + s.Alg.String(cl.Annot)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// jointNorm canonicalizes test variables under the union of every given
+// system's variable classes. Cycle elimination is best-effort — two
+// systems at the same semantic fixpoint may collapse different subsets
+// of the ε-equivalent variables — so clash sets are only comparable
+// after renaming through the joint equivalence.
+func jointNorm(envs ...*sysEnv) map[VarID]VarID {
+	parent := map[VarID]VarID{}
+	var find func(VarID) VarID
+	find = func(v VarID) VarID {
+		if parent[v] == v {
+			return v
+		}
+		parent[v] = find(parent[v])
+		return parent[v]
+	}
+	for _, v := range envs[0].vars {
+		parent[v] = v
+	}
+	for _, e := range envs {
+		byRep := map[VarID]VarID{}
+		for _, v := range e.vars {
+			r := e.s.Rep(v)
+			if first, ok := byRep[r]; ok {
+				a, b := find(first), find(v)
+				if a != b {
+					if b < a {
+						a, b = b, a
+					}
+					parent[b] = a
+				}
+			} else {
+				byRep[r] = v
+			}
+		}
+	}
+	norm := map[VarID]VarID{}
+	for _, v := range envs[0].vars {
+		norm[v] = find(v)
+	}
+	return norm
+}
+
+func annotsEqual(a, b []Annot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: solving a base and layering annotated constraints on a Fork
+// answers every query exactly as one monolithic system that saw all
+// constraints — the correctness contract of the driver's shared-skeleton
+// reuse.
+func TestQuickForkEquivalentToMonolithic(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	const nVars, nConsts = 8, 3
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ident := func() Annot { return Annot(mon.Identity()) }
+		anyAnnot := func() Annot { return Annot(r.Intn(mon.Size())) }
+		baseOps := randomOps(r, 12, nVars, nConsts, ident)
+		layerOps := randomOps(r, 10, nVars, nConsts, anyAnnot)
+
+		mono := newSysEnv(alg, Options{}, nVars, nConsts)
+		mono.apply(baseOps)
+		mono.apply(layerOps)
+		mono.s.Solve()
+
+		base := newSysEnv(alg, Options{}, nVars, nConsts)
+		base.apply(baseOps)
+		base.s.Solve()
+		base.s.Freeze()
+		layered := base.fork(alg)
+		layered.apply(layerOps)
+		layered.s.Solve()
+
+		for ci := range mono.consts {
+			for vi := range mono.vars {
+				want := mono.s.ConstAnnots(mono.consts[ci], mono.vars[vi])
+				got := layered.s.ConstAnnots(layered.consts[ci], layered.vars[vi])
+				if !annotsEqual(got, want) {
+					return false
+				}
+			}
+		}
+		norm := jointNorm(mono, layered)
+		wantClash := mono.canonClashesNorm(norm)
+		gotClash := layered.canonClashesNorm(norm)
+		if len(wantClash) != len(gotClash) {
+			return false
+		}
+		for i := range wantClash {
+			if wantClash[i] != gotClash[i] {
+				return false
+			}
+		}
+		// PN reachability through the fork agrees too.
+		pnWant := mono.s.PNReach(mono.consts[0])
+		pnGot := layered.s.PNReach(layered.consts[0])
+		for vi := range mono.vars {
+			a := append([]Annot(nil), pnWant.At(mono.vars[vi])...)
+			b := append([]Annot(nil), pnGot.At(layered.vars[vi])...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if !annotsEqual(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the solver optimizations are transparent. Replaying one
+// random constraint stream into systems with each optimization disabled
+// (and with dead-annotation pruning enabled — the one-bit monoid has no
+// dead elements, so pruning must be an exact no-op) yields the same
+// consistency verdict, constant-reachability annotation sets and clash
+// set as the fully optimized reference.
+func TestQuickDifferentialOptions(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	const nVars, nConsts = 8, 3
+	variants := []Options{
+		{NoCycleElim: true},
+		{NoProjMerge: true},
+		{NoHashCons: true},
+		{NoCycleElim: true, NoProjMerge: true, NoHashCons: true, NoWitness: true},
+		{PruneDead: true},
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		anyAnnot := func() Annot { return Annot(r.Intn(mon.Size())) }
+		ops := randomOps(r, 25, nVars, nConsts, anyAnnot)
+
+		ref := newSysEnv(alg, Options{}, nVars, nConsts)
+		ref.apply(ops)
+		ref.s.Solve()
+		for _, opt := range variants {
+			e := newSysEnv(alg, opt, nVars, nConsts)
+			e.apply(ops)
+			e.s.Solve()
+			if e.s.Consistent() != ref.s.Consistent() {
+				return false
+			}
+			// Each variant may collapse a different subset of the
+			// ε-equivalent variables (NoCycleElim collapses none), so the
+			// clash comparison renders both sides under their joint classes.
+			norm := jointNorm(ref, e)
+			refClash := ref.canonClashesNorm(norm)
+			for ci := range ref.consts {
+				for vi := range ref.vars {
+					want := ref.s.ConstAnnots(ref.consts[ci], ref.vars[vi])
+					got := e.s.ConstAnnots(e.consts[ci], e.vars[vi])
+					if !annotsEqual(got, want) {
+						return false
+					}
+				}
+			}
+			gotClash := e.canonClashesNorm(norm)
+			if len(gotClash) != len(refClash) {
+				return false
+			}
+			for i := range refClash {
+				if gotClash[i] != refClash[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A fork never writes back: after heavy mutation of the fork, the base's
+// statistics, derived facts and consistency are untouched.
+func TestForkIsolation(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	base := newSysEnv(alg, Options{}, 6, 2)
+	r := rand.New(rand.NewSource(7))
+	base.apply(randomOps(r, 10, 6, 2, func() Annot { return Annot(mon.Identity()) }))
+	base.s.Solve()
+	base.s.Freeze()
+
+	before := base.s.Stats()
+	snapshot := map[int][]Annot{}
+	for vi, v := range base.vars {
+		snapshot[vi] = base.s.ConstAnnots(base.consts[0], v)
+	}
+
+	f := base.fork(alg)
+	g, _ := mon.SymbolFuncByName("g")
+	for i := 0; i+1 < len(f.vars); i++ {
+		f.s.AddVar(f.vars[i], f.vars[i+1], Annot(g))
+		f.s.AddLower(f.consts[1], f.vars[i], Annot(g))
+	}
+	// A clash in the fork must not leak into the base either.
+	f.s.AddUpper(f.vars[0], f.s.Cons(f.pair, f.vars[1], f.vars[2]), Annot(mon.Identity()))
+	f.s.Solve()
+
+	if got := base.s.Stats(); got != before {
+		t.Errorf("base stats changed after fork mutation: %+v -> %+v", before, got)
+	}
+	for vi, v := range base.vars {
+		if !annotsEqual(base.s.ConstAnnots(base.consts[0], v), snapshot[vi]) {
+			t.Errorf("base ConstAnnots changed at var %d", vi)
+		}
+	}
+	if got := len(base.s.Clashes()); got != before.Clashes {
+		t.Errorf("fork clash leaked into base: %d -> %d", before.Clashes, got)
+	}
+}
+
+// Concurrent forks of one frozen base, each layering its own constraints,
+// stay independent (exercised under -race in CI).
+func TestConcurrentForks(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	base := newSysEnv(alg, Options{}, 16, 4)
+	for i := 0; i+1 < len(base.vars); i++ {
+		base.s.AddVarE(base.vars[i], base.vars[i+1])
+	}
+	base.s.AddLower(base.consts[0], base.vars[0], Annot(mon.Identity()))
+	base.s.Solve()
+	base.s.Freeze()
+
+	g, _ := mon.SymbolFuncByName("g")
+	k, _ := mon.SymbolFuncByName("k")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := base.fork(alg)
+			a := Annot(g)
+			if w%2 == 1 {
+				a = Annot(k)
+			}
+			// Each fork seeds its own constant with its own annotation.
+			f.s.AddLower(f.consts[1+w%3], f.vars[w], a)
+			f.s.Solve()
+			got := f.s.ConstAnnots(f.consts[1+w%3], f.vars[len(f.vars)-1])
+			if len(got) == 0 {
+				errs[w] = fmt.Errorf("fork %d: layered constant did not propagate", w)
+				return
+			}
+			for _, x := range got {
+				if x != a {
+					errs[w] = fmt.Errorf("fork %d: unexpected annotation %v", w, x)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Explicit, Fresh-prefixed and Anon variable names round-trip and stay
+// unique while cycle elimination collapses the variables themselves.
+func TestFreshNamesSurviveCollapse(t *testing.T) {
+	s := NewSystem(TrivialAlgebra{}, terms.NewSignature(), Options{})
+	named := []VarID{s.Var("a"), s.Var("b"), s.Var("c")}
+	fresh := []VarID{s.Fresh("t"), s.Fresh("t"), s.Fresh("u")}
+	anon := s.Anon()
+	all := append(append(append([]VarID(nil), named...), fresh...), anon)
+
+	wantNames := make(map[VarID]string, len(all))
+	for _, v := range all {
+		wantNames[v] = s.VarName(v)
+	}
+	uniq := map[string]bool{}
+	for _, n := range wantNames {
+		if uniq[n] {
+			t.Fatalf("duplicate variable name %q before collapse", n)
+		}
+		uniq[n] = true
+	}
+	if got := s.VarName(fresh[0]); got != "t#"+fmt.Sprint(int(fresh[0])) {
+		t.Errorf("fresh name = %q, want prefix#id", got)
+	}
+
+	// Collapse everything into one ε-cycle.
+	for i := range all {
+		s.AddVarE(all[i], all[(i+1)%len(all)])
+	}
+	s.Solve()
+	if s.Stats().Collapsed == 0 {
+		t.Fatal("cycle did not collapse")
+	}
+	rep := s.Rep(all[0])
+	for _, v := range all {
+		if s.Rep(v) != rep {
+			t.Fatalf("var %d not merged", v)
+		}
+		if got := s.VarName(v); got != wantNames[v] {
+			t.Errorf("VarName(%d) changed across collapse: %q -> %q", v, wantNames[v], got)
+		}
+	}
+	if s.Var("a") != named[0] || s.Var("b") != named[1] {
+		t.Error("explicit names no longer intern to their original variables")
+	}
+	// New variables after the collapse still get unique ids and names.
+	nf := s.Fresh("t")
+	if nf == fresh[0] || nf == fresh[1] {
+		t.Error("Fresh reused an id after collapse")
+	}
+	if n := s.VarName(nf); uniq[n] {
+		t.Errorf("Fresh name %q collides after collapse", n)
+	}
+}

@@ -25,9 +25,10 @@ type SourceFact struct {
 // to flow into v, in deterministic order. Solve must have been called.
 func (s *System) SourcesAt(v VarID) []SourceFact {
 	v = s.find(v)
-	out := make([]SourceFact, 0, len(s.vars[v].reach))
-	for k := range s.vars[v].reach {
-		out = append(out, SourceFact{k.cn, k.a})
+	facts := s.vars[v].reach.facts
+	out := make([]SourceFact, 0, len(facts))
+	for i := range facts {
+		out = append(out, SourceFact{facts[i].cn, facts[i].a})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Cn != out[j].Cn {
@@ -43,9 +44,9 @@ func (s *System) SourcesAt(v VarID) []SourceFact {
 func (s *System) ConstAnnots(cn CNode, v VarID) []Annot {
 	v = s.find(v)
 	var out []Annot
-	for k := range s.vars[v].reach {
-		if k.cn == cn {
-			out = append(out, k.a)
+	for _, f := range s.vars[v].reach.facts {
+		if f.cn == cn {
+			out = append(out, f.a)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -71,8 +72,8 @@ func (s *System) ConstEntailed(cn CNode, v VarID) bool {
 // matched label-flow query of §7.3.
 func (s *System) Flows(cn CNode, v VarID) bool {
 	v = s.find(v)
-	for k := range s.vars[v].reach {
-		if k.cn == cn {
+	for _, f := range s.vars[v].reach.facts {
+		if f.cn == cn {
 			return true
 		}
 	}
@@ -308,7 +309,7 @@ func (s *System) witness(v VarID, cn CNode, a Annot, seen map[pnKey]bool) []Trac
 			break
 		}
 		seen[k] = true
-		p, ok := s.vars[v].reach[reachKey{cn, a}]
+		p, ok := s.vars[v].reach.lookup(cn, a)
 		if !ok {
 			break
 		}
@@ -359,12 +360,12 @@ func (s *System) RootAnnots(seeds []CNode) map[CNode]map[Annot]bool {
 				continue
 			}
 			for _, sk := range vd.sinks {
-				for rk := range vd.reach {
-					if s.cons[rk.cn].cons != s.cons[sk.cn].cons {
+				for _, f := range vd.reach.facts {
+					if s.cons[f.cn].cons != s.cons[sk.cn].cons {
 						continue
 					}
-					h := s.Alg.Then(rk.a, sk.a)
-					for w := range res[rk.cn] {
+					h := s.Alg.Then(f.a, sk.a)
+					for w := range res[f.cn] {
 						if add(sk.cn, s.Alg.Then(w, h)) {
 							changed = true
 						}
@@ -425,7 +426,8 @@ func (s *System) termsIn(v VarID, bank *terms.Bank, depth, limit int,
 		return
 	}
 	fa, isFunc := s.Alg.(FuncAlgebra)
-	for k := range s.vars[v].reach {
+	for _, rf := range s.vars[v].reach.facts {
+		k := reachKey{rf.cn, rf.a}
 		if limit > 0 && len(acc) >= limit {
 			return
 		}
@@ -500,9 +502,9 @@ func combine(bank *terms.Bank, c terms.ConsID, annot monoid.FuncID, argSets [][]
 func (s *System) HeadAnnots(c terms.ConsID, v VarID) []Annot {
 	v = s.find(v)
 	set := map[Annot]bool{}
-	for k := range s.vars[v].reach {
-		if s.cons[k.cn].cons == c {
-			set[k.a] = true
+	for _, f := range s.vars[v].reach.facts {
+		if s.cons[f.cn].cons == c {
+			set[f.a] = true
 		}
 	}
 	out := make([]Annot, 0, len(set))
@@ -545,7 +547,7 @@ func (s *System) DOT(name string) string {
 		if s.find(VarID(v)) != VarID(v) {
 			continue
 		}
-		fmt.Fprintf(&b, "  v%d [label=%q];\n", v, s.vars[v].name)
+		fmt.Fprintf(&b, "  v%d [label=%q];\n", v, s.VarName(VarID(v)))
 		for _, e := range s.vars[v].out {
 			fmt.Fprintf(&b, "  v%d -> v%d [label=%q];\n", v, int(s.find(e.to)), lbl(e.a))
 		}

@@ -24,15 +24,16 @@ func (s *System) AddLowerE(cn CNode, y VarID) { s.AddLower(cn, y, s.Alg.Identity
 func (s *System) AddUpper(x VarID, cn CNode, a Annot) {
 	s.raw = append(s.raw, rawConstraint{kind: rawUpper, x: x, cn: cn, a: a})
 	x = s.find(x)
-	k := edgeKey{int32(x), int32(cn), a}
-	if _, dup := s.sinkSeen[k]; dup {
+	if !s.sinkSeen.add(edgeKey{int32(x), int32(cn), a}) {
 		return
 	}
-	s.sinkSeen[k] = struct{}{}
 	s.vars[x].sinks = append(s.vars[x].sinks, sinkRef{cn, a})
-	// Meet with sources already known to reach x.
-	for rk := range s.vars[x].reach {
-		s.meet(rk.cn, s.Alg.Then(rk.a, a), cn)
+	// Meet with sources already known to reach x. Snapshot the fact list:
+	// a meet may derive new facts at x, and those are propagated to this
+	// sink when their own work items drain.
+	facts := s.vars[x].reach.facts
+	for i := range facts {
+		s.meet(facts[i].cn, s.Alg.Then(facts[i].a, a), cn)
 	}
 }
 
@@ -87,15 +88,15 @@ func (s *System) AddProjE(c terms.ConsID, idx int, x, z VarID) {
 }
 
 func (s *System) addProjDirect(x VarID, pr projRef) {
-	k := projKey{x, pr.cons, pr.idx, pr.to, pr.a}
-	if _, dup := s.projSeen[k]; dup {
+	x = s.find(x)
+	if !s.projSeen.add(projKey{x, pr.cons, pr.idx, pr.to, pr.a}) {
 		return
 	}
-	s.projSeen[k] = struct{}{}
 	s.vars[x].projs = append(s.vars[x].projs, pr)
-	for rk := range s.vars[x].reach {
-		if s.cons[rk.cn].cons == pr.cons {
-			s.addEdge(s.find(s.cons[rk.cn].args[pr.idx]), s.find(pr.to), s.Alg.Then(rk.a, pr.a))
+	facts := s.vars[x].reach.facts
+	for i := range facts {
+		if s.cons[facts[i].cn].cons == pr.cons {
+			s.addEdge(s.find(s.cons[facts[i].cn].args[pr.idx]), s.find(pr.to), s.Alg.Then(facts[i].a, pr.a))
 		}
 	}
 }
@@ -111,17 +112,15 @@ func (s *System) addEdge(x, y VarID, a Annot) {
 	if x == y && ident {
 		return
 	}
-	k := edgeKey{int32(x), int32(y), a}
-	if _, dup := s.edgeSeen[k]; dup {
+	if !s.edgeSeen.add(edgeKey{int32(x), int32(y), a}) {
 		return
 	}
-	s.edgeSeen[k] = struct{}{}
 	s.vars[x].out = append(s.vars[x].out, edge{y, a})
 	s.nEdges++
 
-	for rk, p := range s.vars[x].reach {
-		_ = p
-		s.addReach(y, rk.cn, s.Alg.Then(rk.a, a), parent{fromVar: x, annot: rk.a, step: stepEdge})
+	facts := s.vars[x].reach.facts
+	for i := range facts {
+		s.addReach(y, facts[i].cn, s.Alg.Then(facts[i].a, a), parent{fromVar: x, annot: facts[i].a, step: stepEdge})
 	}
 
 	if ident && !s.opts.NoCycleElim {
@@ -130,16 +129,39 @@ func (s *System) addEdge(x, y VarID, a Annot) {
 }
 
 // tryCollapse looks for an ε-path from y back to x (bounded DFS); if one
-// exists, the whole cycle is collapsed into one representative.
+// exists, the whole cycle is collapsed into one representative. The DFS
+// runs over epoch-stamped scratch arrays kept on the System, so steady-
+// state cycle checks allocate nothing.
 func (s *System) tryCollapse(x, y VarID) {
 	x, y = s.find(x), s.find(y)
 	if x == y {
 		return
 	}
+	if len(s.dfsMark) < len(s.vars) {
+		mark := make([]uint32, 2*len(s.vars))
+		copy(mark, s.dfsMark)
+		s.dfsMark = mark
+		prev := make([]VarID, 2*len(s.vars))
+		copy(prev, s.dfsPrev)
+		s.dfsPrev = prev
+	}
+	s.dfsEpoch++
+	if s.dfsEpoch == 0 { // wrapped: stale marks could alias the new epoch
+		clear(s.dfsMark)
+		s.dfsEpoch = 1
+	}
+	epoch := s.dfsEpoch
+	visit := func(v, from VarID) {
+		s.dfsMark[v] = epoch
+		s.dfsPrev[v] = from
+	}
+	seen := func(v VarID) bool { return s.dfsMark[v] == epoch }
+
 	ident := s.Alg.Identity()
 	budget := s.opts.CycleBudget
-	prev := map[VarID]VarID{y: y}
-	stack := []VarID{y}
+	stack := s.dfsStack[:0]
+	visit(y, y)
+	stack = append(stack, y)
 	found := false
 	for len(stack) > 0 && budget > 0 {
 		v := stack[len(stack)-1]
@@ -151,23 +173,24 @@ func (s *System) tryCollapse(x, y VarID) {
 			}
 			t := s.find(e.to)
 			if t == x {
-				prev[x] = v
+				visit(x, v)
 				found = true
-				stack = nil
+				stack = stack[:0]
 				break
 			}
-			if _, seen := prev[t]; !seen {
-				prev[t] = v
+			if !seen(t) {
+				visit(t, v)
 				stack = append(stack, t)
 			}
 		}
 	}
+	s.dfsStack = stack[:0]
 	if !found {
 		return
 	}
 	// Collapse the path y → … → x (plus the new edge x → y) into x.
 	var cycle []VarID
-	for v := prev[x]; ; v = prev[v] {
+	for v := s.dfsPrev[x]; ; v = s.dfsPrev[v] {
 		cycle = append(cycle, v)
 		if v == y {
 			break
@@ -191,43 +214,52 @@ func (s *System) union(winner, loser VarID) {
 	s.vars[loser].out = nil
 	s.vars[loser].sinks = nil
 	s.vars[loser].projs = nil
-	s.vars[loser].reach = nil
+	s.vars[loser].reach = reachSet{}
 	s.vars[loser].projMerge = nil
 	s.vars[loser].uf = winner
 
+	// Every replay below can re-enter union through cycle elimination
+	// (addEdge → tryCollapse) and merge the winner itself into yet
+	// another representative. Writes to a detached variable are invisible
+	// to the solver, so each block re-resolves the live representative
+	// before mutating it.
 	for _, e := range ld.out {
 		s.addEdge(winner, s.find(e.to), e.a)
 	}
 	for _, sk := range ld.sinks {
-		k := edgeKey{int32(winner), int32(sk.cn), sk.a}
-		if _, dup := s.sinkSeen[k]; !dup {
-			s.sinkSeen[k] = struct{}{}
-			s.vars[winner].sinks = append(s.vars[winner].sinks, sk)
-			for rk := range s.vars[winner].reach {
-				s.meet(rk.cn, s.Alg.Then(rk.a, sk.a), sk.cn)
+		w := s.find(winner)
+		if s.sinkSeen.add(edgeKey{int32(w), int32(sk.cn), sk.a}) {
+			s.vars[w].sinks = append(s.vars[w].sinks, sk)
+			facts := s.vars[w].reach.facts
+			for i := range facts {
+				s.meet(facts[i].cn, s.Alg.Then(facts[i].a, sk.a), sk.cn)
 			}
 		}
 	}
 	for _, pr := range ld.projs {
 		s.addProjDirect(winner, pr)
 	}
-	for rk, p := range ld.reach {
+	for i := range ld.reach.facts {
+		f := ld.reach.facts[i]
+		p := f.par
 		if p.step != stepSeed && p.fromVar >= 0 {
 			p = parent{fromVar: p.fromVar, annot: p.annot, step: stepMerged}
 		}
-		s.addReach(winner, rk.cn, rk.a, p)
+		s.addReach(winner, f.cn, f.a, p)
 	}
 	for key, w := range ld.projMerge {
-		if s.vars[winner].projMerge == nil {
-			s.vars[winner].projMerge = make(map[projMergeKey]VarID)
+		rw := s.find(winner)
+		if s.vars[rw].projMerge == nil {
+			s.vars[rw].projMerge = make(map[projMergeKey]VarID)
 		}
-		if _, exists := s.vars[winner].projMerge[key]; !exists {
-			s.vars[winner].projMerge[key] = w
+		if _, exists := s.vars[rw].projMerge[key]; !exists {
+			s.vars[rw].projMerge[key] = w
 		}
 	}
 	// Constructor-argument occurrences must follow the representative so
 	// that PN-reachability wrap steps see them.
-	s.vars[winner].argOf = append(s.vars[winner].argOf, ld.argOf...)
+	rw := s.find(winner)
+	s.vars[rw].argOf = append(s.vars[rw].argOf, ld.argOf...)
 	s.vars[loser].argOf = nil
 }
 
@@ -238,14 +270,12 @@ func (s *System) addReach(v VarID, cn CNode, a Annot, par parent) {
 		return
 	}
 	v = s.find(v)
-	k := reachKey{cn, a}
-	if _, dup := s.vars[v].reach[k]; dup {
-		return
-	}
 	if s.opts.NoWitness {
 		par = parent{fromVar: -1, step: par.step}
 	}
-	s.vars[v].reach[k] = par
+	if !s.vars[v].reach.insert(cn, a, par) {
+		return
+	}
 	s.nReach++
 	s.cons[cn].occur = append(s.cons[cn].occur, varAnnot{v, a})
 	s.work = append(s.work, workItem{v, cn, a})
@@ -277,8 +307,7 @@ func (s *System) meet(src CNode, h Annot, dst CNode) {
 }
 
 func (s *System) recordClash(c Clash) {
-	if _, dup := s.clashSeen[c]; !dup {
-		s.clashSeen[c] = struct{}{}
+	if s.clashSeen.add(c) {
 		s.clashes = append(s.clashes, c)
 	}
 }
@@ -304,7 +333,7 @@ func (s *System) Solve() int {
 		for _, sk := range sinks {
 			s.meet(it.cn, s.Alg.Then(it.a, sk.a), sk.cn)
 		}
-		cd := s.cons[it.cn]
+		cd := &s.cons[it.cn]
 		for _, pr := range projs {
 			if cd.cons == pr.cons {
 				s.addEdge(s.find(cd.args[pr.idx]), s.find(pr.to), s.Alg.Then(it.a, pr.a))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"rasc/internal/terms"
@@ -65,7 +66,9 @@ type parent struct {
 	step    stepKind
 }
 
-// reachKey identifies a (source, annotation) fact at a variable.
+// reachKey identifies a (source, annotation) fact at a variable. The
+// bidirectional solver stores facts in per-var reachSets; this key form
+// survives for the unidirectional solvers' fact tables.
 type reachKey struct {
 	cn CNode
 	a  Annot
@@ -92,14 +95,19 @@ type projRef struct {
 }
 
 type varData struct {
-	name string
+	// Diagnostic identity, resolved lazily by VarName: an explicit name
+	// (Var), a shared prefix index (Fresh; rendered as prefix#id on
+	// demand), or neither (Anon; rendered by the NameFn hook).
+	name   string
+	prefix int32 // 1-based index into freshPrefixes, 0 = none
+
 	// union-find parent; self when representative.
 	uf VarID
 
 	out   []edge
 	sinks []sinkRef
 	projs []projRef
-	reach map[reachKey]parent
+	reach reachSet
 
 	// occurrences of this var as an argument of constructor expressions,
 	// used by PN-reachability queries (wrap steps).
@@ -170,19 +178,32 @@ type System struct {
 	opts Options
 
 	vars      []varData
-	varIndex  map[string]VarID
+	varIndex  internMap[string, VarID]
 	cons      []consData
-	consIndex map[string]CNode
+	consIndex internMap[consKey, CNode]
 
-	edgeSeen map[edgeKey]struct{}
-	sinkSeen map[edgeKey]struct{}
-	projSeen map[projKey]struct{}
+	// Interned prefixes of Fresh variables and the fallback renderer for
+	// anonymous ones; names are materialized only when VarName is asked.
+	freshPrefixes []string
+	prefixIndex   map[string]int32
+	nameFn        func(VarID) string
+
+	edgeSeen seenSet[edgeKey]
+	sinkSeen seenSet[edgeKey]
+	projSeen seenSet[projKey]
 
 	work      []workItem
 	clashes   []Clash
-	clashSeen map[Clash]struct{}
+	clashSeen seenSet[Clash]
 
 	raw []rawConstraint
+
+	// Scratch for tryCollapse's bounded DFS, reused across edge
+	// insertions so cycle detection allocates nothing in steady state.
+	dfsMark  []uint32
+	dfsPrev  []VarID
+	dfsStack []VarID
+	dfsEpoch uint32
 
 	// stats
 	nEdges, nReach, nCollapsed int
@@ -201,6 +222,36 @@ type projKey struct {
 	a    Annot
 }
 
+// consKey identifies a constructor expression for hash-consing without
+// rendering it to a string: the constructor, the arity, the first three
+// arguments inline, and (only for wider expressions) the remaining
+// arguments encoded in rest. Interning an expression of arity ≤ 3 —
+// every constructor the model checker and flow analyses emit — allocates
+// nothing.
+type consKey struct {
+	c    terms.ConsID
+	n    int32
+	args [3]VarID
+	rest string
+}
+
+func makeConsKey(c terms.ConsID, args []VarID) consKey {
+	k := consKey{c: c, n: int32(len(args))}
+	for i, a := range args {
+		if i == 3 {
+			var b strings.Builder
+			for _, r := range args[3:] {
+				b.WriteByte(',')
+				b.WriteString(strconv.Itoa(int(r)))
+			}
+			k.rest = b.String()
+			break
+		}
+		k.args[i] = a
+	}
+	return k
+}
+
 // NewSystem returns an empty constraint system over the given annotation
 // algebra and constructor signature.
 func NewSystem(alg Algebra, sig *terms.Signature, opts Options) *System {
@@ -208,40 +259,73 @@ func NewSystem(alg Algebra, sig *terms.Signature, opts Options) *System {
 		opts.CycleBudget = 64
 	}
 	return &System{
-		Alg:       alg,
-		Sig:       sig,
-		opts:      opts,
-		varIndex:  make(map[string]VarID),
-		consIndex: make(map[string]CNode),
-		edgeSeen:  make(map[edgeKey]struct{}),
-		sinkSeen:  make(map[edgeKey]struct{}),
-		projSeen:  make(map[projKey]struct{}),
-		clashSeen: make(map[Clash]struct{}),
+		Alg:         alg,
+		Sig:         sig,
+		opts:        opts,
+		varIndex:    newInternMap[string, VarID](),
+		consIndex:   newInternMap[consKey, CNode](),
+		prefixIndex: make(map[string]int32),
+		edgeSeen:    newSeenSet[edgeKey](),
+		sinkSeen:    newSeenSet[edgeKey](),
+		projSeen:    newSeenSet[projKey](),
+		clashSeen:   newSeenSet[Clash](),
+		work:        make([]workItem, 0, 64),
+	}
+}
+
+// ReserveVars grows the variable table's capacity so that the next n
+// variable creations do not reallocate it. Purely an allocation hint.
+func (s *System) ReserveVars(n int) {
+	if need := len(s.vars) + n; need > cap(s.vars) {
+		grown := make([]varData, len(s.vars), need)
+		copy(grown, s.vars)
+		s.vars = grown
 	}
 }
 
 // Var interns a set variable by name.
 func (s *System) Var(name string) VarID {
-	if v, ok := s.varIndex[name]; ok {
+	if v, ok := s.varIndex.get(name); ok {
 		return v
 	}
-	v := s.newVar(name)
-	s.varIndex[name] = v
+	v := s.newVar()
+	s.vars[v].name = name
+	s.varIndex.put(name, v)
 	return v
 }
 
-// Fresh creates an anonymous variable with a unique diagnostic name.
+// Fresh creates an anonymous variable with a unique diagnostic name of
+// the form prefix#id. The name is not materialized: only the interned
+// prefix is stored, and VarName renders it on demand.
 func (s *System) Fresh(prefix string) VarID {
-	return s.newVar(fmt.Sprintf("%s#%d", prefix, len(s.vars)))
+	v := s.newVar()
+	s.vars[v].prefix = s.internPrefix(prefix)
+	return v
 }
 
-func (s *System) newVar(name string) VarID {
+// Anon creates an unnamed variable, bypassing the name intern table
+// entirely; VarName falls back to the NameFn hook, or "v<id>". This is
+// the cheapest way to create variables in bulk (the model checker names
+// its CFG-node variables through NameFn).
+func (s *System) Anon() VarID { return s.newVar() }
+
+// SetNameFn installs a renderer for variables created by Anon, used only
+// when diagnostics ask for VarName.
+func (s *System) SetNameFn(fn func(VarID) string) { s.nameFn = fn }
+
+func (s *System) internPrefix(prefix string) int32 {
+	if i, ok := s.prefixIndex[prefix]; ok {
+		return i
+	}
+	s.freshPrefixes = append(s.freshPrefixes, prefix)
+	i := int32(len(s.freshPrefixes))
+	s.prefixIndex[prefix] = i
+	return i
+}
+
+func (s *System) newVar() VarID {
 	v := VarID(len(s.vars))
-	s.vars = append(s.vars, varData{
-		name:  name,
-		uf:    v,
-		reach: make(map[reachKey]parent),
-	})
+	s.vars = append(s.vars, varData{uf: v})
 	return v
 }
 
@@ -250,7 +334,20 @@ func (s *System) newVar(name string) VarID {
 func (s *System) NumVars() int { return len(s.vars) }
 
 // VarName returns the diagnostic name of v.
-func (s *System) VarName(v VarID) string { return s.vars[v].name }
+func (s *System) VarName(v VarID) string {
+	d := &s.vars[v]
+	switch {
+	case d.name != "":
+		return d.name
+	case d.prefix != 0:
+		return s.freshPrefixes[d.prefix-1] + "#" + strconv.Itoa(int(v))
+	case s.nameFn != nil:
+		if n := s.nameFn(v); n != "" {
+			return n
+		}
+	}
+	return "v" + strconv.Itoa(int(v))
+}
 
 // Rep returns the union-find representative of v; variables collapsed by
 // cycle elimination share one representative.
@@ -276,29 +373,23 @@ func (s *System) Cons(c terms.ConsID, args ...VarID) CNode {
 	if got, want := len(args), s.Sig.Arity(c); got != want {
 		panic(fmt.Sprintf("core: %s applied to %d args, want %d", s.Sig.Name(c), got, want))
 	}
-	var key string
+	var key consKey
 	if !s.opts.NoHashCons {
-		var b strings.Builder
-		fmt.Fprintf(&b, "%d(", c)
-		for i, a := range args {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%d", a)
-		}
-		b.WriteByte(')')
-		key = b.String()
-		if cn, ok := s.consIndex[key]; ok {
+		key = makeConsKey(c, args)
+		if cn, ok := s.consIndex.get(key); ok {
 			return cn
 		}
 	}
 	cn := CNode(len(s.cons))
 	s.cons = append(s.cons, consData{cons: c, args: append([]VarID{}, args...)})
+	// Occurrences live on the representative: an append at a variable
+	// that already lost a union would be invisible to PN-reachability
+	// (union only migrates occurrences recorded before the merge).
 	for i, a := range args {
-		s.vars[a].argOf = append(s.vars[a].argOf, argUse{cn, i})
+		s.vars[s.find(a)].argOf = append(s.vars[s.find(a)].argOf, argUse{cn, i})
 	}
 	if !s.opts.NoHashCons {
-		s.consIndex[key] = cn
+		s.consIndex.put(key, cn)
 	}
 	return cn
 }
@@ -325,7 +416,7 @@ func (s *System) ConsString(cn CNode) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(s.vars[a].name)
+		b.WriteString(s.VarName(a))
 	}
 	b.WriteByte(')')
 	return b.String()
@@ -347,6 +438,20 @@ type Stats struct {
 	Edges     int
 	Collapsed int
 	Clashes   int
+}
+
+// Minus returns the component-wise difference s - base: the work done on
+// top of a forked base system, for reporting that shared structure only
+// once.
+func (s Stats) Minus(base Stats) Stats {
+	return Stats{
+		Vars:      s.Vars - base.Vars,
+		ConsNodes: s.ConsNodes - base.ConsNodes,
+		Reach:     s.Reach - base.Reach,
+		Edges:     s.Edges - base.Edges,
+		Collapsed: s.Collapsed - base.Collapsed,
+		Clashes:   s.Clashes - base.Clashes,
+	}
 }
 
 // Stats returns current solver statistics.

@@ -1,0 +1,218 @@
+// Package corebench defines the solver-only microbenchmark scenarios
+// shared by the cmd/benchgen -core-json report and the Go benchmarks in
+// internal/core. Each scenario isolates one hot path of the online
+// solver — transitive closure over chains, projection fan-out through
+// constructor expressions, cycle collapsing, and copy-on-write forking
+// of a solved base — on synthetic constraint systems with no front end
+// in the loop.
+package corebench
+
+import (
+	"fmt"
+
+	"rasc/internal/core"
+	"rasc/internal/dfa"
+	"rasc/internal/monoid"
+	"rasc/internal/terms"
+)
+
+// Scenario is one microbenchmark. Setup performs unmeasured
+// preparation and returns the operation to measure; the operation must
+// be repeatable (each call does the full measured work) and returns the
+// final solver statistics so callers can sanity-check the workload and
+// keep the work observable.
+type Scenario struct {
+	Name string
+	Desc string
+	// Setup builds the scenario under opts and returns the measured op.
+	Setup func(opts core.Options) func() core.Stats
+}
+
+// oneBitMonoid is the 1-bit gen/kill transition monoid of §3.3: three
+// elements (ε, gen, kill), enough to exercise annotation composition
+// without the annotation table dominating the measurement.
+func oneBitMonoid() *monoid.Monoid {
+	alpha := dfa.NewAlphabet("g", "k")
+	d := dfa.NewDFA(alpha, 2, 0)
+	g, _ := alpha.Lookup("g")
+	k, _ := alpha.Lookup("k")
+	d.SetTransition(0, g, 1)
+	d.SetTransition(1, g, 1)
+	d.SetTransition(0, k, 0)
+	d.SetTransition(1, k, 0)
+	d.SetAccept(1)
+	m, err := monoid.Build(d, 0)
+	if err != nil {
+		panic("corebench: " + err.Error())
+	}
+	return m
+}
+
+// Scenarios returns the benchmark suite in report order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		transitiveChain(2000, 8),
+		projectionFanout(64, 64),
+		cycleHeavy(64, 32),
+		forkReuse(1500, 9, 40),
+	}
+}
+
+// transitiveChain propagates k constants down an n-variable chain of
+// annotated edges: the pure transitive-closure hot path (addEdge /
+// addReach with the reach-set lookup on every step).
+func transitiveChain(n, k int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("transitive-chain/n=%d,k=%d", n, k),
+		Desc: "k constants propagated through an n-variable chain of annotated edges",
+		Setup: func(opts core.Options) func() core.Stats {
+			mon := oneBitMonoid()
+			g, _ := mon.SymbolFuncByName("g")
+			kf, _ := mon.SymbolFuncByName("k")
+			return func() core.Stats {
+				sig := terms.NewSignature()
+				sys := core.NewSystem(core.FuncAlgebra{Mon: mon}, sig, opts)
+				sys.ReserveVars(n)
+				vars := make([]core.VarID, n)
+				for i := range vars {
+					vars[i] = sys.Anon()
+				}
+				for i := 0; i+1 < n; i++ {
+					a := core.Annot(g)
+					if i%2 == 1 {
+						a = core.Annot(kf)
+					}
+					sys.AddVar(vars[i], vars[i+1], a)
+				}
+				for j := 0; j < k; j++ {
+					c := sig.MustDeclare(fmt.Sprintf("c%d", j), 0)
+					sys.AddLowerE(sys.Constant(c), vars[0])
+				}
+				sys.Solve()
+				return sys.Stats()
+			}
+		},
+	}
+}
+
+// projectionFanout routes m constructor terms through one variable and
+// projects them onto f targets: the proj/occur fan-out hot path, where
+// every new lower bound triggers a pass over the pending projections.
+func projectionFanout(m, f int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("projection-fanout/m=%d,f=%d", m, f),
+		Desc: "m constructor terms meeting f projections on one variable",
+		Setup: func(opts core.Options) func() core.Stats {
+			return func() core.Stats {
+				sig := terms.NewSignature()
+				sys := core.NewSystem(core.TrivialAlgebra{}, sig, opts)
+				cc := sig.MustDeclare("c", 1)
+				sys.ReserveVars(2*m + f + 1)
+				hub := sys.Anon()
+				srcs := make([]core.VarID, m)
+				for i := range srcs {
+					srcs[i] = sys.Anon()
+					ki := sig.MustDeclare(fmt.Sprintf("k%d", i), 0)
+					sys.AddLowerE(sys.Constant(ki), srcs[i])
+					sys.AddLowerE(sys.Cons(cc, srcs[i]), hub)
+				}
+				for j := 0; j < f; j++ {
+					sys.AddProjE(cc, 0, hub, sys.Anon())
+				}
+				sys.Solve()
+				return sys.Stats()
+			}
+		},
+	}
+}
+
+// cycleHeavy chains r rings of s ε-edges each, seeding a constant at the
+// head: the online cycle-elimination hot path (tryCollapse DFS plus
+// union-find merging) dominates, since every ring collapses to one
+// representative as its closing edge arrives.
+func cycleHeavy(r, s int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("cycle-heavy/rings=%d,size=%d", r, s),
+		Desc: "r rings of s identity edges, collapsed online, linked in a chain",
+		Setup: func(opts core.Options) func() core.Stats {
+			return func() core.Stats {
+				sig := terms.NewSignature()
+				sys := core.NewSystem(core.TrivialAlgebra{}, sig, opts)
+				sys.ReserveVars(r * s)
+				rings := make([][]core.VarID, r)
+				for i := range rings {
+					ring := make([]core.VarID, s)
+					for j := range ring {
+						ring[j] = sys.Anon()
+					}
+					for j := range ring {
+						sys.AddVarE(ring[j], ring[(j+1)%s])
+					}
+					rings[i] = ring
+					if i > 0 {
+						sys.AddVarE(rings[i-1][s/2], ring[0])
+					}
+				}
+				c := sig.MustDeclare("seed", 0)
+				sys.AddLowerE(sys.Constant(c), rings[0][0])
+				sys.Solve()
+				return sys.Stats()
+			}
+		},
+	}
+}
+
+// forkReuse builds and solves one n-variable base system (unmeasured),
+// then measures layering k property-sized deltas of e annotated edges
+// each on copy-on-write forks — the driver's shared-skeleton pattern.
+// The measured op covers Fork + layer insertion + the incremental solve,
+// and returns the summed per-fork delta stats.
+func forkReuse(n, k, e int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("fork-reuse/base=%d,forks=%d,layer=%d", n, k, e),
+		Desc: "k copy-on-write forks of one solved base, each layering e annotated edges",
+		Setup: func(opts core.Options) func() core.Stats {
+			mon := oneBitMonoid()
+			g, _ := mon.SymbolFuncByName("g")
+			sig := terms.NewSignature()
+			base := core.NewSystem(core.TrivialAlgebra{}, sig, opts)
+			base.ReserveVars(n)
+			vars := make([]core.VarID, n)
+			for i := range vars {
+				vars[i] = base.Anon()
+			}
+			for i := 0; i+1 < n; i++ {
+				base.AddVarE(vars[i], vars[i+1])
+			}
+			// Sparse back edges give the base some derived structure
+			// without collapsing the whole chain into one ring.
+			for i := 100; i < n; i += 100 {
+				base.AddVarE(vars[i], vars[i-50])
+			}
+			c := sig.MustDeclare("seed", 0)
+			base.AddLowerE(base.Constant(c), vars[0])
+			base.Solve()
+			base.Freeze()
+			baseStats := base.Stats()
+			return func() core.Stats {
+				var sum core.Stats
+				for j := 0; j < k; j++ {
+					f := base.Fork(core.FuncAlgebra{Mon: mon})
+					for x := 0; x < e; x++ {
+						from := vars[(x*37+j*113)%(n-1)]
+						f.AddVar(from, vars[(x*53+j*71)%(n-1)], core.Annot(g))
+					}
+					f.Solve()
+					d := f.Stats().Minus(baseStats)
+					sum.Vars += d.Vars
+					sum.ConsNodes += d.ConsNodes
+					sum.Reach += d.Reach
+					sum.Edges += d.Edges
+					sum.Collapsed += d.Collapsed
+					sum.Clashes += d.Clashes
+				}
+				return sum
+			}
+		},
+	}
+}

@@ -20,13 +20,17 @@ import (
 	"rasc/internal/monoid"
 	"rasc/internal/spec"
 	"rasc/internal/subst"
-	"rasc/internal/terms"
 )
 
 // Result is the outcome of a model-checking run.
 type Result struct {
 	// Sys is the underlying constraint system, for advanced queries.
 	Sys *core.System
+	// Base holds the solver statistics of the shared skeleton the run was
+	// layered on. Sys.Stats() includes it; Sys.Stats().Minus(Base) is the
+	// work attributable to this property alone. Zero when the run built
+	// its own system.
+	Base core.Stats
 	// PN is the program counter's PN-reachability result.
 	PN *core.PNResult
 	// Violations, deduplicated and ordered by line.
@@ -76,121 +80,21 @@ func (v Violation) String() string {
 // Check model-checks prog against the compiled property, using events to
 // map calls to alphabet symbols. entry is the entry function ("" means
 // main). opts configures the underlying solver.
+//
+// Check is a convenience wrapper over the two-phase API: it builds a
+// fresh Skeleton whose deferred set is exactly the statements events
+// classifies as property events, then layers the property on it. Drivers
+// checking several properties over the same entry should call
+// BuildSkeleton once and Skeleton.Check per property instead.
 func Check(prog *minic.Program, prop *spec.Property, events *minic.EventMap, entry string, opts core.Options) (*Result, error) {
-	if entry == "" {
-		entry = "main"
+	sk, err := BuildSkeleton(prog, nil, entry, opts, func(call *minic.CallExpr, assignTo string) bool {
+		_, ok := events.Match(call, assignTo)
+		return ok
+	})
+	if err != nil {
+		return nil, err
 	}
-	entryDef, ok := prog.ByName[entry]
-	if !ok {
-		return nil, fmt.Errorf("pdm: entry function %q not defined", entry)
-	}
-	// ByName may hold aliases (gosrc registers bare method names for
-	// uniquely named methods); Entry/Exit are keyed by canonical names.
-	entry = entryDef.Name
-	cfg := minic.MustBuild(prog)
-
-	var alg core.Algebra
-	var envTab *subst.Table
-	if prop.IsParametric() {
-		envTab = subst.NewTable(prop.Mon)
-		alg = core.EnvAlgebra{Tab: envTab}
-	} else {
-		alg = core.FuncAlgebra{Mon: prop.Mon}
-	}
-
-	sig := terms.NewSignature()
-	pcCons := sig.MustDeclare("pc", 0)
-
-	sys := core.NewSystem(alg, sig, opts)
-	nodeVar := make([]core.VarID, len(cfg.Nodes))
-	for _, n := range cfg.Nodes {
-		nodeVar[n.ID] = sys.Var(fmt.Sprintf("S%d@%s:%d", n.ID, n.Fn, n.Line))
-	}
-	pc := sys.Constant(pcCons)
-	sys.AddLowerE(pc, nodeVar[cfg.Entry[entry]])
-
-	// annotOf computes the edge annotation for an event.
-	annotOf := func(ev minic.Event) (core.Annot, error) {
-		f, ok := prop.Mon.SymbolFuncByName(ev.Symbol)
-		if !ok {
-			return 0, fmt.Errorf("pdm: event symbol %q not in property alphabet", ev.Symbol)
-		}
-		if envTab == nil {
-			return core.Annot(f), nil
-		}
-		param := prop.ParamOf[ev.Symbol]
-		if param == "" || ev.Label == "" {
-			return core.Annot(envTab.FromFunc(f)), nil
-		}
-		return core.Annot(envTab.Instantiate(param, ev.Label, f)), nil
-	}
-
-	ident := alg.Identity()
-	nodeEvent := map[int]core.Annot{}
-	for _, n := range cfg.Nodes {
-		sv := nodeVar[n.ID]
-		// Classify the node's action (§6.1): event, interprocedural
-		// call, or irrelevant.
-		a := ident
-		isCall := false
-		var callee string
-		if n.Kind == minic.NAction {
-			if ev, ok := events.Match(n.Call, n.AssignTo); ok {
-				var err error
-				a, err = annotOf(ev)
-				if err != nil {
-					return nil, err
-				}
-				nodeEvent[n.ID] = a
-			} else if def, defined := prog.ByName[n.Call.Name]; defined {
-				isCall = true
-				callee = def.Name // resolve aliases to the canonical name
-			}
-		}
-		if n.Kind == minic.NSpawn && n.Call != nil {
-			// A goroutine spawn: the spawned function starts from the
-			// spawn point's annotations (so events in its body are
-			// reachable and carry a witness through the spawn), but its
-			// exit never flows back into the spawner — the spawner
-			// continues unchanged. This is a sound single-trace
-			// abstraction, not a happens-before model; interleavings with
-			// the spawner are not enumerated.
-			if def, defined := prog.ByName[n.Call.Name]; defined {
-				sys.AddVar(sv, nodeVar[cfg.Entry[def.Name]], ident)
-			}
-			for _, m := range n.Succs {
-				sys.AddVar(sv, nodeVar[m], ident)
-			}
-			continue
-		}
-		if isCall {
-			// Case 3: o_i(S) ⊆ F_entry and o_i^-1(F_exit) ⊆ S_i.
-			oc := sig.MustDeclare(fmt.Sprintf("o@%d", n.ID), 1)
-			sys.AddLowerE(sys.Cons(oc, sv), nodeVar[cfg.Entry[callee]])
-			for _, m := range n.Succs {
-				sys.AddProjE(oc, 0, nodeVar[cfg.Exit[callee]], nodeVar[m])
-			}
-			continue
-		}
-		for _, m := range n.Succs {
-			sys.AddVar(sv, nodeVar[m], a)
-		}
-	}
-	sys.Solve()
-
-	res := &Result{
-		Sys:       sys,
-		NodeVar:   nodeVar,
-		prog:      prog,
-		cfg:       cfg,
-		prop:      prop,
-		pcNode:    pc,
-		envTab:    envTab,
-		nodeEvent: nodeEvent,
-	}
-	res.PN = sys.PNReach(pc)
-	res.collectViolations(alg)
-	return res, nil
+	return sk.Check(prop, events)
 }
 
 // collectViolations implements §6.2 literally: record each statement that

@@ -1,0 +1,249 @@
+// Two-phase constraint construction (§8's engineering advice applied at
+// the driver level): the translation of an entry function's
+// interprocedural CFG into constraints is split into a property-
+// independent skeleton — node variables, intraprocedural edges,
+// call/return constructors, spawn edges — built and solved once, and a
+// thin per-property layer of event annotations forked on top. A driver
+// checking k properties over one entry does the cubic translation work
+// once instead of k times.
+package pdm
+
+import (
+	"fmt"
+
+	"rasc/internal/core"
+	"rasc/internal/minic"
+	"rasc/internal/spec"
+	"rasc/internal/subst"
+	"rasc/internal/terms"
+)
+
+// Skeleton is the property-independent half of a model-checking run for
+// one entry function. It is immutable after BuildSkeleton and safe to
+// share: Check forks the solved base system per property, so any number
+// of goroutines may call Check concurrently.
+type Skeleton struct {
+	prog  *minic.Program
+	cfg   *minic.CFG
+	entry string
+
+	sys     *core.System // frozen: forked, never mutated, after build
+	nodeVar []core.VarID
+	pc      core.CNode
+	base    core.Stats
+
+	deferred []deferredNode
+}
+
+// deferredNode is a statement whose constraint form depends on the
+// property's event map (event edge vs. call constructor vs. plain
+// step), deferred to the per-property phase.
+type deferredNode struct {
+	id     int
+	callee string       // canonical defined callee name, "" if none
+	cons   terms.ConsID // pre-declared call-site constructor (valid iff callee != "")
+}
+
+// skelAlgebra is the annotation algebra of the skeleton build. Only
+// identity annotations occur in a skeleton, and every Algebra is
+// required to represent identity as annotation 0 (monoid and
+// substitution tables intern ε first), so the identity-only solve is
+// valid under any later algebra a fork installs.
+type skelAlgebra struct{}
+
+func (skelAlgebra) Identity() Annot        { return 0 }
+func (skelAlgebra) Then(a, b Annot) Annot  { return a | b }
+func (skelAlgebra) Accepting(a Annot) bool { return false }
+func (skelAlgebra) Dead(a Annot) bool      { return false }
+func (skelAlgebra) String(a Annot) string  { return "ε" }
+
+// Annot aliases core.Annot for the local algebra methods.
+type Annot = core.Annot
+
+// BuildSkeleton translates the property-independent constraints of prog
+// reachable from entry ("" means main) and solves them. cfg may be nil,
+// in which case the CFG is built here; passing a prebuilt CFG lets a
+// driver share it across entries. maybeEvent reports whether some event
+// map the skeleton will later be checked against might classify the
+// call as a property event; such statements are left to the per-property
+// phase. A nil maybeEvent defers every call statement (always sound,
+// never shares call/return structure).
+func BuildSkeleton(prog *minic.Program, cfg *minic.CFG, entry string, opts core.Options,
+	maybeEvent func(call *minic.CallExpr, assignTo string) bool) (*Skeleton, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	entryDef, ok := prog.ByName[entry]
+	if !ok {
+		return nil, fmt.Errorf("pdm: entry function %q not defined", entry)
+	}
+	// ByName may hold aliases (gosrc registers bare method names for
+	// uniquely named methods); Entry/Exit are keyed by canonical names.
+	entry = entryDef.Name
+	if cfg == nil {
+		cfg = minic.MustBuild(prog)
+	}
+
+	sig := terms.NewSignature()
+	pcCons := sig.MustDeclare("pc", 0)
+
+	sys := core.NewSystem(skelAlgebra{}, sig, opts)
+	sys.ReserveVars(len(cfg.Nodes) + len(cfg.Nodes)/8)
+	nodeVar := make([]core.VarID, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		nodeVar[n.ID] = sys.Anon()
+	}
+	// CFG-node variables render their diagnostic names on demand instead
+	// of interning ~one formatted string per program point per property.
+	sys.SetNameFn(func(v core.VarID) string {
+		if int(v) < len(cfg.Nodes) {
+			n := cfg.Nodes[v]
+			return fmt.Sprintf("S%d@%s:%d", n.ID, n.Fn, n.Line)
+		}
+		return ""
+	})
+	pc := sys.Constant(pcCons)
+	sys.AddLowerE(pc, nodeVar[cfg.Entry[entry]])
+
+	sk := &Skeleton{prog: prog, cfg: cfg, entry: entry, sys: sys, nodeVar: nodeVar, pc: pc}
+	for _, n := range cfg.Nodes {
+		sv := nodeVar[n.ID]
+		if n.Kind == minic.NSpawn && n.Call != nil {
+			// A goroutine spawn: the spawned function starts from the
+			// spawn point's annotations (so events in its body are
+			// reachable and carry a witness through the spawn), but its
+			// exit never flows back into the spawner — the spawner
+			// continues unchanged. This is a sound single-trace
+			// abstraction, not a happens-before model; interleavings with
+			// the spawner are not enumerated.
+			if def, defined := prog.ByName[n.Call.Name]; defined {
+				sys.AddVarE(sv, nodeVar[cfg.Entry[def.Name]])
+			}
+			for _, m := range n.Succs {
+				sys.AddVarE(sv, nodeVar[m])
+			}
+			continue
+		}
+		if n.Kind == minic.NAction && n.Call != nil {
+			def, defined := prog.ByName[n.Call.Name]
+			if maybeEvent == nil || maybeEvent(n.Call, n.AssignTo) {
+				// Event-or-not depends on the property: defer, but
+				// pre-declare the call-site constructor so the
+				// per-property phase never writes the shared signature.
+				d := deferredNode{id: n.ID}
+				if defined {
+					d.callee = def.Name
+					d.cons = sig.MustDeclare(fmt.Sprintf("o@%d", n.ID), 1)
+				}
+				sk.deferred = append(sk.deferred, d)
+				continue
+			}
+			if defined {
+				// Case 3 (§6.1): o_i(S) ⊆ F_entry and o_i^-1(F_exit) ⊆ S_i.
+				oc := sig.MustDeclare(fmt.Sprintf("o@%d", n.ID), 1)
+				sys.AddLowerE(sys.Cons(oc, sv), nodeVar[cfg.Entry[def.Name]])
+				for _, m := range n.Succs {
+					sys.AddProjE(oc, 0, nodeVar[cfg.Exit[def.Name]], nodeVar[m])
+				}
+				continue
+			}
+		}
+		for _, m := range n.Succs {
+			sys.AddVarE(sv, nodeVar[m])
+		}
+	}
+	sys.Solve()
+	sys.Freeze()
+	sk.base = sys.Stats()
+	return sk, nil
+}
+
+// Entry returns the canonical entry function name.
+func (sk *Skeleton) Entry() string { return sk.entry }
+
+// BaseStats returns the solver statistics of the shared skeleton itself;
+// a Result's Base field holds the same value, so a driver can report the
+// skeleton's size once and each property's layered work separately.
+func (sk *Skeleton) BaseStats() core.Stats { return sk.base }
+
+// CFG returns the control-flow graph the skeleton was built over.
+func (sk *Skeleton) CFG() *minic.CFG { return sk.cfg }
+
+// Check layers one property onto the skeleton: it forks the solved base
+// system, classifies the deferred statements under the property's event
+// map, solves the residue online, and collects violations exactly as
+// pdm.Check does. Safe for concurrent use.
+func (sk *Skeleton) Check(prop *spec.Property, events *minic.EventMap) (*Result, error) {
+	var alg core.Algebra
+	var envTab *subst.Table
+	if prop.IsParametric() {
+		envTab = subst.NewTable(prop.Mon)
+		alg = core.EnvAlgebra{Tab: envTab}
+	} else {
+		alg = core.FuncAlgebra{Mon: prop.Mon}
+	}
+	if alg.Identity() != 0 {
+		return nil, fmt.Errorf("pdm: algebra must represent identity as annotation 0 to layer on a shared skeleton")
+	}
+	sys := sk.sys.Fork(alg)
+
+	// annotOf computes the edge annotation for an event.
+	annotOf := func(ev minic.Event) (core.Annot, error) {
+		f, ok := prop.Mon.SymbolFuncByName(ev.Symbol)
+		if !ok {
+			return 0, fmt.Errorf("pdm: event symbol %q not in property alphabet", ev.Symbol)
+		}
+		if envTab == nil {
+			return core.Annot(f), nil
+		}
+		param := prop.ParamOf[ev.Symbol]
+		if param == "" || ev.Label == "" {
+			return core.Annot(envTab.FromFunc(f)), nil
+		}
+		return core.Annot(envTab.Instantiate(param, ev.Label, f)), nil
+	}
+
+	ident := alg.Identity()
+	nodeEvent := map[int]core.Annot{}
+	for _, d := range sk.deferred {
+		n := sk.cfg.Nodes[d.id]
+		sv := sk.nodeVar[n.ID]
+		if ev, ok := events.Match(n.Call, n.AssignTo); ok {
+			a, err := annotOf(ev)
+			if err != nil {
+				return nil, err
+			}
+			nodeEvent[n.ID] = a
+			for _, m := range n.Succs {
+				sys.AddVar(sv, sk.nodeVar[m], a)
+			}
+			continue
+		}
+		if d.callee != "" {
+			sys.AddLowerE(sys.Cons(d.cons, sv), sk.nodeVar[sk.cfg.Entry[d.callee]])
+			for _, m := range n.Succs {
+				sys.AddProjE(d.cons, 0, sk.nodeVar[sk.cfg.Exit[d.callee]], sk.nodeVar[m])
+			}
+			continue
+		}
+		for _, m := range n.Succs {
+			sys.AddVar(sv, sk.nodeVar[m], ident)
+		}
+	}
+	sys.Solve()
+
+	res := &Result{
+		Sys:       sys,
+		Base:      sk.base,
+		NodeVar:   sk.nodeVar,
+		prog:      sk.prog,
+		cfg:       sk.cfg,
+		prop:      prop,
+		pcNode:    sk.pc,
+		envTab:    envTab,
+		nodeEvent: nodeEvent,
+	}
+	res.PN = sys.PNReach(sk.pc)
+	res.collectViolations(alg)
+	return res, nil
+}
