@@ -122,7 +122,9 @@ func main() {
 // benchResult is the schema of the -bench-json report. Solver totals
 // come from the driver's summed per-job constraint-system stats; the
 // model-based checkers (race, lockorder) contribute findings but no
-// constraints.
+// constraints. Every field except the wall times is deterministic for a
+// fixed seed: slices are sorted, and by_severity relies on
+// encoding/json's sorted map-key rendering.
 type benchResult struct {
 	Corpus struct {
 		Seed      int64 `json:"seed"`
@@ -135,6 +137,21 @@ type benchResult struct {
 	Findings   int                  `json:"findings"`
 	BySeverity map[string]int       `json:"by_severity"`
 	Solver     analysis.SolverStats `json:"solver"`
+	// Cache measures the incremental cache: a cold run populating a fresh
+	// cache directory, then a warm run over an identical fresh Package.
+	// The warm run must hit on every lookup, re-solve zero functions and
+	// reproduce the cold run's findings byte-for-byte (enforced, not just
+	// recorded).
+	Cache struct {
+		ColdWallMS            float64 `json:"cold_wall_ms"`
+		WarmWallMS            float64 `json:"warm_wall_ms"`
+		Speedup               float64 `json:"speedup"`
+		ColdResolvedFunctions int     `json:"cold_resolved_functions"`
+		WarmResolvedFunctions int     `json:"warm_resolved_functions"`
+		WarmHits              int     `json:"warm_hits"`
+		WarmMisses            int     `json:"warm_misses"`
+		WarmIdentical         bool    `json:"warm_identical"`
+	} `json:"cache"`
 }
 
 // coreBenchResult is the schema of one -core-json suite entry. Times
@@ -232,6 +249,10 @@ func runBench(path string, seed int64, files, functions, stmts, unsafe int) erro
 	}
 	out.Solver = rep.Solver
 
+	if err := runCacheBench(&out, in); err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -240,6 +261,60 @@ func runBench(path string, seed int64, files, functions, stmts, unsafe int) erro
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d findings over %d jobs in %.1f ms\n", path, out.Findings, out.Jobs, out.WallMS)
+	fmt.Printf("wrote %s: %d findings over %d jobs in %.1f ms (cache: cold %.1f ms, warm %.1f ms, %.1fx)\n",
+		path, out.Findings, out.Jobs, out.WallMS, out.Cache.ColdWallMS, out.Cache.WarmWallMS, out.Cache.Speedup)
+	return nil
+}
+
+// runCacheBench measures the incremental cache on the same corpus: a
+// cold run into a fresh cache directory, then a warm run over a fresh
+// Package (no in-process skeleton reuse), checking the warm run skips
+// all solving and reproduces the findings exactly.
+func runCacheBench(out *benchResult, in []gosrc.File) error {
+	dir, err := os.MkdirTemp("", "benchgen-cache-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cache, err := analysis.OpenCache(dir)
+	if err != nil {
+		return err
+	}
+	run := func() (*analysis.Report, float64, error) {
+		pkg, err := analysis.LoadFiles(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		rep, err := analysis.Analyze(pkg, analysis.Config{Cache: cache})
+		return rep, float64(time.Since(start).Microseconds()) / 1000, err
+	}
+	cold, coldMS, err := run()
+	if err != nil {
+		return err
+	}
+	warm, warmMS, err := run()
+	if err != nil {
+		return err
+	}
+	coldJSON, _ := json.Marshal(cold.Diagnostics)
+	warmJSON, _ := json.Marshal(warm.Diagnostics)
+	out.Cache.ColdWallMS = coldMS
+	out.Cache.WarmWallMS = warmMS
+	if warmMS > 0 {
+		out.Cache.Speedup = coldMS / warmMS
+	}
+	out.Cache.ColdResolvedFunctions = cold.Cache.ResolvedFunctions
+	out.Cache.WarmResolvedFunctions = warm.Cache.ResolvedFunctions
+	out.Cache.WarmHits = warm.Cache.Hits
+	out.Cache.WarmMisses = warm.Cache.Misses
+	out.Cache.WarmIdentical = string(coldJSON) == string(warmJSON)
+	if !out.Cache.WarmIdentical {
+		return fmt.Errorf("warm cached run changed the findings")
+	}
+	if warm.Cache.ResolvedFunctions != 0 || warm.Cache.Misses != 0 {
+		return fmt.Errorf("warm cached run was not fully cached: %d misses, %d functions re-solved",
+			warm.Cache.Misses, warm.Cache.ResolvedFunctions)
+	}
 	return nil
 }

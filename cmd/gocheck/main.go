@@ -8,7 +8,8 @@
 //
 //	gocheck [-checkers all|name,...] [-entry fn,...]
 //	        [-format text|json|sarif|github] [-fail-on error|warning|note]
-//	        [-parallel N] [-cpuprofile f.prof] [-memprofile f.prof] path...
+//	        [-parallel N] [-cache-dir dir]
+//	        [-cpuprofile f.prof] [-memprofile f.prof] path...
 //	gocheck -list
 //
 // Diagnostics carry file:line positions from the original Go source and
@@ -19,6 +20,13 @@
 // workflow commands for inline pull-request annotations. Exit status is
 // 3 when findings at or above the -fail-on severity remain, 1 on
 // errors, 2 on usage errors.
+//
+// -cache-dir enables the incremental result cache: job results are
+// content-keyed by function summaries (internal/ir), so an unchanged
+// package re-analyzes from disk without solving anything, and an edit
+// re-solves only the edited function's SCC and its callers. A one-line
+// cache summary goes to stderr; the report itself is byte-identical to
+// a cacheless run.
 package main
 
 import (
@@ -45,6 +53,7 @@ func run() int {
 	format := flag.String("format", "text", "output format: text, json, sarif or github")
 	failOn := flag.String("fail-on", "warning", "lowest severity that fails the run (error, warning or note)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "directory for the incremental result cache (empty = no cache)")
 	list := flag.Bool("list", false, "list registered checkers and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the analysis to this file")
@@ -83,6 +92,13 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
+	var cache *analysis.Cache
+	if *cacheDir != "" {
+		if cache, err = analysis.OpenCache(*cacheDir); err != nil {
+			return fail(err)
+		}
+	}
+
 	pkg, err := analysis.LoadPaths(flag.Args())
 	if err != nil {
 		return fail(err)
@@ -92,9 +108,22 @@ func run() int {
 		Entries:  entries,
 		Parallel: *parallel,
 		Opts:     core.Options{},
+		Cache:    cache,
 	})
 	if err != nil {
 		return fail(err)
+	}
+	if rep.Cache != nil {
+		// Cache telemetry goes to stderr and is then dropped from the
+		// report, so every rendered format stays byte-identical across
+		// cacheless, cold and warm runs.
+		cs := rep.Cache
+		fmt.Fprintf(os.Stderr, "gocheck: cache hits=%d misses=%d rate=%.1f%% resolved=%d/%d\n",
+			cs.Hits, cs.Misses, cs.HitRate(), cs.ResolvedFunctions, cs.TotalFunctions)
+		for _, n := range cs.Notes {
+			fmt.Fprintf(os.Stderr, "gocheck: %s\n", n)
+		}
+		rep.Cache = nil
 	}
 
 	if *memprofile != "" {

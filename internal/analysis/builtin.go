@@ -16,6 +16,7 @@ func init() {
 		Doc:      "shared variable accessed by concurrent goroutines without a common lock",
 		Severity: SeverityError,
 		Run:      raceDiagnostics,
+		Version:  "1",
 		Message:  "possible data race on %s: conflicting accesses from concurrent goroutines with no common lock held",
 	})
 	Register(&Checker{
@@ -23,6 +24,7 @@ func init() {
 		Doc:      "two locks acquired in opposite orders on different paths (deadlock risk)",
 		Severity: SeverityWarning,
 		Run:      lockOrderDiagnostics,
+		Version:  "1",
 		Message:  "locks %s are acquired in opposite orders on different paths (deadlock risk)",
 	})
 	Register(&Checker{
@@ -30,6 +32,7 @@ func init() {
 		Doc:         "channel closed twice or sent on after close",
 		Severity:    SeverityError,
 		Mode:        ModeViolations,
+		Spec:        gosrc.ChanCloseSpecSrc,
 		NewProperty: gosrc.ChanCloseProperty,
 		NewEvents:   gosrc.ChanCloseEvents,
 		Message:     "channel %s may be closed or sent on after being closed",
@@ -39,6 +42,7 @@ func init() {
 		Doc:         "sync.RWMutex.RUnlock called with no read lock held",
 		Severity:    SeverityError,
 		Mode:        ModeViolations,
+		Spec:        gosrc.RWLockSpecSrc,
 		NewProperty: gosrc.RWLockProperty,
 		NewEvents:   gosrc.RWLockEvents,
 		Message:     "RWMutex %s: RUnlock without a matching RLock",
@@ -48,6 +52,7 @@ func init() {
 		Doc:         "sync.Mutex locked while held, or unlocked while not held",
 		Severity:    SeverityError,
 		Mode:        ModeViolations,
+		Spec:        gosrc.DoubleLockSpecSrc,
 		NewProperty: gosrc.DoubleLockProperty,
 		NewEvents:   gosrc.DoubleLockEvents,
 		Message:     "mutex %s locked while already held (or unlocked while not held)",
@@ -57,6 +62,7 @@ func init() {
 		Doc:         "file opened with os.Open/OpenFile/Create possibly not closed",
 		Severity:    SeverityWarning,
 		Mode:        ModeLeakAtExit,
+		Spec:        gosrc.FileLeakSpecSrc,
 		NewProperty: gosrc.FileLeakProperty,
 		NewEvents:   gosrc.FileLeakEvents,
 		Message:     "file %s possibly still open when the entry function returns",
@@ -66,6 +72,7 @@ func init() {
 		Doc:         "value from source() reaches sink() without sanitize()",
 		Severity:    SeverityError,
 		Mode:        ModeViolations,
+		Spec:        bitvector.TaintSpecSrc,
 		NewProperty: bitvector.TaintProperty,
 		NewEvents:   bitvector.TaintEvents,
 		Message:     "tainted value %s reaches a sink unsanitized",
@@ -75,6 +82,7 @@ func init() {
 		Doc:         "sql.Rows from Query/QueryContext possibly not closed",
 		Severity:    SeverityWarning,
 		Mode:        ModeLeakAtExit,
+		Spec:        gosrc.SQLRowsSpecSrc,
 		NewProperty: gosrc.SQLRowsProperty,
 		NewEvents:   gosrc.SQLRowsEvents,
 		Message:     "rows %s possibly still open when the entry function returns",
@@ -84,6 +92,7 @@ func init() {
 		Doc:         "sync.WaitGroup.Add called after Wait has started",
 		Severity:    SeverityError,
 		Mode:        ModeViolations,
+		Spec:        gosrc.WaitGroupSpecSrc,
 		NewProperty: gosrc.WaitGroupProperty,
 		NewEvents:   gosrc.WaitGroupEvents,
 		Message:     "WaitGroup %s: Add after Wait (reuse without a new round of Adds)",

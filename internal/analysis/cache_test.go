@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rasc/internal/gosrc"
+)
+
+// cacheSrc: Top -> mid -> leaf (double lock) and Other -> ok (clean),
+// two disjoint call trees so an edit in one must not re-solve the other.
+const cacheSrc = `package p
+
+import "sync"
+
+var mu sync.Mutex
+
+func Top() { mid() }
+
+func mid() { leaf() }
+
+func leaf() {
+	mu.Lock()
+	mu.Lock() // BUG
+}
+
+func Other() { ok() }
+
+func ok() {
+	mu.Lock()
+	mu.Unlock()
+}
+`
+
+func analyzeCached(t *testing.T, dir, src string) *Report {
+	t.Helper()
+	pkg, err := LoadFiles([]gosrc.File{{Name: "c.go", Src: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, _ := Get("doublelock")
+	rep, err := Analyze(pkg, Config{Checkers: []*Checker{dl}, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil {
+		t.Fatal("cached run reported no CacheStats")
+	}
+	return rep
+}
+
+func findingsJSON(t *testing.T, rep *Report) string {
+	t.Helper()
+	shadow := *rep
+	shadow.Cache = nil
+	b, err := json.Marshal(&shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// A warm fully-cached run must hit on every lookup, re-solve zero
+// functions, and reproduce a byte-identical report.
+func TestCacheWarmRunIsFreeAndIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cold := analyzeCached(t, dir, cacheSrc)
+	if cold.Cache.Hits != 0 || cold.Cache.Misses == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d", cold.Cache.Hits, cold.Cache.Misses)
+	}
+	if cold.Cache.ResolvedFunctions != 5 || cold.Cache.TotalFunctions != 5 {
+		t.Fatalf("cold run resolved %d/%d functions, want 5/5 (%v)",
+			cold.Cache.ResolvedFunctions, cold.Cache.TotalFunctions, cold.Cache.Resolved)
+	}
+	warm := analyzeCached(t, dir, cacheSrc)
+	if warm.Cache.Misses != 0 || warm.Cache.Hits != cold.Cache.Misses {
+		t.Fatalf("warm run: hits=%d misses=%d, want %d/0",
+			warm.Cache.Hits, warm.Cache.Misses, cold.Cache.Misses)
+	}
+	if warm.Cache.ResolvedFunctions != 0 || len(warm.Cache.Resolved) != 0 {
+		t.Fatalf("warm run re-solved %v", warm.Cache.Resolved)
+	}
+	if warm.Cache.HitRate() != 100 {
+		t.Fatalf("warm hit rate = %v", warm.Cache.HitRate())
+	}
+	if findingsJSON(t, cold) != findingsJSON(t, warm) {
+		t.Fatalf("warm report differs from cold:\ncold: %s\nwarm: %s",
+			findingsJSON(t, cold), findingsJSON(t, warm))
+	}
+	if len(cold.Diagnostics) != 1 || cold.Diagnostics[0].Checker != "doublelock" {
+		t.Fatalf("corpus should yield exactly the doublelock finding, got %+v", cold.Diagnostics)
+	}
+}
+
+// Editing one function re-solves exactly its SCC and transitive callers;
+// the disjoint Other/ok tree stays cached.
+func TestCacheEditResolvesOnlyDependents(t *testing.T) {
+	dir := t.TempDir()
+	analyzeCached(t, dir, cacheSrc)
+	// Same-line edit (the fingerprint includes line numbers, so inserting
+	// lines would legitimately invalidate everything below the edit).
+	edited := strings.Replace(cacheSrc, "mu.Lock() // BUG", "mu.Unlock()", 1)
+	rep := analyzeCached(t, dir, edited)
+	if got := strings.Join(rep.Cache.Resolved, ","); got != "Top,leaf,mid" {
+		t.Fatalf("resolved = %q, want Top,leaf,mid", got)
+	}
+	if rep.Cache.Hits == 0 {
+		t.Fatal("the untouched Other/ok tree should still hit")
+	}
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("fixed program still reports %+v", rep.Diagnostics)
+	}
+	// And the fix itself is cacheable: a warm re-run of the edited source
+	// is free again.
+	rerun := analyzeCached(t, dir, edited)
+	if rerun.Cache.Misses != 0 || rerun.Cache.ResolvedFunctions != 0 {
+		t.Fatalf("re-run after edit: misses=%d resolved=%d", rerun.Cache.Misses, rerun.Cache.ResolvedFunctions)
+	}
+}
+
+// Suppression comments are not part of function fingerprints: adding or
+// removing //rasc:ignore must take effect on a fully warm cache — the
+// cache stores pre-suppression results and the merge phase re-applies
+// the current directives, so a stale cache can neither hide a finding
+// nor resurrect a suppressed one.
+func TestCacheSuppressionStaleness(t *testing.T) {
+	dir := t.TempDir()
+	base := analyzeCached(t, dir, cacheSrc)
+	if len(base.Diagnostics) != 1 || base.Suppressed != 0 {
+		t.Fatalf("baseline: %d findings, %d suppressed", len(base.Diagnostics), base.Suppressed)
+	}
+	ignored := strings.Replace(cacheSrc, "mu.Lock() // BUG", "mu.Lock() //rasc:ignore", 1)
+	rep := analyzeCached(t, dir, ignored)
+	if rep.Cache.Misses != 0 {
+		t.Fatalf("an ignore-comment edit should stay fully cached, got %d misses", rep.Cache.Misses)
+	}
+	if len(rep.Diagnostics) != 0 || rep.Suppressed != 1 {
+		t.Fatalf("with ignore: %d findings, %d suppressed", len(rep.Diagnostics), rep.Suppressed)
+	}
+	// Removing the directive resurfaces the finding from the same cache.
+	back := analyzeCached(t, dir, cacheSrc)
+	if back.Cache.Misses != 0 {
+		t.Fatalf("removing the ignore should stay fully cached, got %d misses", back.Cache.Misses)
+	}
+	if len(back.Diagnostics) != 1 || back.Suppressed != 0 {
+		t.Fatalf("without ignore: %d findings, %d suppressed", len(back.Diagnostics), back.Suppressed)
+	}
+}
+
+// Corrupt records — truncation, garbage — demote to misses with a note;
+// the run never panics and reports the same findings as a cold run.
+func TestCacheCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cold := analyzeCached(t, dir, cacheSrc)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := 0
+	for i, e := range ents {
+		path := filepath.Join(dir, e.Name())
+		switch i % 2 {
+		case 0: // truncate mid-file
+			raw, _ := os.ReadFile(path)
+			os.WriteFile(path, raw[:len(raw)/2], 0o644)
+		case 1: // replace with garbage
+			os.WriteFile(path, []byte("\x00not json\xff"), 0o644)
+		}
+		mangled++
+	}
+	if mangled == 0 {
+		t.Fatal("no cache records written")
+	}
+	rep := analyzeCached(t, dir, cacheSrc)
+	if rep.Cache.Hits != 0 {
+		t.Fatalf("mangled cache still hit %d times", rep.Cache.Hits)
+	}
+	if len(rep.Cache.Notes) == 0 {
+		t.Fatal("corruption must be noted")
+	}
+	if findingsJSON(t, rep) != findingsJSON(t, cold) {
+		t.Fatal("corrupted cache changed the report")
+	}
+	// The mangled records were discarded and rewritten: the next run is
+	// warm again.
+	again := analyzeCached(t, dir, cacheSrc)
+	if again.Cache.Misses != 0 {
+		t.Fatalf("recovery run: misses=%d", again.Cache.Misses)
+	}
+}
+
+// Records written under another format version read as misses with a
+// note — a version bump falls back to a cold run, never a wrong report.
+func TestCacheVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	cold := analyzeCached(t, dir, cacheSrc)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatal(err)
+		}
+		env["version"] = json.RawMessage("999")
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.WriteFile(path, out, 0o644)
+	}
+	rep := analyzeCached(t, dir, cacheSrc)
+	if rep.Cache.Hits != 0 {
+		t.Fatalf("version-skewed cache still hit %d times", rep.Cache.Hits)
+	}
+	found := false
+	for _, n := range rep.Cache.Notes {
+		if strings.Contains(n, "format version 999") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skew note missing: %v", rep.Cache.Notes)
+	}
+	if findingsJSON(t, rep) != findingsJSON(t, cold) {
+		t.Fatal("version skew changed the report")
+	}
+}

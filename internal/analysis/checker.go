@@ -8,6 +8,8 @@
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -99,6 +101,15 @@ type Checker struct {
 	// Message is the diagnostic text; a "%s" verb, if present, receives
 	// the parameter label (the offending mutex, file, rows value, ...).
 	Message string
+	// Spec is the property specification source the checker compiles
+	// (property-based checkers). It feeds the checker's content
+	// fingerprint, so editing a spec invalidates cached results.
+	Spec string
+	// Version is a manual content-version tag for checkers whose
+	// semantics live in code the fingerprint cannot see — bump it when a
+	// Run checker's algorithm or a property's event mapping changes
+	// behavior without changing Spec.
+	Version string
 
 	once   sync.Once
 	prop   *spec.Property
@@ -163,6 +174,34 @@ func generation() int {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	return regGen
+}
+
+// fingerprint renders the checker's analysis-relevant content: identity,
+// diagnostic shape, declared spec/version, and — for property checkers —
+// the compiled event rules, whose plain-struct rendering is stable.
+func (c *Checker) fingerprint() string {
+	s := fmt.Sprintf("checker %s\ndoc %s\nsev %d mode %d\nmsg %s\nspec %s\nversion %s\n",
+		c.Name, c.Doc, c.Severity, c.Mode, c.Message, c.Spec, c.Version)
+	if c.NewProperty != nil && c.NewEvents != nil {
+		_, events := c.compiled()
+		for _, r := range events.Rules {
+			s += fmt.Sprintf("rule %+v\n", r)
+		}
+	}
+	return s
+}
+
+// registryFingerprint hashes the full registry's content. The whole
+// registry matters to every cached result — the shared skeleton's
+// deferred-statement set is computed from the union of all checkers'
+// event callees — so persistent cache keys include this fingerprint the
+// way in-process skeleton caching includes generation().
+func registryFingerprint() string {
+	h := sha256.New()
+	for _, c := range All() {
+		fmt.Fprintf(h, "%s\n", c.fingerprint())
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // eventCallees returns the union of callee names appearing in any

@@ -121,7 +121,7 @@ type concModel struct {
 // concModel builds (once) the concurrency model of the package.
 func (p *Package) concModel() *concModel {
 	p.concOnce.Do(func() {
-		cfg := p.cfgGraph()
+		cfg := p.Prog.Graph
 		m := &concModel{cfg: cfg, flowSuccs: make([][]int, len(cfg.Nodes)), lsCache: map[string]map[int][]lockset{}}
 		retSites := map[string][]int{}
 		callee := func(n *minic.Node) *minic.FuncDef {

@@ -77,6 +77,9 @@ type Report struct {
 	// Solver sums constraint-solver statistics over every property job
 	// (model-based checkers contribute nothing).
 	Solver SolverStats `json:"solver"`
+	// Cache summarizes incremental-cache effectiveness; nil when the run
+	// had no cache, keeping cacheless reports byte-identical to before.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // SolverStats aggregates constraint-system sizes across jobs.

@@ -11,6 +11,7 @@ import (
 
 	"rasc/internal/core"
 	"rasc/internal/gosrc"
+	"rasc/internal/ir"
 	"rasc/internal/minic"
 	"rasc/internal/pdm"
 )
@@ -20,17 +21,13 @@ import (
 type Package struct {
 	// Files in load order.
 	Files []gosrc.File
-	// Tr is the merged translation (program, notes, ignore directives).
-	Tr *gosrc.Translation
-
-	rootsOnce sync.Once
-	roots     []string
+	// Prog is the lowered IR: the kernel program, its CFG, the call-graph
+	// SCC DAG and per-function fingerprints/summary keys, plus the
+	// translation metadata (notes, ignore directives, shared variables).
+	Prog *ir.Program
 
 	concOnce sync.Once
 	conc     *concModel
-
-	cfgOnce sync.Once
-	cfg     *minic.CFG
 
 	// skels caches the property-independent constraint skeleton per entry
 	// function, shared read-only by every property checker's job. The
@@ -53,13 +50,6 @@ type skelEntry struct {
 	err  error
 }
 
-// cfgGraph returns the package's interprocedural CFG, built once and
-// shared by root discovery, the concurrency model and every skeleton.
-func (p *Package) cfgGraph() *minic.CFG {
-	p.cfgOnce.Do(func() { p.cfg = minic.MustBuild(p.Tr.Prog) })
-	return p.cfg
-}
-
 // skeleton returns the cached property-independent skeleton for entry,
 // building it on first use. Concurrent callers for the same entry block
 // on one build; distinct entries build independently.
@@ -78,7 +68,7 @@ func (p *Package) skeleton(entry string, opts core.Options) (*pdm.Skeleton, erro
 	p.skelMu.Unlock()
 	e.once.Do(func() {
 		callees := eventCallees()
-		e.sk, e.err = pdm.BuildSkeleton(p.Tr.Prog, p.cfgGraph(), entry, opts,
+		e.sk, e.err = pdm.BuildSkeleton(p.Prog, entry, opts,
 			func(call *minic.CallExpr, _ string) bool { return callees[call.Name] })
 	})
 	return e.sk, e.err
@@ -98,6 +88,12 @@ type Config struct {
 	// KeepSuppressed reports suppressed diagnostics instead of dropping
 	// them (still counted in Report.Suppressed).
 	KeepSuppressed bool
+	// Cache, when non-nil, enables incremental analysis: per-job results
+	// are looked up by content summary before solving and stored after,
+	// so repeat runs over unchanged code skip the solver entirely.
+	// Suppression is applied to cached results afresh on every run, so
+	// //rasc:ignore edits take effect without invalidating anything.
+	Cache *Cache
 }
 
 // LoadPaths loads Go sources from a mix of files, directories and
@@ -172,61 +168,25 @@ func LoadPaths(paths []string) (*Package, error) {
 	return LoadFiles(files)
 }
 
-// LoadFiles translates in-memory sources as one package.
+// LoadFiles translates in-memory sources as one package. Lowering also
+// surfaces CFG construction errors (unresolvable labels, stray
+// break/continue) at load time, once, instead of per job.
 func LoadFiles(files []gosrc.File) (*Package, error) {
-	tr, err := gosrc.TranslateFiles(files)
+	prog, err := gosrc.Lower(files)
 	if err != nil {
 		return nil, err
 	}
-	// Surface CFG construction errors (unresolvable labels, stray
-	// break/continue) at load time, once, instead of per job.
-	if _, err := minic.Build(tr.Prog); err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
-	}
-	return &Package{Files: files, Tr: tr}, nil
+	return &Package{Files: files, Prog: prog}, nil
 }
 
 // Roots returns the default entry functions: canonical names of defined
 // functions that no other defined function calls, sorted; if the call
 // graph has no such root (everything is called), every function is an
 // entry.
-func (p *Package) Roots() []string {
-	p.rootsOnce.Do(func() {
-		prog := p.Tr.Prog
-		called := map[string]bool{}
-		cfg := p.cfgGraph()
-		for _, n := range cfg.Nodes {
-			// Spawned callees count as called: a worker started only via
-			// `go worker()` is not a root.
-			if (n.Kind != minic.NAction && n.Kind != minic.NSpawn) || n.Call == nil {
-				continue
-			}
-			if def, ok := prog.ByName[n.Call.Name]; ok {
-				called[def.Name] = true
-			}
-		}
-		for _, fd := range prog.Funcs {
-			if !called[fd.Name] {
-				p.roots = append(p.roots, fd.Name)
-			}
-		}
-		if len(p.roots) == 0 {
-			for _, fd := range prog.Funcs {
-				p.roots = append(p.roots, fd.Name)
-			}
-		}
-		sort.Strings(p.roots)
-	})
-	return p.roots
-}
+func (p *Package) Roots() []string { return p.Prog.Roots() }
 
 // fileOf maps a (canonical or alias) function name to its source file.
-func (p *Package) fileOf(fn string) string {
-	if def, ok := p.Tr.Prog.ByName[fn]; ok {
-		return def.File
-	}
-	return ""
-}
+func (p *Package) fileOf(fn string) string { return p.Prog.FileOf(fn) }
 
 // Analyze runs (checker x entry) jobs over a bounded worker pool. The
 // property-independent constraint skeleton of each entry is built once
@@ -234,6 +194,14 @@ func (p *Package) fileOf(fn string) string {
 // it and solves only its own event layer. The shared translated program,
 // compiled properties and frozen skeletons are read-only, so jobs need
 // no locking beyond the skeleton cache's.
+//
+// With cfg.Cache set, each job's raw result is first looked up by its
+// content key — registry fingerprint, solver options, checker name, and
+// the entry function's transitive summary digest — and solved only on a
+// miss. A fully warm run therefore builds no skeleton and solves no
+// constraint system at all, yet reproduces identical diagnostics and
+// solver statistics; Report.Cache records hit/miss counts and which
+// functions had to be re-solved.
 func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	checkers := cfg.Checkers
 	if len(checkers) == 0 {
@@ -244,13 +212,17 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 		entries = pkg.Roots()
 	}
 	for _, e := range entries {
-		if _, ok := pkg.Tr.Prog.ByName[e]; !ok {
+		if _, ok := pkg.Prog.ByName[e]; !ok {
 			return nil, fmt.Errorf("analysis: entry function %q not defined", e)
 		}
 	}
 	parallel := cfg.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
+	}
+	var cs *cacheSession
+	if cfg.Cache != nil {
+		cs = cfg.Cache.session(pkg, cfg.Opts)
 	}
 
 	type job struct {
@@ -273,7 +245,17 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], stats[i], errs[i] = runJob(pkg, jobs[i].checker, jobs[i].entry, cfg.Opts)
+				c, e := jobs[i].checker, jobs[i].entry
+				if cs != nil {
+					if ds, st, ok := cs.loadJob(c, e); ok {
+						results[i], stats[i] = ds, st
+						continue
+					}
+				}
+				results[i], stats[i], errs[i] = runJob(pkg, c, e, cfg.Opts)
+				if cs != nil && errs[i] == nil {
+					cs.storeJob(c, e, results[i], stats[i])
+				}
 			}
 		}()
 	}
@@ -289,9 +271,9 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	}
 
 	rep := &Report{
-		Notes:     pkg.Tr.Notes,
+		Notes:     pkg.Prog.Notes,
 		Files:     len(pkg.Files),
-		Functions: len(pkg.Tr.Prog.Funcs),
+		Functions: len(pkg.Prog.Funcs),
 		Entries:   entries,
 		Jobs:      len(jobs),
 	}
@@ -313,6 +295,17 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	}
 	if hasProperty {
 		for _, e := range entries {
+			// The skeleton's base stats are content-keyed too: a warm run
+			// reconstructs them from the cache instead of rebuilding (and
+			// re-solving) the skeleton just to report its size.
+			if cs != nil {
+				if base, ok := cs.loadEntry(e); ok {
+					rep.Solver.Vars += base.Vars
+					rep.Solver.ConsNodes += base.ConsNodes
+					rep.Solver.Edges += base.Edges
+					continue
+				}
+			}
 			sk, err := pkg.skeleton(e, cfg.Opts)
 			if err != nil {
 				return nil, err
@@ -321,7 +314,13 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 			rep.Solver.Vars += base.Vars
 			rep.Solver.ConsNodes += base.ConsNodes
 			rep.Solver.Edges += base.Edges
+			if cs != nil {
+				cs.storeEntry(e, base)
+			}
 		}
+	}
+	if cs != nil {
+		rep.Cache = cs.finish()
 	}
 	for _, c := range checkers {
 		rep.Checkers = append(rep.Checkers, c.Name)
@@ -353,10 +352,10 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 // suppressed reports whether a //rasc:ignore comment on the diagnostic's
 // line, or a //rasc:ignore-file comment in its file, covers its checker.
 func (p *Package) suppressed(d *Diagnostic) bool {
-	if names, ok := p.Tr.FileIgnores[d.File]; ok && coversChecker(names, d.Checker) {
+	if names, ok := p.Prog.FileIgnores[d.File]; ok && coversChecker(names, d.Checker) {
 		return true
 	}
-	if lines, ok := p.Tr.Ignores[d.File]; ok {
+	if lines, ok := p.Prog.Ignores[d.File]; ok {
 		if names, ok := lines[d.Line]; ok && coversChecker(names, d.Checker) {
 			return true
 		}
@@ -461,7 +460,7 @@ func leakDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Result, ev
 		if !ok {
 			// No event site (shouldn't happen): fall back to the entry
 			// function's definition line.
-			s = site{entry, pkg.Tr.Prog.ByName[entry].Line}
+			s = site{entry, pkg.Prog.MC.ByName[entry].Line}
 		}
 		out = append(out, Diagnostic{
 			Checker:  c.Name,

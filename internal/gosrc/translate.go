@@ -52,26 +52,16 @@ import (
 	"sort"
 	"strings"
 
+	"rasc/internal/ir"
 	"rasc/internal/minic"
 )
 
 // File is one Go source file handed to the translator.
-type File struct {
-	// Name is the file's (display) path, used in positions and notes.
-	Name string
-	// Src is the file's content.
-	Src string
-}
+type File = ir.SourceFile
 
 // Note is a translation remark: a construct the abstraction handles
 // imprecisely (goto, duplicate definitions, ambiguous method names).
-type Note struct {
-	File string
-	Line int
-	Msg  string
-}
-
-func (n Note) String() string { return fmt.Sprintf("%s:%d: %s", n.File, n.Line, n.Msg) }
+type Note = ir.Note
 
 // Translation is the result of translating a set of Go files.
 type Translation struct {
@@ -105,6 +95,25 @@ func Translate(src string) (*minic.Program, error) {
 		return nil, err
 	}
 	return tr.Prog, nil
+}
+
+// Lower parses and translates a set of Go files and lowers the result
+// into the frontend-neutral IR: the kernel program plus its CFG, call
+// graph, fingerprints and summary keys, with the translation's notes and
+// suppression directives attached as ir.Meta. This is the entry point
+// package drivers consume; Translate/TranslateFiles remain for callers
+// that want the raw kernel form.
+func Lower(files []File) (*ir.Program, error) {
+	tr, err := TranslateFiles(files)
+	if err != nil {
+		return nil, err
+	}
+	return ir.New(tr.Prog, ir.Meta{
+		Notes:       tr.Notes,
+		Ignores:     tr.Ignores,
+		FileIgnores: tr.FileIgnores,
+		Shared:      tr.Shared,
+	})
 }
 
 // TranslateFiles parses a set of Go files and merges every function

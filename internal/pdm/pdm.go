@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"rasc/internal/core"
+	"rasc/internal/ir"
 	"rasc/internal/minic"
 	"rasc/internal/monoid"
 	"rasc/internal/spec"
@@ -81,13 +82,18 @@ func (v Violation) String() string {
 // map calls to alphabet symbols. entry is the entry function ("" means
 // main). opts configures the underlying solver.
 //
-// Check is a convenience wrapper over the two-phase API: it builds a
-// fresh Skeleton whose deferred set is exactly the statements events
-// classifies as property events, then layers the property on it. Drivers
-// checking several properties over the same entry should call
-// BuildSkeleton once and Skeleton.Check per property instead.
+// Check is a convenience wrapper over the two-phase API: it lowers prog
+// into the IR, builds a fresh Skeleton whose deferred set is exactly the
+// statements events classifies as property events, then layers the
+// property on it. Drivers checking several properties over the same
+// entry should lower once, call BuildSkeleton once, and Skeleton.Check
+// per property instead.
 func Check(prog *minic.Program, prop *spec.Property, events *minic.EventMap, entry string, opts core.Options) (*Result, error) {
-	sk, err := BuildSkeleton(prog, nil, entry, opts, func(call *minic.CallExpr, assignTo string) bool {
+	p, err := ir.FromProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := BuildSkeleton(p, entry, opts, func(call *minic.CallExpr, assignTo string) bool {
 		_, ok := events.Match(call, assignTo)
 		return ok
 	})

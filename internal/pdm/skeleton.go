@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"rasc/internal/core"
+	"rasc/internal/ir"
 	"rasc/internal/minic"
 	"rasc/internal/spec"
 	"rasc/internal/subst"
@@ -60,16 +61,18 @@ func (skelAlgebra) String(a Annot) string  { return "ε" }
 // Annot aliases core.Annot for the local algebra methods.
 type Annot = core.Annot
 
-// BuildSkeleton translates the property-independent constraints of prog
-// reachable from entry ("" means main) and solves them. cfg may be nil,
-// in which case the CFG is built here; passing a prebuilt CFG lets a
-// driver share it across entries. maybeEvent reports whether some event
-// map the skeleton will later be checked against might classify the
-// call as a property event; such statements are left to the per-property
-// phase. A nil maybeEvent defers every call statement (always sound,
-// never shares call/return structure).
-func BuildSkeleton(prog *minic.Program, cfg *minic.CFG, entry string, opts core.Options,
+// BuildSkeleton translates the property-independent constraints of p
+// reachable from entry ("" means main) and solves them. The IR program
+// carries the kernel form and the prebuilt whole-program CFG, so a
+// driver sharing one *ir.Program across entries shares the CFG too.
+// maybeEvent reports whether some event map the skeleton will later be
+// checked against might classify the call as a property event; such
+// statements are left to the per-property phase. A nil maybeEvent defers
+// every call statement (always sound, never shares call/return
+// structure).
+func BuildSkeleton(p *ir.Program, entry string, opts core.Options,
 	maybeEvent func(call *minic.CallExpr, assignTo string) bool) (*Skeleton, error) {
+	prog, cfg := p.MC, p.Graph
 	if entry == "" {
 		entry = "main"
 	}
@@ -80,9 +83,6 @@ func BuildSkeleton(prog *minic.Program, cfg *minic.CFG, entry string, opts core.
 	// ByName may hold aliases (gosrc registers bare method names for
 	// uniquely named methods); Entry/Exit are keyed by canonical names.
 	entry = entryDef.Name
-	if cfg == nil {
-		cfg = minic.MustBuild(prog)
-	}
 
 	sig := terms.NewSignature()
 	pcCons := sig.MustDeclare("pc", 0)
