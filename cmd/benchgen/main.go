@@ -24,6 +24,7 @@ import (
 	"rasc/internal/core"
 	"rasc/internal/corebench"
 	"rasc/internal/gosrc"
+	"rasc/internal/obs"
 	"rasc/internal/synth"
 )
 
@@ -151,7 +152,26 @@ type benchResult struct {
 		WarmHits              int     `json:"warm_hits"`
 		WarmMisses            int     `json:"warm_misses"`
 		WarmIdentical         bool    `json:"warm_identical"`
+		// WarmStores counts records written during the warm run (0 on a
+		// fully cached run) and ColdStores during the cold run, both from
+		// the observability cache counters.
+		ColdStores int64 `json:"cold_stores"`
+		WarmStores int64 `json:"warm_stores"`
 	} `json:"cache"`
+	// SolverMetrics are the internal/obs hook counters from the main
+	// (cacheless) run: solver work beyond the System-size totals in
+	// "solver". All are deterministic for a fixed seed — each job solves
+	// on its own System with a deterministic worklist, and summing across
+	// concurrently finishing jobs is order-independent.
+	SolverMetrics struct {
+		WorklistPushes    int64 `json:"worklist_pushes"`
+		WorklistHighWater int64 `json:"worklist_high_water"`
+		EdgesAdded        int64 `json:"edges_added"`
+		CycleEliminations int64 `json:"cycle_eliminations"`
+		Compositions      int64 `json:"compositions"`
+		SkeletonBuilds    int64 `json:"skeleton_builds"`
+		SkeletonForks     int64 `json:"skeleton_forks"`
+	} `json:"solver_metrics"`
 }
 
 // coreBenchResult is the schema of one -core-json suite entry. Times
@@ -228,8 +248,9 @@ func runBench(path string, seed int64, files, functions, stmts, unsafe int) erro
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
 	start := time.Now()
-	rep, err := analysis.Analyze(pkg, analysis.Config{})
+	rep, err := analysis.Analyze(pkg, analysis.Config{Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -248,6 +269,15 @@ func runBench(path string, seed int64, files, functions, stmts, unsafe int) erro
 		out.BySeverity[d.Severity.String()]++
 	}
 	out.Solver = rep.Solver
+	sm := obs.NewSolverMetrics(reg) // interned: returns the run's instruments
+	pm := obs.NewPDMMetrics(reg)
+	out.SolverMetrics.WorklistPushes = sm.WorklistPushes.Value()
+	out.SolverMetrics.WorklistHighWater = sm.WorklistHigh.Value()
+	out.SolverMetrics.EdgesAdded = sm.EdgesAdded.Value()
+	out.SolverMetrics.CycleEliminations = sm.CycleElims.Value()
+	out.SolverMetrics.Compositions = sm.Compositions.Value()
+	out.SolverMetrics.SkeletonBuilds = pm.SkeletonBuilds.Value()
+	out.SolverMetrics.SkeletonForks = pm.SkeletonForks.Value()
 
 	if err := runCacheBench(&out, in); err != nil {
 		return err
@@ -280,20 +310,21 @@ func runCacheBench(out *benchResult, in []gosrc.File) error {
 	if err != nil {
 		return err
 	}
-	run := func() (*analysis.Report, float64, error) {
+	run := func(reg *obs.Registry) (*analysis.Report, float64, error) {
 		pkg, err := analysis.LoadFiles(in)
 		if err != nil {
 			return nil, 0, err
 		}
 		start := time.Now()
-		rep, err := analysis.Analyze(pkg, analysis.Config{Cache: cache})
+		rep, err := analysis.Analyze(pkg, analysis.Config{Cache: cache, Metrics: reg})
 		return rep, float64(time.Since(start).Microseconds()) / 1000, err
 	}
-	cold, coldMS, err := run()
+	coldReg, warmReg := obs.NewRegistry(), obs.NewRegistry()
+	cold, coldMS, err := run(coldReg)
 	if err != nil {
 		return err
 	}
-	warm, warmMS, err := run()
+	warm, warmMS, err := run(warmReg)
 	if err != nil {
 		return err
 	}
@@ -309,6 +340,8 @@ func runCacheBench(out *benchResult, in []gosrc.File) error {
 	out.Cache.WarmHits = warm.Cache.Hits
 	out.Cache.WarmMisses = warm.Cache.Misses
 	out.Cache.WarmIdentical = string(coldJSON) == string(warmJSON)
+	out.Cache.ColdStores = obs.NewCacheMetrics(coldReg).Stores.Value()
+	out.Cache.WarmStores = obs.NewCacheMetrics(warmReg).Stores.Value()
 	if !out.Cache.WarmIdentical {
 		return fmt.Errorf("warm cached run changed the findings")
 	}

@@ -9,6 +9,7 @@
 //	gocheck [-checkers all|name,...] [-entry fn,...]
 //	        [-format text|json|sarif|github] [-fail-on error|warning|note]
 //	        [-parallel N] [-cache-dir dir]
+//	        [-trace-out f.json] [-metrics-json f.json] [-explain] [-progress]
 //	        [-cpuprofile f.prof] [-memprofile f.prof] path...
 //	gocheck -list
 //
@@ -27,11 +28,22 @@
 // re-solves only the edited function's SCC and its callers. A one-line
 // cache summary goes to stderr; the report itself is byte-identical to
 // a cacheless run.
+//
+// Observability: -trace-out writes a Chrome trace-event JSON of every
+// driver phase (load, translate, ir.lower, skeleton builds, per-job
+// solve and cache traffic, merge, render) viewable in Perfetto or
+// chrome://tracing; -metrics-json writes a snapshot of the solver,
+// skeleton, cache and driver metric registries; -explain attaches a
+// derivation chain ("provenance") to every finding in the text, json
+// and sarif formats; -progress prints coarse phase lines to stderr.
+// None of these change the findings themselves: a run with all of them
+// on reports byte-identical diagnostics to a plain run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,6 +51,7 @@ import (
 
 	"rasc/internal/analysis"
 	"rasc/internal/core"
+	"rasc/internal/obs"
 )
 
 func main() {
@@ -57,11 +70,29 @@ func run() int {
 	list := flag.Bool("list", false, "list registered checkers and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the analysis to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's phases to this file")
+	metricsJSON := flag.String("metrics-json", "", "write a JSON snapshot of the run's metric registry to this file")
+	explain := flag.Bool("explain", false, "attach a derivation chain (provenance) to every finding")
+	progress := flag.Bool("progress", false, "print coarse progress lines to stderr while analyzing")
 	flag.Parse()
 
 	if *list {
+		// Spec and Version are the checker-identity inputs of the cache
+		// key (Checker.fingerprint), so listing them shows exactly what
+		// invalidates cached results. Specs are multi-line automaton
+		// sources; print a stable digest instead of the text.
 		for _, c := range analysis.All() {
-			fmt.Printf("%-12s %-7s %s\n", c.Name, c.Severity, c.Doc)
+			spec := "-"
+			if c.Spec != "" {
+				h := fnv.New32a()
+				h.Write([]byte(c.Spec))
+				spec = fmt.Sprintf("%08x", h.Sum32())
+			}
+			version := c.Version
+			if version == "" {
+				version = "-"
+			}
+			fmt.Printf("%-12s %-7s spec=%-8s version=%-4s %s\n", c.Name, c.Severity, spec, version, c.Doc)
 		}
 		return 0
 	}
@@ -99,7 +130,20 @@ func run() int {
 		}
 	}
 
-	pkg, err := analysis.LoadPaths(flag.Args())
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	var registry *obs.Registry
+	if *metricsJSON != "" {
+		registry = obs.NewRegistry()
+	}
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr)
+	}
+
+	pkg, err := analysis.LoadPathsTraced(flag.Args(), tracer)
 	if err != nil {
 		return fail(err)
 	}
@@ -109,6 +153,10 @@ func run() int {
 		Parallel: *parallel,
 		Opts:     core.Options{},
 		Cache:    cache,
+		Trace:    tracer,
+		Metrics:  registry,
+		Explain:  *explain,
+		Progress: prog,
 	})
 	if err != nil {
 		return fail(err)
@@ -154,6 +202,7 @@ func run() int {
 		return 2
 	}
 
+	rsp := tracer.Start("render")
 	switch *format {
 	case "text":
 		err = rep.Text(os.Stdout)
@@ -167,13 +216,50 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gocheck: unknown format %q\n", *format)
 		return 2
 	}
+	rsp.SetAttr("format", *format)
+	rsp.Finish()
 	if err != nil {
+		return fail(err)
+	}
+	if err := writeObsOutputs(tracer, *traceOut, registry, *metricsJSON); err != nil {
 		return fail(err)
 	}
 	if rep.HasFindingsAtLeast(threshold) {
 		return 3
 	}
 	return 0
+}
+
+// writeObsOutputs flushes the trace and metrics files after rendering,
+// so the trace covers every phase including render itself.
+func writeObsOutputs(tracer *obs.Tracer, tracePath string, registry *obs.Registry, metricsPath string) error {
+	if tracer != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if registry != nil && metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := registry.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fail(err error) int {

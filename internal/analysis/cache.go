@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"rasc/internal/core"
+	"rasc/internal/obs"
 )
 
 // CacheVersion is the on-disk format version. Bump it whenever the
@@ -85,40 +86,55 @@ type envelope struct {
 	Body    json.RawMessage `json:"body"`
 }
 
+// loadStatus classifies one record lookup, for metric hooks. Every
+// status except loadHit behaves as a miss.
+type loadStatus int
+
+const (
+	loadHit loadStatus = iota
+	loadAbsent
+	loadCorrupt // decode, integrity-check or body failure
+	loadSkew    // format version mismatch
+	loadError   // unreadable file (permissions, I/O)
+)
+
 // load reads the record at path into out. A missing file is a silent
 // miss; a corrupt or version-skewed file is a miss with a note (and a
 // best-effort removal of corrupt files so they cannot keep tripping).
-func (c *Cache) load(path string, out any) bool {
+// The returned status distinguishes the miss causes for metrics; every
+// caller treating it as a boolean compares against loadHit.
+func (c *Cache) load(path string, out any) loadStatus {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.note("cache: unreadable %s: %v", filepath.Base(path), err)
+			return loadError
 		}
-		return false
+		return loadAbsent
 	}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err != nil {
 		c.note("cache: corrupt record %s discarded: %v", filepath.Base(path), err)
 		os.Remove(path)
-		return false
+		return loadCorrupt
 	}
 	if env.Version != CacheVersion {
 		c.note("cache: record %s has format version %d, want %d; falling back to a cold solve",
 			filepath.Base(path), env.Version, CacheVersion)
-		return false
+		return loadSkew
 	}
 	sum := sha256.Sum256(env.Body)
 	if hex.EncodeToString(sum[:]) != env.Sum {
 		c.note("cache: record %s failed its integrity check; discarded", filepath.Base(path))
 		os.Remove(path)
-		return false
+		return loadCorrupt
 	}
 	if err := json.Unmarshal(env.Body, out); err != nil {
 		c.note("cache: record %s body undecodable; discarded: %v", filepath.Base(path), err)
 		os.Remove(path)
-		return false
+		return loadCorrupt
 	}
-	return true
+	return loadHit
 }
 
 // store writes a record atomically (temp file + rename). Failures are
@@ -222,6 +238,11 @@ type cacheSession struct {
 	regFP string
 	opts  string
 
+	// metrics (nil OK) receives per-lookup hit/miss/corrupt/skew and
+	// per-write store counts for job and entry records. Function-stamp
+	// probes are not counted, matching CacheStats.
+	metrics *obs.CacheMetrics
+
 	hits, misses atomic.Int64
 
 	// stale[id] reports that function id had no valid stamp when the
@@ -234,23 +255,50 @@ type cacheSession struct {
 
 // session starts a cache session for one Analyze run. It stamps-checks
 // every function up front so that re-solved accounting is independent
-// of job scheduling.
-func (c *Cache) session(pkg *Package, opts core.Options) *cacheSession {
+// of job scheduling. Explain runs key separately: cached records store
+// diagnostics verbatim, and a record written without provenance must
+// never satisfy a run that wants it (or vice versa). Non-explain keys
+// are unchanged, so existing caches keep hitting.
+func (c *Cache) session(pkg *Package, opts core.Options, explain bool, m *obs.CacheMetrics) *cacheSession {
+	optKey := fmt.Sprintf("%+v", opts)
+	if explain {
+		optKey += " explain"
+	}
 	cs := &cacheSession{
-		c:      c,
-		pkg:    pkg,
-		regFP:  registryFingerprint(),
-		opts:   fmt.Sprintf("%+v", opts),
-		stale:  map[int]bool{},
-		solved: map[string]bool{},
+		c:       c,
+		pkg:     pkg,
+		regFP:   registryFingerprint(),
+		opts:    optKey,
+		metrics: m,
+		stale:   map[int]bool{},
+		solved:  map[string]bool{},
 	}
 	for _, f := range pkg.Prog.Funcs {
 		var rec fnRecord
-		if !c.load(cs.fnPath(f.ID), &rec) || rec.Fn != f.Name {
+		if c.load(cs.fnPath(f.ID), &rec) != loadHit || rec.Fn != f.Name {
 			cs.stale[f.ID] = true
 		}
 	}
 	return cs
+}
+
+// observe feeds one job/entry lookup's outcome into the metric bundle.
+func (cs *cacheSession) observe(st loadStatus) {
+	m := cs.metrics
+	if m == nil {
+		return
+	}
+	if st == loadHit {
+		m.Hits.Inc()
+		return
+	}
+	m.Misses.Inc()
+	switch st {
+	case loadCorrupt:
+		m.Corrupt.Inc()
+	case loadSkew:
+		m.VersionSkew.Inc()
+	}
 }
 
 // key derives a content key; kind separates the key spaces.
@@ -287,7 +335,9 @@ func (cs *cacheSession) fnPath(id int) string {
 // loadJob looks one (checker, entry) job up.
 func (cs *cacheSession) loadJob(c *Checker, entry string) ([]Diagnostic, core.Stats, bool) {
 	var rec jobRecord
-	if !cs.c.load(cs.jobPath(c, entry), &rec) {
+	st := cs.c.load(cs.jobPath(c, entry), &rec)
+	cs.observe(st)
+	if st != loadHit {
 		cs.misses.Add(1)
 		cs.mu.Lock()
 		cs.solved[entry] = true
@@ -301,12 +351,17 @@ func (cs *cacheSession) loadJob(c *Checker, entry string) ([]Diagnostic, core.St
 // storeJob persists one solved job's raw result.
 func (cs *cacheSession) storeJob(c *Checker, entry string, ds []Diagnostic, st core.Stats) {
 	cs.c.store(cs.jobPath(c, entry), jobRecord{Diagnostics: ds, Stats: st})
+	if cs.metrics != nil {
+		cs.metrics.Stores.Inc()
+	}
 }
 
 // loadEntry looks an entry's skeleton base stats up.
 func (cs *cacheSession) loadEntry(entry string) (core.Stats, bool) {
 	var rec entryRecord
-	if !cs.c.load(cs.entryPath(entry), &rec) {
+	st := cs.c.load(cs.entryPath(entry), &rec)
+	cs.observe(st)
+	if st != loadHit {
 		cs.misses.Add(1)
 		return core.Stats{}, false
 	}
@@ -316,6 +371,9 @@ func (cs *cacheSession) loadEntry(entry string) (core.Stats, bool) {
 
 func (cs *cacheSession) storeEntry(entry string, base core.Stats) {
 	cs.c.store(cs.entryPath(entry), entryRecord{Base: base})
+	if cs.metrics != nil {
+		cs.metrics.Stores.Inc()
+	}
 }
 
 // finish computes the run's CacheStats and writes the function stamps

@@ -29,6 +29,26 @@ type Diagnostic struct {
 	// other goroutine's path to a racy access, or the inverted
 	// acquisition order of a lock-order finding.
 	SecondTrace []TraceStep `json:"second_trace,omitempty"`
+	// Provenance is the derivation chain behind the finding, oldest hop
+	// first, present only on explain runs (Config.Explain / -explain).
+	// Property-checker findings carry a solver-level chain (rules seed,
+	// edge, wrap, pop, plus the final event/exit transition); findings
+	// without one get a chain synthesized from their witness trace
+	// (rules seed, enter, step, access, finding). Omitted from JSON when
+	// empty, so non-explain reports are byte-identical to before.
+	Provenance []ProvStep `json:"provenance,omitempty"`
+}
+
+// ProvStep is one hop of a finding's derivation chain.
+type ProvStep struct {
+	File string `json:"file,omitempty"`
+	Fn   string `json:"fn,omitempty"`
+	Line int    `json:"line"`
+	// Rule names the derivation rule that produced the hop.
+	Rule string `json:"rule"`
+	// Annot is the composed automaton annotation at this hop, rendered
+	// through the property's algebra ("" for synthesized chains).
+	Annot string `json:"annot,omitempty"`
 }
 
 // TraceStep is one hop of a witness trace.

@@ -13,6 +13,7 @@ import (
 	"rasc/internal/gosrc"
 	"rasc/internal/ir"
 	"rasc/internal/minic"
+	"rasc/internal/obs"
 	"rasc/internal/pdm"
 )
 
@@ -52,8 +53,10 @@ type skelEntry struct {
 
 // skeleton returns the cached property-independent skeleton for entry,
 // building it on first use. Concurrent callers for the same entry block
-// on one build; distinct entries build independently.
-func (p *Package) skeleton(entry string, opts core.Options) (*pdm.Skeleton, error) {
+// on one build; distinct entries build independently. ob (nil OK)
+// records the build as a trace span and feeds the skeleton-layer
+// metrics; reuse of an already-built skeleton records nothing.
+func (p *Package) skeleton(entry string, opts core.Options, ob *obsState) (*pdm.Skeleton, error) {
 	key := skelCacheKey{gen: generation(), opts: opts}
 	p.skelMu.Lock()
 	if p.skels == nil || p.skelKey != key {
@@ -67,9 +70,18 @@ func (p *Package) skeleton(entry string, opts core.Options) (*pdm.Skeleton, erro
 	}
 	p.skelMu.Unlock()
 	e.once.Do(func() {
+		sp := ob.span("skeleton:" + entry)
 		callees := eventCallees()
 		e.sk, e.err = pdm.BuildSkeleton(p.Prog, entry, opts,
 			func(call *minic.CallExpr, _ string) bool { return callees[call.Name] })
+		if e.err == nil {
+			sp.SetAttr("deferred", e.sk.Deferred())
+			if ob != nil && ob.pdmM != nil {
+				ob.pdmM.SkeletonBuilds.Inc()
+				ob.pdmM.DeferredStmts.Add(int64(e.sk.Deferred()))
+			}
+		}
+		sp.Finish()
 	})
 	return e.sk, e.err
 }
@@ -94,6 +106,22 @@ type Config struct {
 	// Suppression is applied to cached results afresh on every run, so
 	// //rasc:ignore edits take effect without invalidating anything.
 	Cache *Cache
+
+	// Trace, when non-nil, records every driver phase — skeleton builds,
+	// per-job cache lookups, solves and stores, the merge — as spans,
+	// exportable as Chrome trace-event JSON (obs.Tracer.WriteJSON).
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives solver, skeleton-layer, cache and
+	// driver counters for the run (obs.Registry.WriteJSON to export).
+	Metrics *obs.Registry
+	// Explain attaches a solver-level derivation chain (Provenance) to
+	// every diagnostic. Findings and their order are unchanged; only the
+	// provenance field is added. Explain runs use distinct cache keys,
+	// since cached records store diagnostics verbatim.
+	Explain bool
+	// Progress, when non-nil, receives rate-limited phase/job progress
+	// lines (human consumption only; never part of the report).
+	Progress *obs.Progress
 }
 
 // LoadPaths loads Go sources from a mix of files, directories and
@@ -101,6 +129,15 @@ type Config struct {
 // Files ending in _test.go are skipped. The file order (and therefore
 // duplicate-definition resolution) is the sorted path order.
 func LoadPaths(paths []string) (*Package, error) {
+	files, err := readPathFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	return LoadFiles(files)
+}
+
+// readPathFiles resolves LoadPaths' path patterns and reads the files.
+func readPathFiles(paths []string) ([]gosrc.File, error) {
 	var names []string
 	seen := map[string]bool{}
 	add := func(name string) {
@@ -165,7 +202,7 @@ func LoadPaths(paths []string) (*Package, error) {
 		}
 		files = append(files, gosrc.File{Name: name, Src: string(src)})
 	}
-	return LoadFiles(files)
+	return files, nil
 }
 
 // LoadFiles translates in-memory sources as one package. Lowering also
@@ -220,9 +257,14 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
+	ob := newObsState(&cfg)
 	var cs *cacheSession
 	if cfg.Cache != nil {
-		cs = cfg.Cache.session(pkg, cfg.Opts)
+		var cm *obs.CacheMetrics
+		if ob != nil {
+			cm = ob.cacheM
+		}
+		cs = cfg.Cache.session(pkg, cfg.Opts, cfg.Explain, cm)
 	}
 
 	type job struct {
@@ -235,6 +277,11 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 			jobs = append(jobs, job{c, e})
 		}
 	}
+	if ob != nil {
+		ob.progress.Phasef("analyzing: %d checker(s) x %d entry(ies), %d job(s)",
+			len(checkers), len(entries), len(jobs))
+		ob.progress.StartCount("jobs", len(jobs))
+	}
 	results := make([][]Diagnostic, len(jobs))
 	stats := make([]core.Stats, len(jobs))
 	errs := make([]error, len(jobs))
@@ -246,16 +293,30 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 			defer wg.Done()
 			for i := range idx {
 				c, e := jobs[i].checker, jobs[i].entry
+				sp := ob.span("job:" + c.Name + "/" + e)
 				if cs != nil {
-					if ds, st, ok := cs.loadJob(c, e); ok {
+					lsp := sp.Child("cache.lookup")
+					ds, st, ok := cs.loadJob(c, e)
+					lsp.Finish()
+					if ok {
 						results[i], stats[i] = ds, st
+						sp.SetAttr("cache", "hit")
+						sp.Finish()
+						ob.jobDone(false)
 						continue
 					}
+					sp.SetAttr("cache", "miss")
 				}
-				results[i], stats[i], errs[i] = runJob(pkg, c, e, cfg.Opts)
+				ssp := sp.Child("solve")
+				results[i], stats[i], errs[i] = runJob(pkg, c, e, cfg.Opts, ob)
+				ssp.Finish()
 				if cs != nil && errs[i] == nil {
+					wsp := sp.Child("cache.store")
 					cs.storeJob(c, e, results[i], stats[i])
+					wsp.Finish()
 				}
+				sp.Finish()
+				ob.jobDone(true)
 			}
 		}()
 	}
@@ -306,7 +367,7 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 					continue
 				}
 			}
-			sk, err := pkg.skeleton(e, cfg.Opts)
+			sk, err := pkg.skeleton(e, cfg.Opts, ob)
 			if err != nil {
 				return nil, err
 			}
@@ -328,6 +389,7 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	sort.Strings(rep.Checkers)
 	// Merge in job order (deterministic regardless of completion order),
 	// dedup across entries, and apply suppression.
+	msp := ob.span("merge")
 	seen := map[string]bool{}
 	for _, ds := range results {
 		for _, d := range ds {
@@ -346,6 +408,14 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 		}
 	}
 	sortDiagnostics(rep.Diagnostics)
+	msp.SetAttr("diagnostics", len(rep.Diagnostics))
+	msp.Finish()
+	if ob != nil && ob.driverM != nil {
+		ob.driverM.Diagnostics.Add(int64(len(rep.Diagnostics)))
+	}
+	if ob != nil {
+		ob.progress.Phasef("done: %d finding(s)", len(rep.Diagnostics))
+	}
 	return rep, nil
 }
 
@@ -378,17 +448,24 @@ func coversChecker(names []string, checker string) bool {
 
 // runJob executes one (checker, entry) job — a constraint solve for
 // property checkers, a concurrency-model query for Run checkers — and
-// maps the result to diagnostics plus solver statistics.
-func runJob(pkg *Package, c *Checker, entry string, opts core.Options) ([]Diagnostic, core.Stats, error) {
+// maps the result to diagnostics plus solver statistics. ob (nil OK)
+// supplies metric hooks and the explain flag; with explain on, every
+// diagnostic leaves with a non-empty provenance chain, so cached
+// records round-trip explain output unchanged.
+func runJob(pkg *Package, c *Checker, entry string, opts core.Options, ob *obsState) ([]Diagnostic, core.Stats, error) {
 	if c.Run != nil {
-		return c.Run(pkg, c, entry), core.Stats{}, nil
+		ds := c.Run(pkg, c, entry)
+		if ob.explainOn() {
+			ensureProvenance(ds)
+		}
+		return ds, core.Stats{}, nil
 	}
 	prop, events := c.compiled()
-	sk, err := pkg.skeleton(entry, opts)
+	sk, err := pkg.skeleton(entry, opts, ob)
 	if err != nil {
 		return nil, core.Stats{}, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
 	}
-	res, err := sk.Check(prop, events)
+	res, err := sk.CheckObs(prop, events, ob.pdmObs())
 	if err != nil {
 		return nil, core.Stats{}, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
 	}
@@ -396,12 +473,17 @@ func runJob(pkg *Package, c *Checker, entry string, opts core.Options) ([]Diagno
 	// report only this property's layered work here. Analyze adds each
 	// skeleton's base once.
 	stats := res.Sys.Stats().Minus(res.Base)
+	var ds []Diagnostic
 	switch c.Mode {
 	case ModeLeakAtExit:
-		return leakDiagnostics(pkg, c, entry, res, events), stats, nil
+		ds = leakDiagnostics(pkg, c, entry, res, events)
 	default:
-		return violationDiagnostics(pkg, c, entry, res), stats, nil
+		ds = violationDiagnostics(pkg, c, entry, res)
 	}
+	if ob.explainOn() {
+		ensureProvenance(ds)
+	}
+	return ds, stats, nil
 }
 
 func violationDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Result) []Diagnostic {
@@ -424,7 +506,26 @@ func violationDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Resul
 				Enter: tp.Enter,
 			})
 		}
+		d.Provenance = provDiag(pkg, v.Provenance)
 		out = append(out, d)
+	}
+	return out
+}
+
+// provDiag positions a pdm provenance chain in the loaded sources.
+func provDiag(pkg *Package, prov []pdm.ProvStep) []ProvStep {
+	if len(prov) == 0 {
+		return nil
+	}
+	out := make([]ProvStep, len(prov))
+	for i, ps := range prov {
+		out[i] = ProvStep{
+			File:  pkg.fileOf(ps.Fn),
+			Fn:    ps.Fn,
+			Line:  ps.Line,
+			Rule:  ps.Rule,
+			Annot: ps.Annot,
+		}
 	}
 	return out
 }
@@ -470,6 +571,9 @@ func leakDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Result, ev
 			Message:  c.message(lbl),
 			Label:    lbl,
 			Entry:    entry,
+			// ExitProvenance returns nil unless the run was checked with
+			// explain on.
+			Provenance: provDiag(pkg, res.ExitProvenance(entry, lbl)),
 		})
 	}
 	return out

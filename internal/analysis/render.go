@@ -24,6 +24,24 @@ func (r *Report) Text(w io.Writer) error {
 				return err
 			}
 		}
+		if len(d.Provenance) > 0 {
+			if _, err := fmt.Fprintln(w, "  derivation:"); err != nil {
+				return err
+			}
+			for _, ps := range d.Provenance {
+				annot := ""
+				if ps.Annot != "" {
+					annot = " [" + ps.Annot + "]"
+				}
+				loc := ps.File
+				if ps.Fn != "" {
+					loc = ps.Fn + " (" + ps.File + ")"
+				}
+				if _, err := fmt.Fprintf(w, "    %-6s %s:%d%s\n", ps.Rule, loc, ps.Line, annot); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	for _, n := range r.Notes {
 		if _, err := fmt.Fprintf(w, "%s:%d: note: translate: %s\n", n.File, n.Line, n.Msg); err != nil {
@@ -134,6 +152,9 @@ type sarifResult struct {
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
 	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+	// Properties is the SARIF property bag; explain runs carry the
+	// finding's derivation chain under the "provenance" key.
+	Properties map[string]any `json:"properties,omitempty"`
 }
 
 type sarifLocation struct {
@@ -220,6 +241,9 @@ func (r *Report) SARIF(w io.Writer) error {
 		}
 		if len(flows) > 0 {
 			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: flows}}
+		}
+		if len(d.Provenance) > 0 {
+			res.Properties = map[string]any{"provenance": d.Provenance}
 		}
 		run.Results = append(run.Results, res)
 	}

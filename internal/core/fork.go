@@ -47,6 +47,7 @@ func (s *System) Fork(alg Algebra) *System {
 		nEdges:        s.nEdges,
 		nReach:        s.nReach,
 		nCollapsed:    s.nCollapsed,
+		metrics:       s.metrics,
 	}
 	f.vars = make([]varData, len(s.vars))
 	copy(f.vars, s.vars)

@@ -32,6 +32,12 @@ func (s *System) AddUpper(x VarID, cn CNode, a Annot) {
 	// a meet may derive new facts at x, and those are propagated to this
 	// sink when their own work items drain.
 	facts := s.vars[x].reach.facts
+	// Compositions are counted per batch, not per call: wrapping Alg.Then
+	// in a counting helper pushes it past the inlining budget and costs a
+	// call frame per composition even with metrics off.
+	if m := s.metrics; m != nil {
+		m.Compositions.Add(int64(len(facts)))
+	}
 	for i := range facts {
 		s.meet(facts[i].cn, s.Alg.Then(facts[i].a, a), cn)
 	}
@@ -94,8 +100,12 @@ func (s *System) addProjDirect(x VarID, pr projRef) {
 	}
 	s.vars[x].projs = append(s.vars[x].projs, pr)
 	facts := s.vars[x].reach.facts
+	m := s.metrics
 	for i := range facts {
 		if s.cons[facts[i].cn].cons == pr.cons {
+			if m != nil {
+				m.Compositions.Inc()
+			}
 			s.addEdge(s.find(s.cons[facts[i].cn].args[pr.idx]), s.find(pr.to), s.Alg.Then(facts[i].a, pr.a))
 		}
 	}
@@ -117,8 +127,12 @@ func (s *System) addEdge(x, y VarID, a Annot) {
 	}
 	s.vars[x].out = append(s.vars[x].out, edge{y, a})
 	s.nEdges++
-
 	facts := s.vars[x].reach.facts
+	if m := s.metrics; m != nil {
+		m.EdgesAdded.Inc()
+		m.Compositions.Add(int64(len(facts)))
+	}
+
 	for i := range facts {
 		s.addReach(y, facts[i].cn, s.Alg.Then(facts[i].a, a), parent{fromVar: x, annot: facts[i].a, step: stepEdge})
 	}
@@ -209,6 +223,9 @@ func (s *System) union(winner, loser VarID) {
 		return
 	}
 	s.nCollapsed++
+	if m := s.metrics; m != nil {
+		m.CycleElims.Inc()
+	}
 	// Detach the loser's state first so replay sees the merged var.
 	ld := s.vars[loser]
 	s.vars[loser].out = nil
@@ -231,6 +248,9 @@ func (s *System) union(winner, loser VarID) {
 		if s.sinkSeen.add(edgeKey{int32(w), int32(sk.cn), sk.a}) {
 			s.vars[w].sinks = append(s.vars[w].sinks, sk)
 			facts := s.vars[w].reach.facts
+			if m := s.metrics; m != nil {
+				m.Compositions.Add(int64(len(facts)))
+			}
 			for i := range facts {
 				s.meet(facts[i].cn, s.Alg.Then(facts[i].a, sk.a), sk.cn)
 			}
@@ -279,6 +299,11 @@ func (s *System) addReach(v VarID, cn CNode, a Annot, par parent) {
 	s.nReach++
 	s.cons[cn].occur = append(s.cons[cn].occur, varAnnot{v, a})
 	s.work = append(s.work, workItem{v, cn, a})
+	if m := s.metrics; m != nil {
+		m.ReachInserts.Inc()
+		m.WorklistPushes.Inc()
+		m.WorklistHigh.SetMax(int64(len(s.work)))
+	}
 }
 
 // meet applies the structural/clash rule to a flow src ⊆^h dst between
@@ -309,6 +334,9 @@ func (s *System) meet(src CNode, h Annot, dst CNode) {
 func (s *System) recordClash(c Clash) {
 	if s.clashSeen.add(c) {
 		s.clashes = append(s.clashes, c)
+		if m := s.metrics; m != nil {
+			m.Clashes.Inc()
+		}
 	}
 }
 
@@ -317,6 +345,7 @@ func (s *System) recordClash(c Clash) {
 // solving). It returns the number of facts processed.
 func (s *System) Solve() int {
 	n := 0
+	m := s.metrics
 	for len(s.work) > 0 {
 		it := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
@@ -327,6 +356,9 @@ func (s *System) Solve() int {
 		out := s.vars[v].out
 		sinks := s.vars[v].sinks
 		projs := s.vars[v].projs
+		if m != nil {
+			m.Compositions.Add(int64(len(out) + len(sinks)))
+		}
 		for _, e := range out {
 			s.addReach(s.find(e.to), it.cn, s.Alg.Then(it.a, e.a), parent{fromVar: v, annot: it.a, step: stepEdge})
 		}
@@ -336,6 +368,9 @@ func (s *System) Solve() int {
 		cd := &s.cons[it.cn]
 		for _, pr := range projs {
 			if cd.cons == pr.cons {
+				if m != nil {
+					m.Compositions.Inc()
+				}
 				s.addEdge(s.find(cd.args[pr.idx]), s.find(pr.to), s.Alg.Then(it.a, pr.a))
 			}
 		}

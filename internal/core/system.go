@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rasc/internal/obs"
 	"rasc/internal/terms"
 )
 
@@ -207,6 +208,12 @@ type System struct {
 
 	// stats
 	nEdges, nReach, nCollapsed int
+
+	// Optional observability hooks. Lives outside Options (which is
+	// comparable and serialized into cache keys) and is nil unless a
+	// caller opts in through SetMetrics; every hook site gates on one
+	// nil test.
+	metrics *obs.SolverMetrics
 }
 
 type edgeKey struct {
@@ -463,5 +470,26 @@ func (s *System) Stats() Stats {
 		Edges:     s.nEdges,
 		Collapsed: s.nCollapsed,
 		Clashes:   len(s.clashes),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) a solver metrics bundle.
+// Hook sites fire only while a bundle is attached; counts are deltas
+// from the moment of attachment, not a replay of prior work. Forks
+// inherit the receiver's bundle.
+func (s *System) SetMetrics(m *obs.SolverMetrics) { s.metrics = m }
+
+// FlushSizeMetrics samples per-representative reach-set sizes into the
+// attached bundle's ReachSetSize histogram. Call once per solved
+// system; a no-op without an attached bundle.
+func (s *System) FlushSizeMetrics() {
+	if s.metrics == nil {
+		return
+	}
+	for v := range s.vars {
+		if s.vars[v].uf != VarID(v) {
+			continue
+		}
+		s.metrics.ReachSetSize.Observe(int64(len(s.vars[v].reach.facts)))
 	}
 }

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.SetMax(7)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram stats")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry should intern nil instruments")
+	}
+	if err := r.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	sp := tr.Start("phase")
+	sp.SetAttr("k", 1)
+	sp.Child("sub").Finish()
+	sp.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("empty trace should validate: %v", err)
+	}
+	var p *Progress
+	p.Phasef("x %d", 1)
+	p.StartCount("jobs", 3)
+	p.Tick()
+}
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter not interned")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge not interned")
+	}
+	if r.Histogram("h", DefaultSizeBounds) != r.Histogram("h", nil) {
+		t.Fatal("histogram not interned")
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DefaultSizeBounds)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				h.Observe(int64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per-1 {
+		t.Fatalf("gauge high-water = %d, want %d", g.Value(), workers*per-1)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	snap := r.Snapshot()
+	var total int64
+	for _, b := range snap.Histograms["h"].Buckets {
+		total += b.Count
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", total, workers*per)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]int64{0, 2, 8})
+	for _, v := range []int64{0, 1, 2, 3, 8, 9, 100} {
+		h.Observe(v)
+	}
+	want := []int64{1, 2, 2, 2} // ≤0: {0}; ≤2: {1,2}; ≤8: {3,8}; +inf: {9,100}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Sum() != 123 || h.Count() != 7 {
+		t.Fatalf("sum/count = %d/%d", h.Sum(), h.Count())
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solver.edges_added").Add(42)
+	r.Gauge("solver.worklist_high_water").SetMax(17)
+	r.Histogram("solver.reach_set_size", DefaultSizeBounds).Observe(33)
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("repeated exports differ")
+	}
+	if err := ValidateMetricsJSON(a.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(a.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["solver.edges_added"] != 42 {
+		t.Fatalf("counter round-trip = %d", snap.Counters["solver.edges_added"])
+	}
+	if snap.Gauges["solver.worklist_high_water"] != 17 {
+		t.Fatalf("gauge round-trip = %d", snap.Gauges["solver.worklist_high_water"])
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("analyze")
+	root.SetAttr("entries", 3)
+	child := root.Child("solve")
+	child.Finish()
+	child.Finish() // double Finish records once
+	root.Finish()
+	other := tr.Start("render")
+	other.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(f.TraceEvents))
+	}
+	names := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"analyze", "solve", "render"} {
+		if !names[want] {
+			t.Fatalf("missing event %q", want)
+		}
+	}
+}
+
+func TestTracerLaneReuse(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Start("a")
+	b := tr.Start("b")
+	if a.lane == b.lane {
+		t.Fatal("concurrent top-level spans share a lane")
+	}
+	a.Finish()
+	c := tr.Start("c")
+	if c.lane != a.lane {
+		t.Fatalf("lane not reused: got %d, want %d", c.lane, a.lane)
+	}
+	b.Finish()
+	c.Finish()
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func([]byte) error
+		data string
+		want string
+	}{
+		{"trace unknown field", ValidateTraceJSON, `{"traceEvents":[],"displayTimeUnit":"ms","bogus":1}`, "bogus"},
+		{"trace bad phase", ValidateTraceJSON, `{"traceEvents":[{"name":"x","ph":"B","ts":0,"dur":0,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`, "phase"},
+		{"trace missing events", ValidateTraceJSON, `{"displayTimeUnit":"ms"}`, "traceEvents"},
+		{"metrics unknown field", ValidateMetricsJSON, `{"counters":{},"gauges":{},"histograms":{},"extra":{}}`, "extra"},
+		{"metrics missing maps", ValidateMetricsJSON, `{"counters":{}}`, "missing"},
+		{"metrics bad bucket sum", ValidateMetricsJSON,
+			`{"counters":{},"gauges":{},"histograms":{"h":{"count":5,"sum":1,"buckets":[{"le":1,"count":1},{"le":null,"count":1}]}}}`,
+			"sum to"},
+		{"metrics non-final inf", ValidateMetricsJSON,
+			`{"counters":{},"gauges":{},"histograms":{"h":{"count":2,"sum":1,"buckets":[{"le":null,"count":1},{"le":1,"count":1}]}}}`,
+			"non-final"},
+	}
+	for _, tc := range cases {
+		err := tc.fn([]byte(tc.data))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSolverMetricBundles(t *testing.T) {
+	r := NewRegistry()
+	sm := NewSolverMetrics(r)
+	sm.EdgesAdded.Inc()
+	sm.WorklistHigh.SetMax(9)
+	sm.ReachSetSize.Observe(4)
+	if r.Counter("solver.edges_added").Value() != 1 {
+		t.Fatal("bundle not interned in registry")
+	}
+	cm := NewCacheMetrics(r)
+	cm.Hits.Add(2)
+	cm.Misses.Inc()
+	if got := r.Counter("cache.hits").Value(); got != 2 {
+		t.Fatalf("cache.hits = %d", got)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "cache.hits=2") || !strings.Contains(sum, "solver.edges_added=1") {
+		t.Fatalf("summary %q missing counters", sum)
+	}
+}

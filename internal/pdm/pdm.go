@@ -45,6 +45,8 @@ type Result struct {
 	pcNode    core.CNode
 	envTab    *subst.Table
 	nodeEvent map[int]core.Annot
+	alg       core.Algebra
+	explain   bool
 }
 
 // Violation is one property violation.
@@ -60,6 +62,23 @@ type Violation struct {
 	Label string
 	// Trace is the witness path (function, line) hops, oldest first.
 	Trace []TracePoint
+	// Provenance is the solver-level derivation chain behind the
+	// violation, oldest first; populated only when the run was checked
+	// with Obs.Explain set.
+	Provenance []ProvStep
+}
+
+// ProvStep is one hop of a violation's derivation chain: a core
+// provenance step positioned in the program and with its annotation
+// rendered through the property's algebra. Rule is one of the core
+// rule names (seed, edge, wrap, pop) or "event" for the final
+// error-state transition appended by collectViolations (and "exit" for
+// leak-mode chains).
+type ProvStep struct {
+	Fn    string `json:"fn"`
+	Line  int    `json:"line"`
+	Rule  string `json:"rule"`
+	Annot string `json:"annot,omitempty"`
 }
 
 // TracePoint is one hop of a violation witness.
@@ -136,12 +155,22 @@ func (r *Result) collectViolations(alg core.Algebra) {
 				if len(tr) == 0 || tr[len(tr)-1] != (TracePoint{Fn: n.Fn, Line: n.Line}) {
 					tr = append(tr, TracePoint{Fn: n.Fn, Line: n.Line})
 				}
+				var prov []ProvStep
+				if r.explain {
+					// The derivation chain behind the violating fact, then
+					// the event transition that makes it accepting.
+					prov = r.provSteps(steps, varNodes)
+					prov = append(prov, ProvStep{
+						Fn: n.Fn, Line: n.Line, Rule: "event", Annot: alg.String(comp),
+					})
+				}
 				r.Violations = append(r.Violations, Violation{
-					Fn:     n.Fn,
-					Line:   n.Line,
-					NodeID: n.ID,
-					Label:  lbl,
-					Trace:  tr,
+					Fn:         n.Fn,
+					Line:       n.Line,
+					NodeID:     n.ID,
+					Label:      lbl,
+					Trace:      tr,
+					Provenance: prov,
 				})
 			}
 		}
@@ -221,6 +250,60 @@ func (r *Result) labelsOf(a core.Annot) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// provSteps renders a witness trace into positioned provenance hops.
+// Hops at solver-internal variables (projection-merge intermediates and
+// the like) carry no program point and are dropped; representatives
+// merged by cycle elimination map to their lowest-numbered CFG node.
+func (r *Result) provSteps(steps []core.TraceStep, varNodes map[core.VarID][]int) []ProvStep {
+	var out []ProvStep
+	for _, st := range core.ProvFromTrace(steps) {
+		ns := varNodes[st.Var]
+		if len(ns) == 0 {
+			continue
+		}
+		n := r.cfg.Nodes[ns[0]]
+		out = append(out, ProvStep{Fn: n.Fn, Line: n.Line, Rule: st.Rule, Annot: r.alg.String(st.Annot)})
+	}
+	return out
+}
+
+// ExitProvenance returns the derivation chain behind a leak-mode
+// finding: how the annotation still accepting for label reached the
+// entry function's exit. Returns nil when the run was not checked with
+// Obs.Explain, or when no matching accepting fact exists.
+func (r *Result) ExitProvenance(entry, label string) []ProvStep {
+	if !r.explain {
+		return nil
+	}
+	if entry == "" {
+		entry = "main"
+	}
+	exitVar := r.NodeVar[r.cfg.Exit[entry]]
+	varNodes := r.varNodes()
+	for _, a := range r.PN.At(exitVar) {
+		if !r.accepting(a) {
+			continue
+		}
+		match := label == ""
+		for _, lbl := range r.labelsOf(a) {
+			if lbl == label {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		steps := r.PN.Trace(r.Sys.Rep(exitVar), a)
+		prov := r.provSteps(steps, varNodes)
+		exitNode := r.cfg.Nodes[r.cfg.Exit[entry]]
+		return append(prov, ProvStep{
+			Fn: exitNode.Fn, Line: exitNode.Line, Rule: "exit", Annot: r.alg.String(a),
+		})
+	}
+	return nil
 }
 
 func (r *Result) tracePoints(steps []core.TraceStep, varNodes map[core.VarID][]int) []TracePoint {

@@ -14,6 +14,7 @@ import (
 	"rasc/internal/core"
 	"rasc/internal/ir"
 	"rasc/internal/minic"
+	"rasc/internal/obs"
 	"rasc/internal/spec"
 	"rasc/internal/subst"
 	"rasc/internal/terms"
@@ -161,6 +162,10 @@ func BuildSkeleton(p *ir.Program, entry string, opts core.Options,
 // Entry returns the canonical entry function name.
 func (sk *Skeleton) Entry() string { return sk.entry }
 
+// Deferred returns the number of statements whose classification was
+// deferred to the per-property phase.
+func (sk *Skeleton) Deferred() int { return len(sk.deferred) }
+
 // BaseStats returns the solver statistics of the shared skeleton itself;
 // a Result's Base field holds the same value, so a driver can report the
 // skeleton's size once and each property's layered work separately.
@@ -169,11 +174,28 @@ func (sk *Skeleton) BaseStats() core.Stats { return sk.base }
 // CFG returns the control-flow graph the skeleton was built over.
 func (sk *Skeleton) CFG() *minic.CFG { return sk.cfg }
 
+// Obs bundles the observability options of one Check: solver and
+// skeleton-layer metric hooks, and whether to extract finding
+// provenance. A nil *Obs (or nil fields) disables everything; the
+// result's violations are identical either way — provenance is a pure
+// read of the solver's witness records.
+type Obs struct {
+	Solver *obs.SolverMetrics
+	PDM    *obs.PDMMetrics
+	// Explain attaches a derivation chain to every violation.
+	Explain bool
+}
+
 // Check layers one property onto the skeleton: it forks the solved base
 // system, classifies the deferred statements under the property's event
 // map, solves the residue online, and collects violations exactly as
 // pdm.Check does. Safe for concurrent use.
 func (sk *Skeleton) Check(prop *spec.Property, events *minic.EventMap) (*Result, error) {
+	return sk.CheckObs(prop, events, nil)
+}
+
+// CheckObs is Check with observability hooks attached; see Obs.
+func (sk *Skeleton) CheckObs(prop *spec.Property, events *minic.EventMap, o *Obs) (*Result, error) {
 	var alg core.Algebra
 	var envTab *subst.Table
 	if prop.IsParametric() {
@@ -186,6 +208,12 @@ func (sk *Skeleton) Check(prop *spec.Property, events *minic.EventMap) (*Result,
 		return nil, fmt.Errorf("pdm: algebra must represent identity as annotation 0 to layer on a shared skeleton")
 	}
 	sys := sk.sys.Fork(alg)
+	if o != nil {
+		sys.SetMetrics(o.Solver)
+		if o.PDM != nil {
+			o.PDM.SkeletonForks.Inc()
+		}
+	}
 
 	// annotOf computes the edge annotation for an event.
 	annotOf := func(ev minic.Event) (core.Annot, error) {
@@ -216,6 +244,9 @@ func (sk *Skeleton) Check(prop *spec.Property, events *minic.EventMap) (*Result,
 			nodeEvent[n.ID] = a
 			for _, m := range n.Succs {
 				sys.AddVar(sv, sk.nodeVar[m], a)
+				if o != nil && o.PDM != nil {
+					o.PDM.LayeredEvents.Inc()
+				}
 			}
 			continue
 		}
@@ -231,6 +262,9 @@ func (sk *Skeleton) Check(prop *spec.Property, events *minic.EventMap) (*Result,
 		}
 	}
 	sys.Solve()
+	if o != nil && o.Solver != nil {
+		sys.FlushSizeMetrics()
+	}
 
 	res := &Result{
 		Sys:       sys,
@@ -242,6 +276,8 @@ func (sk *Skeleton) Check(prop *spec.Property, events *minic.EventMap) (*Result,
 		pcNode:    sk.pc,
 		envTab:    envTab,
 		nodeEvent: nodeEvent,
+		alg:       alg,
+		explain:   o != nil && o.Explain,
 	}
 	res.PN = sys.PNReach(sk.pc)
 	res.collectViolations(alg)
