@@ -92,7 +92,7 @@ func run() int {
 			if version == "" {
 				version = "-"
 			}
-			fmt.Printf("%-12s %-7s spec=%-8s version=%-4s %s\n", c.Name, c.Severity, spec, version, c.Doc)
+			fmt.Printf("%-12s %-7s %-16s spec=%-8s version=%-4s %s\n", c.Name, c.Severity, c.Domain(), spec, version, c.Doc)
 		}
 		return 0
 	}

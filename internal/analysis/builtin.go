@@ -89,12 +89,43 @@ func init() {
 	})
 	Register(&Checker{
 		Name:        "waitgroup",
-		Doc:         "sync.WaitGroup.Add called after Wait has started",
+		Doc:         "sync.WaitGroup counter misuse: Add after Wait, or Done driving the counter negative",
 		Severity:    SeverityError,
 		Mode:        ModeViolations,
-		Spec:        gosrc.WaitGroupSpecSrc,
-		NewProperty: gosrc.WaitGroupProperty,
-		NewEvents:   gosrc.WaitGroupEvents,
-		Message:     "WaitGroup %s: Add after Wait (reuse without a new round of Adds)",
+		Spec:        gosrc.WaitGroupCountSpecSrc,
+		NewProperty: gosrc.WaitGroupCountProperty,
+		NewEvents:   gosrc.WaitGroupCountEvents,
+		Version:     "2",
+		Message:     "WaitGroup %s misused: Add after Wait, or more Done calls than the Add total",
+	})
+	Register(&Checker{
+		Name:        "semabalance",
+		Doc:         "semaphore Acquire/Release balance: permits still held (or over-released) at exit",
+		Severity:    SeverityWarning,
+		Mode:        ModeLeakAtExit,
+		Spec:        gosrc.SemaBalanceSpecSrc,
+		NewProperty: gosrc.SemaBalanceProperty,
+		NewEvents:   gosrc.SemaBalanceEvents,
+		Message:     "semaphore %s: acquires and releases may be unbalanced when the entry function returns",
+	})
+	Register(&Checker{
+		Name:        "poolexhaust",
+		Doc:         "connection-pool checkouts in flight may exceed the pool capacity",
+		Severity:    SeverityWarning,
+		Mode:        ModeViolations,
+		Spec:        gosrc.PoolExhaustSpecSrc,
+		NewProperty: gosrc.PoolExhaustProperty,
+		NewEvents:   gosrc.PoolExhaustEvents,
+		Message:     "pool %s: more than 4 connections may be checked out at once",
+	})
+	Register(&Checker{
+		Name:        "depthbound",
+		Doc:         "Enter/Leave nesting depth may exceed the declared bound",
+		Severity:    SeverityWarning,
+		Mode:        ModeViolations,
+		Spec:        gosrc.DepthBoundSpecSrc,
+		NewProperty: gosrc.DepthBoundProperty,
+		NewEvents:   gosrc.DepthBoundEvents,
+		Message:     "Enter/Leave nesting may exceed depth 4 (counter saturated at its bound)",
 	})
 }

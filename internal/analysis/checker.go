@@ -124,6 +124,18 @@ func (c *Checker) compiled() (*spec.Property, *minic.EventMap) {
 	return c.prop, c.events
 }
 
+// Domain describes the checker's annotation domain for display: "model"
+// for model-based checkers (Run set), otherwise the compiled property's
+// domain — "regular" for plain finite-state specs, "counting(c≤4)" style
+// for bounded-counter ones.
+func (c *Checker) Domain() string {
+	if c.Run != nil {
+		return "model"
+	}
+	prop, _ := c.compiled()
+	return prop.Domain()
+}
+
 // message renders the diagnostic text for a parameter label.
 func (c *Checker) message(label string) string {
 	if label == "" {

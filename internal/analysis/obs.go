@@ -21,6 +21,7 @@ type obsState struct {
 	pdmM    *obs.PDMMetrics
 	cacheM  *obs.CacheMetrics
 	driverM *obs.DriverMetrics
+	specM   *obs.SpecMetrics
 }
 
 func newObsState(cfg *Config) *obsState {
@@ -33,8 +34,32 @@ func newObsState(cfg *Config) *obsState {
 		ob.pdmM = obs.NewPDMMetrics(cfg.Metrics)
 		ob.cacheM = obs.NewCacheMetrics(cfg.Metrics)
 		ob.driverM = obs.NewDriverMetrics(cfg.Metrics)
+		ob.specM = obs.NewSpecMetrics(cfg.Metrics)
 	}
 	return ob
+}
+
+// recordSpecMetrics feeds the counting-spec bundle from the selected
+// checkers' compiled properties, once per Analyze run. These are static
+// per-property facts (monoid size, expanded states, saturating tracker
+// edges), so a warm cached run reports them identically to a cold one.
+func (o *obsState) recordSpecMetrics(checkers []*Checker) {
+	if o == nil || o.specM == nil {
+		return
+	}
+	for _, c := range checkers {
+		if c.Run != nil {
+			continue
+		}
+		prop, _ := c.compiled()
+		if len(prop.Counters) == 0 {
+			continue
+		}
+		o.specM.CountingCheckers.Inc()
+		o.specM.CounterMonoidSize.SetMax(int64(prop.Mon.Size()))
+		o.specM.CounterStates.SetMax(int64(prop.Stats.ExpandedStates))
+		o.specM.SaturatingEdges.Add(int64(prop.Stats.SaturatingEdges))
+	}
 }
 
 // span opens a top-level trace span; nil-safe at every layer.

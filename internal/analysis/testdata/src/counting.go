@@ -1,0 +1,76 @@
+package demo
+
+import "sync"
+
+// SemBalanced acquires and releases the semaphore in matched pairs on
+// every path: clean under semabalance.
+func SemBalanced(n int) {
+	sem.Acquire(ctx, 1)
+	if n > 0 {
+		sem.Acquire(ctx, 1)
+		work()
+		sem.Release(1)
+	}
+	work()
+	sem.Release(1)
+}
+
+// SemHold leaves a permit held on the early-return path: semabalance
+// reports the unbalanced exit.
+func SemHold(n int) {
+	sem.Acquire(ctx, 1)
+	if n > 0 {
+		return
+	}
+	sem.Release(1)
+}
+
+// PoolBalanced checks a connection out and back in: clean under
+// poolexhaust.
+func PoolBalanced() {
+	c := pool.Checkout()
+	use(c)
+	pool.Checkin(c)
+}
+
+// PoolSpike checks out in a loop without checking back in: some path
+// exceeds the pool capacity.
+func PoolSpike(n int) {
+	for i := 0; i < n; i++ {
+		c := pool.Checkout()
+		use(c)
+	}
+}
+
+// NestShallow enters and leaves two levels: clean under depthbound.
+func NestShallow() {
+	Enter()
+	Enter()
+	work()
+	Leave()
+	Leave()
+}
+
+// DeepTrace pushes an Enter/Leave pair per recursion level; the
+// recursion is unbounded, so some path exceeds the depth bound.
+func DeepTrace(n int) {
+	descend(n)
+}
+
+func descend(n int) {
+	Enter()
+	if n > 0 {
+		descend(n - 1)
+	}
+	Leave()
+}
+
+// NegativeDone calls Done more often than Add provided: the WaitGroup
+// counter would go negative ("sync: negative WaitGroup counter").
+func NegativeDone() {
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	work()
+	wg2.Done()
+	wg2.Done()
+}

@@ -109,8 +109,10 @@ func (e EnvAlgebra) Dead(a Annot) bool {
 	return true
 }
 
-// String implements Algebra.
-func (e EnvAlgebra) String(a Annot) string { return e.Tab.Env(subst.ID(a)).String() }
+// String implements Algebra. The table form annotates each entry with the
+// state it has reached, so provenance through counter-expanded machines
+// shows the counter valuation.
+func (e EnvAlgebra) String(a Annot) string { return e.Tab.String(subst.ID(a)) }
 
 // TrivialAlgebra is the one-element algebra; with it the solver degrades
 // to plain (unannotated) set constraints, whose accepting query is always

@@ -43,6 +43,15 @@ func product(a, b *DFA, op productOp) *DFA {
 	for _, t := range transitions {
 		d.Delta[t.from][t.sym] = t.to
 	}
+	// Compose state names so diagnostics through a product machine stay
+	// readable — the counter-expanded machines of the spec package rely
+	// on this to show "State·c=2" valuations in witnesses.
+	if a.StateName != nil && b.StateName != nil {
+		d.StateName = make([]string, len(pairs))
+		for id, p := range pairs {
+			d.StateName[id] = a.StateName[p.x] + "·" + b.StateName[p.y]
+		}
+	}
 	return d
 }
 

@@ -1,0 +1,89 @@
+package gosrc
+
+import (
+	"testing"
+
+	"rasc/internal/minic"
+	"rasc/internal/spec"
+)
+
+// countingProps enumerates the bounded-counter checker properties with
+// their committed cost ceilings. CI runs TestCountingMonoidCeilings as a
+// regression guard: growing a spec (more states, a higher bound, extra
+// symbols) is fine as long as the induced monoid stays under the ceiling;
+// blowing past it means the counter abstraction got accidentally
+// expensive and the ceiling — or the spec — needs a deliberate revisit.
+var countingProps = []struct {
+	name        string
+	build       func() *spec.Property
+	events      func() *minic.EventMap
+	maxMonoid   int
+	maxStates   int
+	wantDomain  string
+	wantSatEdge bool // the tracker has at least one saturating edge
+}{
+	{"semabalance", SemaBalanceProperty, SemaBalanceEvents, 48, 8, "counting(c≤4)", true},
+	{"poolexhaust", PoolExhaustProperty, PoolExhaustEvents, 80, 10, "counting(held≤5)", false},
+	{"depthbound", DepthBoundProperty, DepthBoundEvents, 80, 10, "counting(depth≤5)", false},
+	{"waitgroup", WaitGroupCountProperty, WaitGroupCountEvents, 72, 18, "counting(c≤3)", true},
+}
+
+// TestCountingSpecsCompile compiles every counting spec and checks its
+// advertised domain; MustCompile panicking would fail the test outright.
+func TestCountingSpecsCompile(t *testing.T) {
+	for _, c := range countingProps {
+		t.Run(c.name, func(t *testing.T) {
+			p := c.build()
+			if got := p.Domain(); got != c.wantDomain {
+				t.Errorf("Domain() = %q, want %q", got, c.wantDomain)
+			}
+			if len(p.Counters) == 0 {
+				t.Error("property has no counters")
+			}
+			if err := p.Machine.Validate(); err != nil {
+				t.Errorf("expanded machine invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestCountingMonoidCeilings is the monoid-size regression guard (also
+// run by CI). Measured sizes at the time the ceilings were committed:
+// semabalance 35 funcs / 6 states, poolexhaust 61/7, depthbound 61/7,
+// waitgroup 59/15. The waitgroup ceiling is the tight one: its events
+// occur in real code, so its monoid size feeds directly into solver
+// cost (see WaitGroupCountSpecSrc). poolexhaust and depthbound have no
+// saturating edges
+// because their inline `<=` assert condemns a transition before it could
+// saturate (fail takes precedence over clamping).
+func TestCountingMonoidCeilings(t *testing.T) {
+	for _, c := range countingProps {
+		t.Run(c.name, func(t *testing.T) {
+			p := c.build()
+			if got := p.Mon.Size(); got > c.maxMonoid {
+				t.Errorf("monoid size %d exceeds committed ceiling %d", got, c.maxMonoid)
+			}
+			if got := p.Stats.ExpandedStates; got > c.maxStates {
+				t.Errorf("expanded machine has %d states, ceiling %d", got, c.maxStates)
+			}
+			if got := p.Stats.SaturatingEdges > 0; got != c.wantSatEdge {
+				t.Errorf("saturating edges present = %v, want %v", got, c.wantSatEdge)
+			}
+		})
+	}
+}
+
+// TestCountingEventMaps checks that every counting checker's event map
+// only emits symbols its property machine knows.
+func TestCountingEventMaps(t *testing.T) {
+	for _, c := range countingProps {
+		t.Run(c.name, func(t *testing.T) {
+			p := c.build()
+			for _, r := range c.events().Rules {
+				if _, ok := p.Machine.Alpha.Lookup(r.Symbol); !ok {
+					t.Errorf("event rule emits unknown symbol %q", r.Symbol)
+				}
+			}
+		})
+	}
+}

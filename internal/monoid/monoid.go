@@ -262,6 +262,13 @@ func (m *Monoid) AcceptSet() []FuncID {
 // class is represented by f(s0).
 func (m *Monoid) RightClass(f FuncID) dfa.State { return m.funcs[f][m.M.Start] }
 
+// StateName renders the state reached from the start state under f — the
+// compact form used by provenance output. For counter-expanded machines
+// the product state names carry the counter valuation (e.g. "S·c=2").
+func (m *Monoid) StateName(f FuncID) string {
+	return m.M.NameOf(m.RightClass(f))
+}
+
 // LeftClass returns the left-congruence class of f as a bitset over
 // states: bit s is set iff f(s) is accepting, i.e. iff s·word(f) would
 // accept. Panics if the machine has more than 64 states (our backward

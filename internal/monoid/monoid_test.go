@@ -1,8 +1,10 @@
 package monoid
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -159,6 +161,15 @@ func TestBuildLimit(t *testing.T) {
 	_, err := Build(Adversarial(5), 100) // 5^5 = 3125 > 100
 	if err == nil {
 		t.Fatal("expected ErrTooLarge")
+	}
+	// Counter-expanded machines hit this path routinely (their products can
+	// be large), so the failure must be a wrapped sentinel naming the limit,
+	// never a panic or an anonymous error.
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error %q is not ErrTooLarge", err)
+	}
+	if !strings.Contains(err.Error(), "more than 100") {
+		t.Errorf("error %q does not name the limit", err)
 	}
 }
 

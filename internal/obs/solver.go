@@ -57,6 +57,10 @@ type PDMMetrics struct {
 	// LayeredEvents counts property-event edges added by forks (the
 	// annotation layers of the per-property phase).
 	LayeredEvents *Counter
+	// PrunedEvents counts matched events layered as identity edges
+	// because their label can never reach an accept state (per-label
+	// viability pruning of parametric properties).
+	PrunedEvents *Counter
 	// DeferredStmts counts statements whose classification was deferred
 	// to the per-property phase, summed over built skeletons.
 	DeferredStmts *Counter
@@ -68,7 +72,35 @@ func NewPDMMetrics(r *Registry) *PDMMetrics {
 		SkeletonBuilds: r.Counter("pdm.skeleton_builds"),
 		SkeletonForks:  r.Counter("pdm.skeleton_forks"),
 		LayeredEvents:  r.Counter("pdm.layered_events"),
+		PrunedEvents:   r.Counter("pdm.pruned_events"),
 		DeferredStmts:  r.Counter("pdm.deferred_stmts"),
+	}
+}
+
+// SpecMetrics is fed by the analysis driver once per run from the
+// compiled counting (bounded-counter) properties of the selected
+// checkers; regular properties contribute nothing.
+type SpecMetrics struct {
+	// CountingCheckers counts selected checkers with a counting property.
+	CountingCheckers *Counter
+	// CounterMonoidSize is the largest |F_M^≡| among counting properties.
+	CounterMonoidSize *Gauge
+	// CounterStates is the largest counter-expanded machine (state count)
+	// among counting properties.
+	CounterStates *Gauge
+	// SaturatingEdges sums the tracker transitions that clamp an exact
+	// counter value into its saturated ≥k state — the points where the
+	// bounded abstraction loses information.
+	SaturatingEdges *Counter
+}
+
+// NewSpecMetrics interns the counting-spec bundle in r.
+func NewSpecMetrics(r *Registry) *SpecMetrics {
+	return &SpecMetrics{
+		CountingCheckers:  r.Counter("spec.counting_checkers"),
+		CounterMonoidSize: r.Gauge("spec.counter_monoid_size"),
+		CounterStates:     r.Gauge("spec.counter_states"),
+		SaturatingEdges:   r.Counter("spec.counter_saturating_edges"),
 	}
 }
 

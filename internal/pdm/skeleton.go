@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"rasc/internal/core"
+	"rasc/internal/dfa"
 	"rasc/internal/ir"
 	"rasc/internal/minic"
 	"rasc/internal/obs"
@@ -232,11 +233,31 @@ func (sk *Skeleton) CheckObs(prop *spec.Property, events *minic.EventMap, o *Obs
 	}
 
 	ident := alg.Identity()
+	var pruned map[string]bool
+	if envTab != nil {
+		var matched []minic.Event
+		for _, d := range sk.deferred {
+			n := sk.cfg.Nodes[d.id]
+			if ev, ok := events.Match(n.Call, n.AssignTo); ok {
+				matched = append(matched, ev)
+			}
+		}
+		pruned = prunedLabels(prop, matched)
+	}
 	nodeEvent := map[int]core.Annot{}
 	for _, d := range sk.deferred {
 		n := sk.cfg.Nodes[d.id]
 		sv := sk.nodeVar[n.ID]
 		if ev, ok := events.Match(n.Call, n.AssignTo); ok {
+			if ev.Label != "" && prop.ParamOf[ev.Symbol] != "" && pruned[ev.Label] {
+				for _, m := range n.Succs {
+					sys.AddVar(sv, sk.nodeVar[m], ident)
+				}
+				if o != nil && o.PDM != nil {
+					o.PDM.PrunedEvents.Inc()
+				}
+				continue
+			}
 			a, err := annotOf(ev)
 			if err != nil {
 				return nil, err
@@ -282,4 +303,96 @@ func (sk *Skeleton) CheckObs(prop *spec.Property, events *minic.EventMap, o *Obs
 	res.PN = sys.PNReach(sk.pc)
 	res.collectViolations(alg)
 	return res, nil
+}
+
+// prunedLabels is the per-label viability filter for parametric
+// properties. A catch-all event rule can match receivers that have
+// nothing to do with the property — a counting waitgroup checker's
+// `Add` rule matching every metrics counter in the program, say — and
+// each distinct label mints fresh environment entries that the solver
+// must intern, compose, and propagate; on method-name-heavy trees that
+// is the dominant cost of a parametric check.
+//
+// An entry bound to label l is built exclusively from l's own symbol
+// functions plus those of unlabeled events (which reach every entry
+// through the residual), and every consumer of entries — violation
+// collection, exit-leak queries — tests them with Mon.Accepting, i.e.
+// applied at the machine's start state. So when no word over that
+// symbol set can drive the machine from start to an accept state, label
+// l can never produce a finding, and its events may be layered as
+// identity edges without changing any result.
+//
+// The reasoning needs entries to track exactly one label, so pruning is
+// restricted to single-parameter properties: with one parameter, two
+// entries for different labels conflict and never merge, whereas
+// multi-parameter entries could mix symbol sets across labels. Returns
+// nil (prune nothing) when the property is multi-parameter or an event
+// symbol is not in the machine's alphabet (the layering loop surfaces
+// that error).
+func prunedLabels(prop *spec.Property, matched []minic.Event) map[string]bool {
+	params := map[string]bool{}
+	for _, p := range prop.ParamOf {
+		if p != "" {
+			params[p] = true
+		}
+	}
+	if len(params) != 1 {
+		return nil
+	}
+	mach := prop.Mon.M
+	global := map[dfa.Symbol]bool{}
+	labelSyms := map[string]map[dfa.Symbol]bool{}
+	for _, ev := range matched {
+		sym, ok := mach.Alpha.Lookup(ev.Symbol)
+		if !ok {
+			return nil
+		}
+		if prop.ParamOf[ev.Symbol] == "" || ev.Label == "" {
+			global[sym] = true
+			continue
+		}
+		set := labelSyms[ev.Label]
+		if set == nil {
+			set = map[dfa.Symbol]bool{}
+			labelSyms[ev.Label] = set
+		}
+		set[sym] = true
+	}
+	pruned := map[string]bool{}
+	for lbl, syms := range labelSyms {
+		for s := range global {
+			syms[s] = true
+		}
+		if !acceptReachable(mach, syms) {
+			pruned[lbl] = true
+		}
+	}
+	return pruned
+}
+
+// acceptReachable reports whether some word over syms drives m from its
+// start state to an accept state.
+func acceptReachable(m *dfa.DFA, syms map[dfa.Symbol]bool) bool {
+	if m.Accept[m.Start] {
+		return true
+	}
+	visited := make([]bool, m.NumStates)
+	visited[m.Start] = true
+	queue := []dfa.State{m.Start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for sym := range syms {
+			t := m.Step(s, sym)
+			if t == dfa.None || visited[t] {
+				continue
+			}
+			if m.Accept[t] {
+				return true
+			}
+			visited[t] = true
+			queue = append(queue, t)
+		}
+	}
+	return false
 }

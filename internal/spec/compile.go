@@ -18,8 +18,14 @@ type Property struct {
 	// symbol is non-parametric.
 	ParamOf map[string]string
 	// StateOf maps declared state names to machine states (valid only
-	// when the machine was not minimized away from the declaration).
+	// when the machine was not minimized away from the declaration and
+	// has no counters; counter expansion replaces states with products).
 	StateOf map[string]dfa.State
+	// Counters lists the declared bounded counters (nil for plain
+	// regular specifications).
+	Counters []CounterInfo
+	// Stats reports counter-expansion cost (zero for regular specs).
+	Stats CounterStats
 }
 
 // Options configures Compile.
@@ -65,6 +71,10 @@ func MustCompile(src string) *Property {
 
 // CompileAST compiles a parsed specification.
 func CompileAST(ast *AST, opts Options) (*Property, error) {
+	cs, err := validateCounters(ast)
+	if err != nil {
+		return nil, err
+	}
 	stateOf := make(map[string]dfa.State)
 	var names []string
 	for _, d := range ast.States {
@@ -108,7 +118,9 @@ func CompileAST(ast *AST, opts Options) (*Property, error) {
 	if start == dfa.None {
 		return nil, &SemanticError{ast.States[0].Line, "no start state declared"}
 	}
-	if !anyAccept {
+	// Counter asserts supply acceptance, so a counter spec need not
+	// declare an accept state.
+	if !anyAccept && cs == nil {
 		return nil, &SemanticError{ast.States[0].Line, "no accept state declared"}
 	}
 
@@ -132,6 +144,13 @@ func CompileAST(ast *AST, opts Options) (*Property, error) {
 	}
 	machine := d.CompleteSelfLoop()
 	exposedStates := stateOf
+	machine, counters, stats, err := expandCounters(machine, cs)
+	if err != nil {
+		return nil, err
+	}
+	if counters != nil {
+		exposedStates = nil
+	}
 	if opts.Minimize {
 		machine = dfa.Minimize(machine)
 		exposedStates = nil
@@ -141,11 +160,13 @@ func CompileAST(ast *AST, opts Options) (*Property, error) {
 		return nil, err
 	}
 	return &Property{
-		AST:     ast,
-		Machine: machine,
-		Mon:     mon,
-		ParamOf: paramOf,
-		StateOf: exposedStates,
+		AST:      ast,
+		Machine:  machine,
+		Mon:      mon,
+		ParamOf:  paramOf,
+		StateOf:  exposedStates,
+		Counters: counters,
+		Stats:    stats,
 	}, nil
 }
 

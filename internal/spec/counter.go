@@ -1,0 +1,346 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"rasc/internal/dfa"
+)
+
+// This file implements bounded-counter annotations: a counter automaton
+// whose counters saturate at a declared bound k, so its transition
+// structure stays a finite DFA and the induced monoid F_M^≡ (and with it
+// Then/Apply and the whole solver) works unchanged.
+//
+// A specification may declare
+//
+//	counter c bound 4;
+//
+// attach updates to arms (`| acquire(x) [c += 1] -> S`, or the shorthand
+// `[+1]` when there is exactly one counter), and assert
+//
+//	assert c <= 3;          // inline: violating transitions accept
+//	assert c >= 0;          // inline: only 0 is supported
+//	assert c == 0 at exit;  // exit: violating valuations accept
+//
+// Each counter compiles to a small tracker DFA over the abstract domain
+//
+//	{0, 1, …, k-1} ∪ {≥k} ∪ {<0} ∪ {fail}
+//
+// where ≥k is the saturated value (any further information is lost — a
+// finding that depends on a saturated counter is a MAY verdict), <0 is a
+// sticky "went below zero" value, and fail is the absorbing accepting
+// state entered when an inline assert is violated. The trackers are folded
+// into the declared machine with the synchronous product (dfa.Union), so
+// the final accept set is "base accepts OR any counter assert fires", and
+// product state names like "S·c=2" carry the counter valuation into
+// witnesses and -explain provenance.
+//
+// The product factorization requires that a counter update depend only on
+// the symbol, not the source state: every arm mentioning a symbol must
+// carry the same counter deltas (unmentioned symbols stutter with delta
+// 0). Compilation rejects inconsistent deltas.
+
+// CounterInfo describes one declared counter of a compiled Property.
+type CounterInfo struct {
+	Name  string
+	Bound int
+}
+
+// CounterStats reports the cost of counter expansion, for obs metrics and
+// regression guards.
+type CounterStats struct {
+	// ExpandedStates is the state count of the machine after all counter
+	// trackers were folded in (0 for counter-free specs).
+	ExpandedStates int
+	// SaturatingEdges counts tracker transitions that clamp an exact
+	// counter value into the saturated ≥k state — the places where the
+	// abstraction loses information.
+	SaturatingEdges int
+}
+
+// maxCounterBound caps a single counter's bound; beyond this the tracker
+// alone would dwarf any realistic property machine.
+const maxCounterBound = 64
+
+// maxExpandedStates caps the product of the declared machine with all
+// counter trackers.
+const maxExpandedStates = 4096
+
+// counterSpec is the validated form of the counter declarations: per-symbol
+// deltas and the assert lists split per counter.
+type counterSpec struct {
+	decls []CounterDecl
+	// deltas[sym][counter] = net delta applied by symbol sym (absent = 0).
+	deltas map[string]map[string]int
+	// inlineMax[counter] = smallest inline `<= v` bound (-1 if none).
+	inlineMax map[string]int
+	// inlineNonneg[counter] = an inline `>= 0` assert exists.
+	inlineNonneg map[string]bool
+	// exit[counter] = exit asserts on that counter.
+	exit map[string][]AssertDecl
+}
+
+// validateCounters checks the counter declarations, arm updates and
+// asserts of ast, returning the canonical per-symbol deltas. It returns
+// (nil, nil) for counter-free specifications.
+func validateCounters(ast *AST) (*counterSpec, error) {
+	if len(ast.Counters) == 0 {
+		if len(ast.Asserts) > 0 {
+			a := ast.Asserts[0]
+			return nil, &SemanticError{a.Line, fmt.Sprintf("assert references counter %q but no counters are declared", a.Counter)}
+		}
+		for _, d := range ast.States {
+			for _, arm := range d.Arms {
+				if len(arm.Ops) > 0 {
+					return nil, &SemanticError{arm.Line, fmt.Sprintf("arm for %q updates a counter but no counters are declared", arm.Symbol)}
+				}
+			}
+		}
+		return nil, nil
+	}
+
+	cs := &counterSpec{
+		decls:        ast.Counters,
+		deltas:       map[string]map[string]int{},
+		inlineMax:    map[string]int{},
+		inlineNonneg: map[string]bool{},
+		exit:         map[string][]AssertDecl{},
+	}
+	bounds := map[string]int{}
+	for _, c := range ast.Counters {
+		if _, dup := bounds[c.Name]; dup {
+			return nil, &SemanticError{c.Line, fmt.Sprintf("duplicate counter %q", c.Name)}
+		}
+		if c.Bound < 1 || c.Bound > maxCounterBound {
+			return nil, &SemanticError{c.Line, fmt.Sprintf("counter %q bound %d out of range [1, %d]", c.Name, c.Bound, maxCounterBound)}
+		}
+		bounds[c.Name] = c.Bound
+		cs.inlineMax[c.Name] = -1
+	}
+
+	asserted := map[string]bool{}
+	for _, a := range ast.Asserts {
+		bound, ok := bounds[a.Counter]
+		if !ok {
+			return nil, &SemanticError{a.Line, fmt.Sprintf("assert references undeclared counter %q", a.Counter)}
+		}
+		if a.Value < 0 || a.Value > bound-1 {
+			return nil, &SemanticError{a.Line,
+				fmt.Sprintf("assert value %d for counter %q out of range [0, %d] (bound %d must exceed the asserted value)", a.Value, a.Counter, bound-1, bound)}
+		}
+		asserted[a.Counter] = true
+		if a.AtExit {
+			cs.exit[a.Counter] = append(cs.exit[a.Counter], a)
+			continue
+		}
+		switch a.Cmp {
+		case "<=":
+			if cur := cs.inlineMax[a.Counter]; cur < 0 || a.Value < cur {
+				cs.inlineMax[a.Counter] = a.Value
+			}
+		case ">=":
+			if a.Value != 0 {
+				return nil, &SemanticError{a.Line, fmt.Sprintf("inline '>=' assert on %q supports only 0", a.Counter)}
+			}
+			cs.inlineNonneg[a.Counter] = true
+		case "==":
+			return nil, &SemanticError{a.Line, "'==' asserts are only supported 'at exit'"}
+		}
+	}
+	for _, c := range ast.Counters {
+		if !asserted[c.Name] {
+			return nil, &SemanticError{c.Line, fmt.Sprintf("counter %q is never asserted", c.Name)}
+		}
+	}
+
+	// Canonicalize arm updates into per-symbol deltas and check that every
+	// arm on a symbol agrees (the product factorization needs per-symbol
+	// updates).
+	soleCounter := ""
+	if len(ast.Counters) == 1 {
+		soleCounter = ast.Counters[0].Name
+	}
+	seenArm := map[string]int{} // symbol -> line of first arm
+	for _, d := range ast.States {
+		for _, arm := range d.Arms {
+			net := map[string]int{}
+			for _, op := range arm.Ops {
+				name := op.Counter
+				if name == "" {
+					if soleCounter == "" {
+						return nil, &SemanticError{op.Line,
+							fmt.Sprintf("shorthand counter update on %q is ambiguous with %d counters; name the counter", arm.Symbol, len(ast.Counters))}
+					}
+					name = soleCounter
+				}
+				if _, ok := bounds[name]; !ok {
+					return nil, &SemanticError{op.Line, fmt.Sprintf("arm for %q updates undeclared counter %q", arm.Symbol, name)}
+				}
+				net[name] += op.Delta
+			}
+			for name, dl := range net {
+				if dl == 0 {
+					delete(net, name)
+				}
+			}
+			if prev, seen := cs.deltas[arm.Symbol]; seen {
+				if !sameDeltas(prev, net) {
+					return nil, &SemanticError{arm.Line,
+						fmt.Sprintf("symbol %q carries different counter updates than its arm at line %d (counter updates must be per-symbol)", arm.Symbol, seenArm[arm.Symbol])}
+				}
+			} else {
+				cs.deltas[arm.Symbol] = net
+				seenArm[arm.Symbol] = arm.Line
+			}
+		}
+	}
+	return cs, nil
+}
+
+func sameDeltas(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// counterTracker builds the tracker DFA for one counter over the shared
+// spec alphabet. States: 0..k-1 exact, k saturated (≥k), k+1 negative
+// (<0), k+2 fail (absorbing, accepting).
+func (cs *counterSpec) counterTracker(c CounterDecl, alpha *dfa.Alphabet, stats *CounterStats) *dfa.DFA {
+	k := c.Bound
+	sat := dfa.State(k)
+	neg := dfa.State(k + 1)
+	fail := dfa.State(k + 2)
+	d := dfa.NewDFA(alpha, k+3, 0)
+	names := make([]string, k+3)
+	for v := 0; v < k; v++ {
+		names[v] = fmt.Sprintf("%s=%d", c.Name, v)
+	}
+	names[sat] = fmt.Sprintf("%s>=%d", c.Name, k)
+	names[neg] = fmt.Sprintf("%s<0", c.Name)
+	names[fail] = fmt.Sprintf("%s:fail", c.Name)
+	d.StateName = names
+
+	inlineMax := cs.inlineMax[c.Name]
+	nonneg := cs.inlineNonneg[c.Name]
+
+	// Accepting valuations: fail always; exact / saturated / negative
+	// values iff they violate some exit assert. The saturated value
+	// stands for "anything ≥ k", so it may-violates `==` and `<=` exit
+	// asserts; the negative value records that the counter once went
+	// below zero, which violates `==` and `>=` exit asserts (a precision
+	// choice: `<=` is treated as still satisfiable).
+	d.SetAccept(fail)
+	for _, a := range cs.exit[c.Name] {
+		for v := 0; v < k; v++ {
+			if violatesExact(a, v) {
+				d.SetAccept(dfa.State(v))
+			}
+		}
+		switch a.Cmp {
+		case "==", "<=":
+			d.SetAccept(sat)
+		}
+		switch a.Cmp {
+		case "==", ">=":
+			d.SetAccept(neg)
+		}
+	}
+
+	for i := 0; i < alpha.Size(); i++ {
+		sym := dfa.Symbol(i)
+		delta := cs.deltas[alpha.Name(sym)][c.Name]
+		for v := 0; v < k; v++ {
+			next := dfa.State(0)
+			switch nv := v + delta; {
+			case nv < 0:
+				if nonneg {
+					next = fail
+				} else {
+					next = neg
+				}
+			case inlineMax >= 0 && nv > inlineMax:
+				next = fail
+			case nv >= k:
+				next = sat
+				stats.SaturatingEdges++
+			default:
+				next = dfa.State(nv)
+			}
+			d.SetTransition(dfa.State(v), sym, next)
+		}
+		// Saturated, negative and failed values are sticky: once the
+		// abstraction has lost (or condemned) the exact value, no update
+		// can restore it.
+		d.SetTransition(sat, sym, sat)
+		d.SetTransition(neg, sym, neg)
+		d.SetTransition(fail, sym, fail)
+	}
+	return d
+}
+
+func violatesExact(a AssertDecl, v int) bool {
+	switch a.Cmp {
+	case "==":
+		return v != a.Value
+	case "<=":
+		return v > a.Value
+	case ">=":
+		return v < a.Value
+	}
+	return false
+}
+
+// expandCounters folds the counter trackers into the completed base
+// machine via the synchronous product (accept = OR), preserving state
+// names so witnesses read "S·c=2".
+func expandCounters(base *dfa.DFA, cs *counterSpec) (*dfa.DFA, []CounterInfo, CounterStats, error) {
+	var stats CounterStats
+	if cs == nil {
+		return base, nil, stats, nil
+	}
+	info := make([]CounterInfo, len(cs.decls))
+	machine := base
+	for i, c := range cs.decls {
+		info[i] = CounterInfo{Name: c.Name, Bound: c.Bound}
+		machine = dfa.Union(machine, cs.counterTracker(c, base.Alpha, &stats))
+		if machine.NumStates > maxExpandedStates {
+			return nil, nil, stats, &SemanticError{c.Line,
+				fmt.Sprintf("counter expansion exceeds %d states at counter %q (bound %d); lower the bounds", maxExpandedStates, c.Name, c.Bound)}
+		}
+	}
+	stats.ExpandedStates = machine.NumStates
+	return machine, info, stats, nil
+}
+
+// Counters returns the declared counters of the property (nil for plain
+// regular specifications), sorted by name.
+func (p *Property) CounterList() []CounterInfo {
+	out := append([]CounterInfo(nil), p.Counters...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Domain describes the annotation domain of the property for display:
+// "regular" for plain finite-state specifications, "counting(c≤4)" style
+// for bounded-counter ones.
+func (p *Property) Domain() string {
+	if len(p.Counters) == 0 {
+		return "regular"
+	}
+	s := "counting("
+	for i, c := range p.CounterList() {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s≤%d", c.Name, c.Bound)
+	}
+	return s + ")"
+}

@@ -1,0 +1,260 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rasc/internal/dfa"
+	"rasc/internal/monoid"
+)
+
+// semCounterSrc is the canonical bounded-counter specification used
+// throughout the tests: a single permit counter with both inline and
+// exit asserts (the semabalance shape).
+const semCounterSrc = `
+counter c bound 4;
+
+start state S :
+    | acquire(x) [c += 1] -> S
+    | release(x) [c -= 1] -> S;
+
+assert c >= 0;
+assert c == 0 at exit;
+`
+
+func TestCounterCompile(t *testing.T) {
+	p, err := Compile(semCounterSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Domain(); got != "counting(c≤4)" {
+		t.Errorf("Domain() = %q, want counting(c≤4)", got)
+	}
+	if len(p.Counters) != 1 || p.Counters[0].Name != "c" || p.Counters[0].Bound != 4 {
+		t.Errorf("Counters = %+v, want one counter c bound 4", p.Counters)
+	}
+	// 1 base state × (4 exact + sat + neg + fail) tracker values, minus the
+	// unreachable product combinations dfa.Union trims.
+	if p.Stats.ExpandedStates == 0 || p.Stats.ExpandedStates != p.Machine.NumStates {
+		t.Errorf("Stats.ExpandedStates = %d, machine has %d states", p.Stats.ExpandedStates, p.Machine.NumStates)
+	}
+	if p.Stats.SaturatingEdges == 0 {
+		t.Error("expected at least one saturating edge for acquire at c=3")
+	}
+	// Product state names carry the counter valuation.
+	var names []string
+	for s := 0; s < p.Machine.NumStates; s++ {
+		names = append(names, p.Machine.NameOf(dfa.State(s)))
+	}
+	joined := strings.Join(names, " ")
+	// The "c<0" tracker value is unreachable here: the inline `>= 0` assert
+	// routes underflow straight to fail, and the product trims it.
+	for _, want := range []string{"S·c=0", "S·c>=4", "S·c:fail"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("state names %q missing %q", joined, want)
+		}
+	}
+}
+
+// TestCounterSemantics drives the compiled monoid through the abstract
+// counter domain: exact values below the bound behave precisely,
+// underflow condemns the run, and saturation yields a may-verdict.
+func TestCounterSemantics(t *testing.T) {
+	p, err := Compile(semCounterSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq, ok := p.Mon.SymbolFuncByName("acquire")
+	if !ok {
+		t.Fatal("no acquire symbol")
+	}
+	rel, ok := p.Mon.SymbolFuncByName("release")
+	if !ok {
+		t.Fatal("no release symbol")
+	}
+	seq := func(fs ...monoid.FuncID) monoid.FuncID {
+		f := p.Mon.Identity()
+		for _, g := range fs {
+			f = p.Mon.Then(f, g)
+		}
+		return f
+	}
+	rep := func(f monoid.FuncID, n int) []monoid.FuncID {
+		out := make([]monoid.FuncID, n)
+		for i := range out {
+			out[i] = f
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		f    monoid.FuncID
+		acc  bool
+	}{
+		{"empty trace: balanced", p.Mon.Identity(), false},
+		{"lone acquire: held at exit", acq, true},
+		{"acquire release: balanced", seq(acq, rel), false},
+		{"release first: underflow", seq(rel, acq), true},
+		{"three acquires three releases: exact range", seq(acq, acq, acq, rel, rel, rel), false},
+		{"five acquires five releases: saturated may-verdict", seq(append(rep(acq, 5), rep(rel, 5)...)...), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := p.Mon.Accepting(c.f); got != c.acc {
+				st := p.Mon.Apply(c.f, p.Machine.Start)
+				t.Errorf("accepting = %v (state %s), want %v", got, p.Machine.NameOf(st), c.acc)
+			}
+		})
+	}
+	// The underflow and saturated states are sticky: no suffix recovers.
+	under := seq(rel, acq)
+	if !p.Mon.Accepting(p.Mon.Then(under, seq(rep(acq, 3)...))) {
+		t.Error("underflow must stay condemned after further acquires")
+	}
+}
+
+// TestCounterSyntaxErrors checks positions and messages on malformed
+// counter syntax — the lexer and parser must point at the offending
+// token, not just fail.
+func TestCounterSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		want      string
+		line, col int
+	}{
+		{"missing bound keyword", "counter c 4;", "expected 'bound'", 1, 11},
+		{"missing bound value", "counter c bound;", "expected counter bound", 1, 16},
+		{"lone <", "counter c bound 2;\nassert c < 1;", "expected '<=' after '<'", 2, 11},
+		{"at without exit", "counter c bound 2;\nassert c == 0 at end;", "expected 'exit' after 'at'", 2, 18},
+		{"bad op", "start state S :\n | a [c * 1] -> S;", "unexpected character", 2, 9},
+		{"negative delta", "start state S :\n | a [c += -1] -> S;", "must be non-negative", 2, 12},
+		{"unclosed bracket", "start state S :\n | a [+1 -> S;", "expected ']'", 2, 10},
+		{"empty brackets", "start state S :\n | a [] -> S;", "expected counter update", 2, 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %T is not a *SyntaxError", err)
+			}
+			if se.Line != c.line || se.Col != c.col {
+				t.Errorf("error at %d:%d, want %d:%d (%s)", se.Line, se.Col, c.line, c.col, se.Msg)
+			}
+		})
+	}
+}
+
+func TestCounterSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"assert without counters",
+			"start state S : | a -> S;\nassert c <= 1;",
+			"no counters are declared"},
+		{"update without counters",
+			"start state S : | a [+1] -> S;\naccept state B;",
+			"no counters are declared"},
+		{"duplicate counter",
+			"counter c bound 2;\ncounter c bound 3;\nstart state S : | a [c += 1] -> S;\nassert c <= 1;",
+			"duplicate counter"},
+		{"bound zero",
+			"counter c bound 0;\nstart state S : | a [c += 1] -> S;\nassert c <= 1;",
+			"out of range"},
+		{"bound huge",
+			"counter c bound 65;\nstart state S : | a [c += 1] -> S;\nassert c <= 1;",
+			"out of range"},
+		{"undeclared in assert",
+			"counter c bound 2;\nstart state S : | a [c += 1] -> S;\nassert d <= 1;",
+			"undeclared counter"},
+		{"undeclared in update",
+			"counter c bound 2;\nstart state S : | a [d += 1] -> S;\nassert c <= 1;",
+			"undeclared counter"},
+		{"never asserted",
+			"counter c bound 2;\nstart state S : | a [c += 1] -> S;\naccept state B;",
+			"never asserted"},
+		{"assert value at bound",
+			"counter c bound 2;\nstart state S : | a [c += 1] -> S;\nassert c <= 2;",
+			"out of range"},
+		{"inline ==",
+			"counter c bound 2;\nstart state S : | a [c += 1] -> S;\nassert c == 1;",
+			"only supported 'at exit'"},
+		{"inline >= nonzero",
+			"counter c bound 3;\nstart state S : | a [c += 1] -> S;\nassert c >= 1;",
+			"supports only 0"},
+		{"ambiguous shorthand",
+			"counter c bound 2;\ncounter d bound 2;\nstart state S : | a [+1] -> S;\nassert c <= 1;\nassert d <= 1;",
+			"ambiguous"},
+		{"inconsistent deltas",
+			"counter c bound 2;\nstart state S : | a [c += 1] -> T;\nstate T : | a [c -= 1] -> S;\nassert c <= 1;",
+			"must be per-symbol"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, Options{})
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+			var se *SemanticError
+			if !errors.As(err, &se) {
+				t.Errorf("error %T is not a *SemanticError", err)
+			}
+		})
+	}
+}
+
+// TestCounterExpansionCap exercises the product-size guard: several wide
+// counters multiply past maxExpandedStates and must fail with a clear
+// message instead of building an enormous machine.
+func TestCounterExpansionCap(t *testing.T) {
+	src := `
+counter a bound 20;
+counter b bound 20;
+counter c bound 20;
+
+start state S :
+    | x [a += 1] -> S
+    | y [b += 1] -> S
+    | z [c += 1] -> S;
+
+assert a <= 19;
+assert b <= 19;
+assert c <= 19;
+`
+	_, err := Compile(src, Options{})
+	if err == nil {
+		t.Fatal("expected expansion-cap error")
+	}
+	if !strings.Contains(err.Error(), "counter expansion exceeds") {
+		t.Errorf("error %q does not mention the expansion cap", err)
+	}
+}
+
+// TestCounterMonoidLimit checks that a counter spec whose monoid blows
+// past Options.MonoidLimit surfaces monoid.ErrTooLarge (wrapped, with
+// the limit in the message) rather than panicking.
+func TestCounterMonoidLimit(t *testing.T) {
+	_, err := Compile(semCounterSrc, Options{MonoidLimit: 4})
+	if err == nil {
+		t.Fatal("expected monoid-limit error")
+	}
+	if !errors.Is(err, monoid.ErrTooLarge) {
+		t.Errorf("error %q is not monoid.ErrTooLarge", err)
+	}
+	if !strings.Contains(err.Error(), "more than 4") {
+		t.Errorf("error %q does not name the limit", err)
+	}
+}

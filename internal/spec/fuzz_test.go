@@ -12,6 +12,16 @@ func FuzzCompile(f *testing.F) {
 		"start state A : | x -> B; accept state B;",
 		"state;;",
 		"start accept state Z : | a(b) -> Z;",
+		// Bounded-counter specifications: a valid semabalance shape, then
+		// malformed bracket/assert fragments the parser must reject cleanly.
+		semCounterSrc,
+		"counter c bound 2;\nstart state S : | up(x) [+1] -> S | dn(x) [-1] -> S;\nassert c <= 1;",
+		"counter c bound 2; counter d bound 3;\nstart state S : | a [c += 1, d += 2] -> S;\nassert c <= 1; assert d == 0 at exit;",
+		"counter c bound 0; assert c <= 9;",
+		"start state S : | a [c -> S;",
+		"assert <= at exit;;",
+		"counter bound bound bound;",
+		"start state S : | a [c += -] -> S;",
 	}
 	for _, s := range seeds {
 		f.Add(s)

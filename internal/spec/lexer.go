@@ -38,6 +38,15 @@ const (
 	tokArrow
 	tokLParen
 	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokNumber
+	tokPlusEq
+	tokMinusEq
+	tokLE
+	tokGE
+	tokEqEq
 )
 
 func (k tokenKind) String() string {
@@ -58,6 +67,24 @@ func (k tokenKind) String() string {
 		return "'('"
 	case tokRParen:
 		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokNumber:
+		return "number"
+	case tokPlusEq:
+		return "'+='"
+	case tokMinusEq:
+		return "'-='"
+	case tokLE:
+		return "'<='"
+	case tokGE:
+		return "'>='"
+	case tokEqEq:
+		return "'=='"
 	}
 	return "unknown token"
 }
@@ -177,15 +204,77 @@ func (l *lexer) next() (token, error) {
 	case r == ')':
 		l.advance()
 		return token{tokRParen, ")", line, col}, nil
+	case r == '[':
+		l.advance()
+		return token{tokLBracket, "[", line, col}, nil
+	case r == ']':
+		l.advance()
+		return token{tokRBracket, "]", line, col}, nil
+	case r == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case unicode.IsDigit(r):
+		return l.number(line, col, false), nil
 	case r == '-':
 		l.advance()
-		if l.peek() != '>' {
-			return token{}, l.errf("expected '->' after '-'")
+		switch {
+		case l.peek() == '>':
+			l.advance()
+			return token{tokArrow, "->", line, col}, nil
+		case l.peek() == '=':
+			l.advance()
+			return token{tokMinusEq, "-=", line, col}, nil
+		case unicode.IsDigit(l.peek()):
+			return l.number(line, col, true), nil
+		}
+		return token{}, l.errf("expected '->', '-=' or a number after '-'")
+	case r == '+':
+		l.advance()
+		switch {
+		case l.peek() == '=':
+			l.advance()
+			return token{tokPlusEq, "+=", line, col}, nil
+		case unicode.IsDigit(l.peek()):
+			return l.number(line, col, false), nil
+		}
+		return token{}, l.errf("expected '+=' or a number after '+'")
+	case r == '<':
+		l.advance()
+		if l.peek() != '=' {
+			return token{}, l.errf("expected '<=' after '<'")
 		}
 		l.advance()
-		return token{tokArrow, "->", line, col}, nil
+		return token{tokLE, "<=", line, col}, nil
+	case r == '>':
+		l.advance()
+		if l.peek() != '=' {
+			return token{}, l.errf("expected '>=' after '>'")
+		}
+		l.advance()
+		return token{tokGE, ">=", line, col}, nil
+	case r == '=':
+		l.advance()
+		if l.peek() != '=' {
+			return token{}, l.errf("expected '==' after '='")
+		}
+		l.advance()
+		return token{tokEqEq, "==", line, col}, nil
 	}
 	return token{}, l.errf("unexpected character %q", string(r))
+}
+
+// number lexes a run of digits (the leading sign, if any, was already
+// consumed by next).
+func (l *lexer) number(line, col int, neg bool) token {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+		l.advance()
+	}
+	text := string(l.src[start:l.pos])
+	if neg {
+		text = "-" + text
+	}
+	return token{tokNumber, text, line, col}
 }
 
 func lexAll(src string) ([]token, error) {

@@ -1,13 +1,27 @@
 package spec
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // AST types.
 
-// Arm is one transition clause `| sym -> Target` or `| sym(x) -> Target`.
+// CounterOp is one counter update attached to an arm, e.g. `c += 1`. The
+// shorthand forms `[+1]` / `[-1]` leave Counter empty and are resolved to
+// the specification's sole counter during compilation.
+type CounterOp struct {
+	Counter string
+	Delta   int
+	Line    int
+}
+
+// Arm is one transition clause `| sym -> Target`, `| sym(x) -> Target`,
+// or with counter updates `| sym(x) [c += 1] -> Target`.
 type Arm struct {
 	Symbol string
 	Param  string // parameter variable, "" if non-parametric
+	Ops    []CounterOp
 	Target string
 	Line   int
 }
@@ -21,9 +35,28 @@ type StateDecl struct {
 	Line     int
 }
 
+// CounterDecl is one `counter c bound k;` declaration.
+type CounterDecl struct {
+	Name  string
+	Bound int
+	Line  int
+}
+
+// AssertDecl is one `assert c <= n;` / `assert c >= 0;` /
+// `assert c == 0 at exit;` declaration.
+type AssertDecl struct {
+	Counter string
+	Cmp     string // "<=", ">=" or "=="
+	Value   int
+	AtExit  bool
+	Line    int
+}
+
 // AST is a parsed specification.
 type AST struct {
-	States []StateDecl
+	States   []StateDecl
+	Counters []CounterDecl
+	Asserts  []AssertDecl
 }
 
 type parser struct {
@@ -63,16 +96,104 @@ func Parse(src string) (*AST, error) {
 	p := &parser{toks: toks}
 	ast := &AST{}
 	for p.cur().kind != tokEOF {
-		decl, err := p.stateDecl()
-		if err != nil {
-			return nil, err
+		switch t := p.cur(); {
+		case t.kind == tokIdent && t.text == "counter":
+			decl, err := p.counterDecl()
+			if err != nil {
+				return nil, err
+			}
+			ast.Counters = append(ast.Counters, decl)
+		case t.kind == tokIdent && t.text == "assert":
+			decl, err := p.assertDecl()
+			if err != nil {
+				return nil, err
+			}
+			ast.Asserts = append(ast.Asserts, decl)
+		default:
+			decl, err := p.stateDecl()
+			if err != nil {
+				return nil, err
+			}
+			ast.States = append(ast.States, decl)
 		}
-		ast.States = append(ast.States, decl)
 	}
 	if len(ast.States) == 0 {
 		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "empty specification"}
 	}
 	return ast, nil
+}
+
+func (p *parser) expectNumber(what string) (int, token, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, t, p.errf(t, "expected %s, found %s %q", what, t.kind, t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, t, p.errf(t, "invalid number %q", t.text)
+	}
+	return n, p.bump(), nil
+}
+
+// counterDecl parses `counter <name> bound <k> ;`.
+func (p *parser) counterDecl() (CounterDecl, error) {
+	var d CounterDecl
+	d.Line = p.cur().line
+	p.bump() // "counter"
+	name, err := p.expectIdent("counter name")
+	if err != nil {
+		return d, err
+	}
+	d.Name = name.text
+	kw := p.cur()
+	if kw.kind != tokIdent || kw.text != "bound" {
+		return d, p.errf(kw, "expected 'bound', found %s %q", kw.kind, kw.text)
+	}
+	p.bump()
+	d.Bound, _, err = p.expectNumber("counter bound")
+	if err != nil {
+		return d, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// assertDecl parses `assert <counter> (<=|>=|==) <n> [at exit] ;`.
+func (p *parser) assertDecl() (AssertDecl, error) {
+	var d AssertDecl
+	d.Line = p.cur().line
+	p.bump() // "assert"
+	name, err := p.expectIdent("counter name")
+	if err != nil {
+		return d, err
+	}
+	d.Counter = name.text
+	switch t := p.cur(); t.kind {
+	case tokLE, tokGE, tokEqEq:
+		d.Cmp = t.text
+		p.bump()
+	default:
+		return d, p.errf(t, "expected '<=', '>=' or '==', found %s %q", t.kind, t.text)
+	}
+	d.Value, _, err = p.expectNumber("comparison value")
+	if err != nil {
+		return d, err
+	}
+	if t := p.cur(); t.kind == tokIdent && t.text == "at" {
+		p.bump()
+		ex := p.cur()
+		if ex.kind != tokIdent || ex.text != "exit" {
+			return d, p.errf(ex, "expected 'exit' after 'at', found %s %q", ex.kind, ex.text)
+		}
+		p.bump()
+		d.AtExit = true
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return d, err
+	}
+	return d, nil
 }
 
 func (p *parser) stateDecl() (StateDecl, error) {
@@ -152,6 +273,23 @@ func (p *parser) arm() (Arm, error) {
 			return a, err
 		}
 	}
+	if p.cur().kind == tokLBracket {
+		p.bump()
+		for {
+			op, err := p.counterOp()
+			if err != nil {
+				return a, err
+			}
+			a.Ops = append(a.Ops, op)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.bump()
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return a, err
+		}
+	}
 	if _, err := p.expect(tokArrow); err != nil {
 		return a, err
 	}
@@ -161,4 +299,47 @@ func (p *parser) arm() (Arm, error) {
 	}
 	a.Target = tgt.text
 	return a, nil
+}
+
+// counterOp parses one bracketed counter update: either the shorthand
+// `+1` / `-1` (resolved to the sole counter later) or `c += 1` / `c -= 1`.
+func (p *parser) counterOp() (CounterOp, error) {
+	var op CounterOp
+	t := p.cur()
+	op.Line = t.line
+	switch t.kind {
+	case tokNumber:
+		n, _, err := p.expectNumber("counter delta")
+		if err != nil {
+			return op, err
+		}
+		op.Delta = n
+		return op, nil
+	case tokIdent:
+		op.Counter = p.bump().text
+		neg := false
+		switch t := p.cur(); t.kind {
+		case tokPlusEq:
+			p.bump()
+		case tokMinusEq:
+			neg = true
+			p.bump()
+		default:
+			return op, p.errf(t, "expected '+=' or '-=', found %s %q", t.kind, t.text)
+		}
+		n, nt, err := p.expectNumber("counter delta")
+		if err != nil {
+			return op, err
+		}
+		if n < 0 {
+			return op, p.errf(nt, "counter delta after '+=' or '-=' must be non-negative")
+		}
+		if neg {
+			n = -n
+		}
+		op.Delta = n
+		return op, nil
+	default:
+		return op, p.errf(t, "expected counter update, found %s %q", t.kind, t.text)
+	}
 }

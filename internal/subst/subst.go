@@ -158,6 +158,32 @@ func (e *Env) String() string {
 // ID is an interned environment identifier within a Table.
 type ID int32
 
+// String renders an interned environment with the state each entry has
+// reached, e.g. "[(x:sem1) ↦ f3@S·c=2 | f0@S·c=0]". Env.String shows only
+// function IDs; the table can resolve them against its monoid, which for
+// counter-expanded machines surfaces the counter valuation in provenance
+// output.
+func (t *Table) String(id ID) string {
+	e := t.envs[id]
+	var b strings.Builder
+	b.WriteString("[")
+	for i, en := range e.Entries {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString("(")
+		for j, bd := range en.Bindings {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(bd.String())
+		}
+		fmt.Fprintf(&b, ") ↦ f%d@%s", en.F, t.Mon.StateName(en.F))
+	}
+	fmt.Fprintf(&b, " | f%d@%s]", e.Residual, t.Mon.StateName(e.Residual))
+	return b.String()
+}
+
 // Table interns substitution environments over a fixed monoid and
 // memoizes their composition, so that the constraint solver can use
 // environment IDs as annotations exactly like plain FuncIDs.

@@ -45,13 +45,16 @@ func GenerateGo(cfg GoConfig) []GoFile {
 		var b strings.Builder
 		fmt.Fprintf(&b, "package bench\n\nimport (\n\t\"os\"\n\t\"sync\"\n)\n\n")
 		fmt.Fprintf(&b, "var mu%d sync.Mutex\n", i)
-		fmt.Fprintf(&b, "var shared%d int\n\n", i)
+		fmt.Fprintf(&b, "var shared%d int\n", i)
+		fmt.Fprintf(&b, "var sem%d Sem\n", i)
+		fmt.Fprintf(&b, "var pool%d Pool\n\n", i)
 		// Root: the entry function the driver will pick up. It spawns a
 		// background bumper so the race checker has ≥2 goroutines to
 		// reason about.
 		fmt.Fprintf(&b, "func Root%d() {\n", i)
 		fmt.Fprintf(&b, "\tgo bump%d()\n", i)
 		fmt.Fprintf(&b, "\tmu%d.Lock()\n\tshared%d = 1\n\tmu%d.Unlock()\n", i, i, i)
+		fmt.Fprintf(&b, "\tnest%d(3)\n", i)
 		fmt.Fprintf(&b, "\tg%d_0(1)\n", i)
 		b.WriteString("}\n\n")
 		fmt.Fprintf(&b, "func bump%d() {\n", i)
@@ -61,6 +64,10 @@ func GenerateGo(cfg GoConfig) []GoFile {
 			fmt.Fprintf(&b, "\tmu%d.Lock()\n\tshared%d++\n\tmu%d.Unlock()\n", i, i, i)
 		}
 		b.WriteString("}\n\n")
+		// Deep recursion through an Enter/Leave pair per level: balanced,
+		// but of unbounded depth, so the depthbound checker's counter
+		// saturates (a may-exceed finding by design).
+		fmt.Fprintf(&b, "func nest%d(n int) {\n\tEnter()\n\tif n > 0 {\n\t\tnest%d(n - 1)\n\t}\n\tLeave()\n}\n\n", i, i)
 		unsafeAt := map[int]bool{}
 		for u := 0; u < cfg.UnsafePerFile; u++ {
 			unsafeAt[r.Intn(cfg.FuncsPerFile)] = true
@@ -89,18 +96,35 @@ func GenerateGo(cfg GoConfig) []GoFile {
 }
 
 func genGoSafe(b *strings.Builder, r *rand.Rand, file int) {
-	switch r.Intn(2) {
+	switch r.Intn(5) {
 	case 0:
 		fmt.Fprintf(b, "\tmu%d.Lock()\n\twork(n)\n\tmu%d.Unlock()\n", file, file)
+	case 1:
+		// Balanced semaphore hold, including a nested reacquire on one
+		// branch — exercises the counting checkers' exact range.
+		fmt.Fprintf(b, "\tsem%d.Acquire(ctx, 1)\n\tif n > 1 {\n\t\tsem%d.Acquire(ctx, 1)\n\t\twork(n)\n\t\tsem%d.Release(1)\n\t}\n\tsem%d.Release(1)\n", file, file, file, file)
+	case 2:
+		fmt.Fprintf(b, "\tc%d := pool%d.Checkout()\n\tuse(c%d)\n\tpool%d.Checkin(c%d)\n", file, file, file, file, file)
+	case 3:
+		fmt.Fprintf(b, "\tEnter()\n\twork(n)\n\tLeave()\n")
 	default:
 		fmt.Fprintf(b, "\tf%d, _ := os.Open(\"data\")\n\twork(n)\n\tf%d.Close()\n", file, file)
 	}
 }
 
 func genGoUnsafe(b *strings.Builder, r *rand.Rand, file int) {
-	switch r.Intn(2) {
+	switch r.Intn(5) {
 	case 0:
 		fmt.Fprintf(b, "\tmu%d.Lock()\n\tif n > 0 {\n\t\tmu%d.Lock()\n\t}\n\tmu%d.Unlock()\n", file, file, file)
+	case 1:
+		// Unbalanced semaphore: the permit stays held on one branch.
+		fmt.Fprintf(b, "\tsem%d.Acquire(ctx, 1)\n\tif n > 0 {\n\t\tsem%d.Release(1)\n\t}\n", file, file)
+	case 2:
+		// Pool checkouts in a loop without checkins: exceeds capacity.
+		fmt.Fprintf(b, "\tfor k := 0; k < n; k++ {\n\t\tc%d := pool%d.Checkout()\n\t\tuse(c%d)\n\t}\n", file, file, file)
+	case 3:
+		// More Dones than the Add total: negative WaitGroup counter.
+		fmt.Fprintf(b, "\tvar wg%d sync.WaitGroup\n\twg%d.Add(1)\n\twork(n)\n\twg%d.Done()\n\twg%d.Done()\n", file, file, file, file)
 	default:
 		fmt.Fprintf(b, "\tleak%d, _ := os.Open(\"data\")\n\tif n > 0 {\n\t\tleak%d.Close()\n\t}\n", file, file)
 	}
