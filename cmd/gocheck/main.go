@@ -12,6 +12,7 @@
 //	        [-trace-out f.json] [-metrics-json f.json] [-explain] [-progress]
 //	        [-cpuprofile f.prof] [-memprofile f.prof] path...
 //	gocheck -list
+//	gocheck -speclint [-checkers all|name,...]
 //
 // Diagnostics carry file:line positions from the original Go source and
 // witness traces (two traces for race and lockorder findings, one per
@@ -43,7 +44,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -68,6 +68,7 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the incremental result cache (empty = no cache)")
 	list := flag.Bool("list", false, "list registered checkers and exit")
+	speclint := flag.Bool("speclint", false, "lint the checkers' property specs and exit (3 on findings)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the analysis to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run's phases to this file")
@@ -77,23 +78,24 @@ func run() int {
 	flag.Parse()
 
 	if *list {
-		// Spec and Version are the checker-identity inputs of the cache
-		// key (Checker.fingerprint), so listing them shows exactly what
-		// invalidates cached results. Specs are multi-line automaton
-		// sources; print a stable digest instead of the text.
-		for _, c := range analysis.All() {
-			spec := "-"
-			if c.Spec != "" {
-				h := fnv.New32a()
-				h.Write([]byte(c.Spec))
-				spec = fmt.Sprintf("%08x", h.Sum32())
-			}
-			version := c.Version
-			if version == "" {
-				version = "-"
-			}
-			fmt.Printf("%-12s %-7s %-16s spec=%-8s version=%-4s %s\n", c.Name, c.Severity, c.Domain(), spec, version, c.Doc)
+		if err := analysis.ListText(os.Stdout); err != nil {
+			return fail(err)
 		}
+		return 0
+	}
+	if *speclint {
+		checkers, err := analysis.Resolve(*checkersFlag)
+		if err != nil {
+			return fail(err)
+		}
+		findings := analysis.Speclint(checkers)
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+		if len(findings) > 0 {
+			return 3
+		}
+		fmt.Printf("gocheck: speclint clean over %d checker(s)\n", len(checkers))
 		return 0
 	}
 	if flag.NArg() == 0 {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	obslint [-trace f.json] [-metrics f.json]
+//	obslint [-trace f.json] [-metrics f.json] [-require-metrics name,...]
 //	        [-findings report.json] [-require-provenance]
 //
 // Exit status is 1 when any named artifact fails validation, 2 on
@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rasc/internal/obs"
 )
@@ -26,6 +27,7 @@ import (
 func main() {
 	trace := flag.String("trace", "", "validate this Chrome trace-event JSON file")
 	metrics := flag.String("metrics", "", "validate this metrics snapshot JSON file")
+	requireMetrics := flag.String("require-metrics", "", "with -metrics: comma-separated metric names that must be present in the snapshot")
 	findings := flag.String("findings", "", "validate this gocheck -format json report")
 	requireProv := flag.Bool("require-provenance", false, "with -findings: every diagnostic must carry a non-empty provenance chain")
 	flag.Parse()
@@ -49,6 +51,9 @@ func main() {
 	}
 	if *metrics != "" {
 		check(*metrics, validateFile(*metrics, obs.ValidateMetricsJSON))
+		if *requireMetrics != "" {
+			check(*metrics+" required metrics", requireMetricNames(*metrics, *requireMetrics))
+		}
 	}
 	if *findings != "" {
 		check(*findings, validateFindings(*findings, *requireProv))
@@ -56,6 +61,43 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// requireMetricNames checks that every name in the comma-separated list
+// appears in the snapshot, in any of the three metric families. CI uses
+// this to pin down the spec.* instrumentation: a run over the counting
+// checkers must actually emit spec.relations and its siblings, not just
+// a structurally valid snapshot.
+func requireMetricNames(path, names string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("not a metrics snapshot: %v", err)
+	}
+	var missing []string
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := snap.Counters[n]; ok {
+			continue
+		}
+		if _, ok := snap.Gauges[n]; ok {
+			continue
+		}
+		if _, ok := snap.Histograms[n]; ok {
+			continue
+		}
+		missing = append(missing, n)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("metrics missing from snapshot: %s", strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 func validateFile(path string, validate func([]byte) error) error {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rasc/internal/analysis"
+	"rasc/internal/obs"
+)
+
+// TestRequireMetricNames runs the counting checkers over a small source
+// with a live metrics registry, writes the snapshot, and checks the
+// -require-metrics validation: the relational spec metrics must be
+// present in a real run's snapshot, and a bogus name must fail with a
+// message that names it.
+func TestRequireMetricNames(t *testing.T) {
+	dir := t.TempDir()
+	src := `package demo
+
+func Hold(n int) {
+	sem.Acquire(ctx, 1)
+	if n > 0 {
+		return
+	}
+	sem.Release(1)
+}
+`
+	srcPath := filepath.Join(dir, "demo.go")
+	if err := os.WriteFile(srcPath, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadPaths([]string{srcPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkers, err := analysis.Resolve("semabalance,lockbalance,poolexchange")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if _, err := analysis.Analyze(pkg, analysis.Config{Checkers: checkers, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "metrics.json")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	required := "spec.relations,spec.relation_states,spec.relation_saturations"
+	if err := requireMetricNames(snapPath, required); err != nil {
+		t.Errorf("relation metrics missing from a counting run's snapshot: %v", err)
+	}
+	err = requireMetricNames(snapPath, required+",spec.nosuch")
+	if err == nil || !strings.Contains(err.Error(), "spec.nosuch") {
+		t.Errorf("bogus metric name not reported: %v", err)
+	}
+	if err := requireMetricNames(snapPath, " "); err != nil {
+		t.Errorf("blank requirement list must pass: %v", err)
+	}
+}

@@ -71,10 +71,13 @@ func TestDriverOnCorpus(t *testing.T) {
 	// The counting family: semabalance/poolexhaust/depthbound flag their
 	// unbalanced corpus cases (the balanced twins stay clean), and the
 	// counting waitgroup adds the negative-counter case to the original
-	// Add-after-Wait one.
+	// Add-after-Wait one. The relational pair: poolexchange flags the
+	// hoarding loop, and lockbalance the suppressed-for-doublelock
+	// over-unlock (its difference tracker fails on Unlock-before-Lock).
 	want := map[string]int{
 		"doublelock": 1, "fileleak": 1, "sqlrows": 1, "waitgroup": 2,
 		"semabalance": 1, "poolexhaust": 1, "depthbound": 1,
+		"lockbalance": 1, "poolexchange": 1,
 	}
 	if !reflect.DeepEqual(byChecker, want) {
 		t.Errorf("findings by checker = %v, want %v", byChecker, want)
@@ -224,9 +227,9 @@ func TestEntriesOverrideAndErrors(t *testing.T) {
 func TestRoots(t *testing.T) {
 	pkg := loadCorpus(t)
 	roots := pkg.Roots()
-	want := []string{"Broadcast", "CopyFile", "DeepTrace", "LockTwice", "NegativeDone",
-		"NestShallow", "PoolBalanced", "PoolSpike", "QueryUsers", "ReadConfig",
-		"SemBalanced", "SemHold", "SuppressedUnlock"}
+	want := []string{"Broadcast", "CopyFile", "DeepTrace", "ExchangeBalanced", "ExchangeHoard",
+		"LockTwice", "NegativeDone", "NestShallow", "PoolBalanced", "PoolSpike",
+		"QueryUsers", "ReadConfig", "SemBalanced", "SemHold", "SuppressedUnlock"}
 	if !reflect.DeepEqual(roots, want) {
 		t.Errorf("roots = %v, want %v", roots, want)
 	}

@@ -95,7 +95,7 @@ func init() {
 		Spec:        gosrc.WaitGroupCountSpecSrc,
 		NewProperty: gosrc.WaitGroupCountProperty,
 		NewEvents:   gosrc.WaitGroupCountEvents,
-		Version:     "2",
+		Version:     "3",
 		Message:     "WaitGroup %s misused: Add after Wait, or more Done calls than the Add total",
 	})
 	Register(&Checker{
@@ -106,7 +106,28 @@ func init() {
 		Spec:        gosrc.SemaBalanceSpecSrc,
 		NewProperty: gosrc.SemaBalanceProperty,
 		NewEvents:   gosrc.SemaBalanceEvents,
+		Version:     "2",
 		Message:     "semaphore %s: acquires and releases may be unbalanced when the entry function returns",
+	})
+	Register(&Checker{
+		Name:        "lockbalance",
+		Doc:         "mutex Lock/Unlock balance: lock still held (or over-unlocked) at exit",
+		Severity:    SeverityWarning,
+		Mode:        ModeLeakAtExit,
+		Spec:        gosrc.LockBalanceSpecSrc,
+		NewProperty: gosrc.LockBalanceProperty,
+		NewEvents:   gosrc.LockBalanceEvents,
+		Message:     "mutex %s: Lock and Unlock calls may be unbalanced when the entry function returns",
+	})
+	Register(&Checker{
+		Name:        "poolexchange",
+		Doc:         "sync.Pool-style Get/Put exchange: outstanding Get results may exceed the band",
+		Severity:    SeverityWarning,
+		Mode:        ModeViolations,
+		Spec:        gosrc.PoolExchangeSpecSrc,
+		NewProperty: gosrc.PoolExchangeProperty,
+		NewEvents:   gosrc.PoolExchangeEvents,
+		Message:     "pool %s: more than 4 Get results outstanding (Get/Put exchange unbalanced)",
 	})
 	Register(&Checker{
 		Name:        "poolexhaust",

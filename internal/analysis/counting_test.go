@@ -2,23 +2,30 @@ package analysis
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"rasc/internal/gosrc"
+	"rasc/internal/spec"
 )
 
 // countingCheckerNames are the bounded-counter checkers, with the
 // counter-valuation marker their provenance annotations must carry
 // (product state names render as "S·c=2", "S·held>=5", …).
 var countingCheckerNames = map[string]string{
-	"semabalance": "·c",
-	"poolexhaust": "·held",
-	"depthbound":  "·depth",
-	"waitgroup":   "·c",
+	"semabalance":  "·acq-rel",
+	"lockbalance":  "·lk-un",
+	"poolexchange": "·tk-gv",
+	"poolexhaust":  "·held",
+	"depthbound":   "·depth",
+	"waitgroup":    "·c",
 }
 
 func countingCheckers(t *testing.T) []*Checker {
 	t.Helper()
-	cs, err := Resolve("semabalance,poolexhaust,depthbound,waitgroup")
+	cs, err := Resolve("semabalance,lockbalance,poolexchange,poolexhaust,depthbound,waitgroup")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,6 +98,93 @@ func TestCountingCacheColdWarmIdentical(t *testing.T) {
 	warm := run()
 	if !bytes.Equal(cold, warm) {
 		t.Errorf("warm counting report differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}
+
+// TestRelationalFewerMayVerdicts is the end-to-end form of the
+// relational precision claim: on a burst of five balanced
+// acquire/release pairs — deeper than the v1 counter's bound of 4 —
+// the independent-counter baseline saturates and may-reports an
+// unbalanced exit, while the relational semabalance tracks the
+// difference exactly, verifies the function, and reports nothing.
+// Both still report the genuinely unbalanced function, definitely.
+func TestRelationalFewerMayVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	src := `package diffdemo
+
+func BurstBalanced() {
+	sem.Acquire(ctx, 1)
+	sem.Acquire(ctx, 1)
+	sem.Acquire(ctx, 1)
+	sem.Acquire(ctx, 1)
+	sem.Acquire(ctx, 1)
+	work()
+	sem.Release(1)
+	sem.Release(1)
+	sem.Release(1)
+	sem.Release(1)
+	sem.Release(1)
+}
+
+func BurstHold(n int) {
+	sem.Acquire(ctx, 1)
+	if n > 0 {
+		return
+	}
+	sem.Release(1)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "burst.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadPaths([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relational, err := Resolve("semabalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := &Checker{
+		Name:        "semabalance-indep",
+		Doc:         "v1 single-counter baseline for the relational semabalance",
+		Severity:    SeverityWarning,
+		Mode:        ModeLeakAtExit,
+		Spec:        gosrc.SemaBalanceIndepSpecSrc,
+		NewProperty: func() *spec.Property { return spec.MustCompile(gosrc.SemaBalanceIndepSpecSrc) },
+		NewEvents:   gosrc.SemaBalanceEvents,
+		Message:     "semaphore %s: acquires and releases may be unbalanced when the entry function returns",
+	}
+
+	findings := func(cs []*Checker) map[string]bool {
+		rep, err := Analyze(pkg, Config{Checkers: cs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, d := range rep.Diagnostics {
+			out[d.Entry] = d.May
+		}
+		return out
+	}
+
+	rel := findings(relational)
+	base := findings([]*Checker{indep})
+
+	if may, ok := base["BurstBalanced"]; !ok || !may {
+		t.Errorf("independent baseline on BurstBalanced = (reported=%v, may=%v), want a may finding", ok, may)
+	}
+	if _, ok := rel["BurstBalanced"]; ok {
+		t.Error("relational semabalance reported the balanced burst; the joint tracker should verify it")
+	}
+	for name, fs := range map[string]map[string]bool{"relational": rel, "independent": base} {
+		if may, ok := fs["BurstHold"]; !ok || may {
+			t.Errorf("%s on BurstHold = (reported=%v, may=%v), want a definite finding", name, ok, may)
+		}
+	}
+	if len(rel) >= len(base) {
+		t.Errorf("relational findings = %d, independent = %d; want strictly fewer may-verdicts", len(rel), len(base))
 	}
 }
 

@@ -20,6 +20,11 @@ type Diagnostic struct {
 	// Label is the parameter instantiation (the offending mutex, file,
 	// ...), "" for non-parametric findings.
 	Label string `json:"label,omitempty"`
+	// May marks a verdict that rests on a saturated counter or relation
+	// valuation: the tracker lost the exact value, so the finding is
+	// possible but not witnessed by an exact execution. Omitted (false)
+	// for definite findings, keeping prior reports byte-identical.
+	May bool `json:"may,omitempty"`
 	// Entry is the entry function whose run found it.
 	Entry string `json:"entry,omitempty"`
 	// Trace is the witness path, oldest hop first (empty for leak-mode

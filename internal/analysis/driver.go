@@ -497,6 +497,7 @@ func violationDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Resul
 			Line:     v.Line,
 			Message:  c.message(v.Label),
 			Label:    v.Label,
+			May:      v.May,
 			Entry:    entry,
 		}
 		for _, tp := range v.Trace {
@@ -535,7 +536,7 @@ func provDiag(pkg *Package, prov []pdm.ProvStep) []ProvStep {
 // exit, positioned at the earliest event that mentions the label (its
 // acquisition site).
 func leakDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Result, events *minic.EventMap) []Diagnostic {
-	labels := res.OpenInstancesAtExit(entry)
+	labels, mayOf := res.OpenInstancesAtExitDetail(entry)
 	if len(labels) == 0 {
 		return nil
 	}
@@ -579,6 +580,7 @@ func leakDiagnostics(pkg *Package, c *Checker, entry string, res *pdm.Result, ev
 			Line:     s.line,
 			Message:  c.message(lbl),
 			Label:    lbl,
+			May:      mayOf[lbl],
 			Entry:    entry,
 			// ExitProvenance returns nil unless the run was checked with
 			// explain on.

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestListGolden keeps the -list output byte-stable: sorted by checker
+// name, with the relational counting domains rendered in the domain
+// column ("counting(acq−rel∈[0,6])").
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ListText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, buf.Bytes(), "testdata/list.golden")
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(All()) {
+		t.Errorf("listing has %d lines, want one per checker (%d)", len(lines), len(All()))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Errorf("listing not sorted at line %d:\n%s\n%s", i, lines[i-1], lines[i])
+		}
+	}
+}
+
+// TestListStable requires two renderings to be byte-identical (the
+// registry iteration is sorted, not map-ordered).
+func TestListStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := ListText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ListText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two -list renderings differ")
+	}
+}
+
+// TestSpeclintBuiltinsClean is the CI gate: every built-in property spec
+// must lint clean — a dead state, vacuous assert or loose band in a
+// shipped checker is a checker bug.
+func TestSpeclintBuiltinsClean(t *testing.T) {
+	for _, f := range Speclint(All()) {
+		t.Errorf("builtin spec lint finding: %s", f)
+	}
+}

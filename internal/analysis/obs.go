@@ -52,13 +52,16 @@ func (o *obsState) recordSpecMetrics(checkers []*Checker) {
 			continue
 		}
 		prop, _ := c.compiled()
-		if len(prop.Counters) == 0 {
+		if len(prop.Counters) == 0 && len(prop.Relations) == 0 {
 			continue
 		}
 		o.specM.CountingCheckers.Inc()
 		o.specM.CounterMonoidSize.SetMax(int64(prop.Mon.Size()))
 		o.specM.CounterStates.SetMax(int64(prop.Stats.ExpandedStates))
 		o.specM.SaturatingEdges.Add(int64(prop.Stats.SaturatingEdges))
+		o.specM.Relations.Add(int64(len(prop.Relations)))
+		o.specM.RelationStates.SetMax(int64(prop.Stats.RelationStates))
+		o.specM.RelationSaturations.Add(int64(prop.Stats.RelationSaturatingEdges))
 	}
 }
 

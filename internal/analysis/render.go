@@ -10,7 +10,13 @@ import (
 // its witness trace(s) indented, then notes and a summary.
 func (r *Report) Text(w io.Writer) error {
 	for _, d := range r.Diagnostics {
-		if _, err := fmt.Fprintf(w, "%s:%d: %s: %s: %s\n", d.File, d.Line, d.Severity, d.Checker, d.Message); err != nil {
+		// May verdicts rest on a saturated counter/relation valuation; the
+		// marker keeps definite findings byte-identical to before.
+		may := ""
+		if d.May {
+			may = " (may)"
+		}
+		if _, err := fmt.Fprintf(w, "%s:%d: %s: %s: %s%s\n", d.File, d.Line, d.Severity, d.Checker, d.Message, may); err != nil {
 			return err
 		}
 		if err := writeTrace(w, d.Trace); err != nil {
@@ -244,6 +250,12 @@ func (r *Report) SARIF(w io.Writer) error {
 		}
 		if len(d.Provenance) > 0 {
 			res.Properties = map[string]any{"provenance": d.Provenance}
+		}
+		if d.May {
+			if res.Properties == nil {
+				res.Properties = map[string]any{}
+			}
+			res.Properties["may"] = true
 		}
 		run.Results = append(run.Results, res)
 	}

@@ -42,6 +42,26 @@ func PoolSpike(n int) {
 	}
 }
 
+// ExchangeBalanced gets a buffer and puts it back every round: the
+// get/put difference returns to 0 exactly, clean under poolexchange no
+// matter how many iterations run.
+func ExchangeBalanced(n int) {
+	for i := 0; i < n; i++ {
+		b := buffers.Get()
+		use(b)
+		buffers.Put(b)
+	}
+}
+
+// ExchangeHoard gets buffers in a loop without putting them back: some
+// path takes more than 4 out of the exchange.
+func ExchangeHoard(n int) {
+	for i := 0; i < n; i++ {
+		b := buffers.Get()
+		use(b)
+	}
+}
+
 // NestShallow enters and leaves two levels: clean under depthbound.
 func NestShallow() {
 	Enter()

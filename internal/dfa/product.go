@@ -6,6 +6,15 @@ type productOp func(a, b bool) bool
 // product builds the synchronous product of two total DFAs over the same
 // alphabet, restricted to reachable pairs.
 func product(a, b *DFA, op productOp) *DFA {
+	d, _ := productPairs(a, b, op)
+	return d
+}
+
+// productPairs is product plus the provenance of every product state: the
+// second return value maps each state of the result to its (a, b)
+// component pair. The spec package uses this to propagate "saturated"
+// pair valuations through chained counter/relation-tracker folds.
+func productPairs(a, b *DFA, op productOp) (*DFA, [][2]State) {
 	if a.Alpha != b.Alpha {
 		panic("dfa: product over different alphabets")
 	}
@@ -45,14 +54,26 @@ func product(a, b *DFA, op productOp) *DFA {
 	}
 	// Compose state names so diagnostics through a product machine stay
 	// readable — the counter-expanded machines of the spec package rely
-	// on this to show "State·c=2" valuations in witnesses.
-	if a.StateName != nil && b.StateName != nil {
+	// on this to show "State·c=2" valuations in witnesses. NameOf supplies
+	// a positional fallback when only one side carries names, so pair
+	// valuations survive products with anonymous machines too.
+	if a.StateName != nil || b.StateName != nil {
 		d.StateName = make([]string, len(pairs))
 		for id, p := range pairs {
-			d.StateName[id] = a.StateName[p.x] + "·" + b.StateName[p.y]
+			d.StateName[id] = a.NameOf(p.x) + "·" + b.NameOf(p.y)
 		}
 	}
-	return d
+	out := make([][2]State, len(pairs))
+	for id, p := range pairs {
+		out[id] = [2]State{p.x, p.y}
+	}
+	return d, out
+}
+
+// UnionPairs is Union plus per-state component provenance (see
+// productPairs).
+func UnionPairs(a, b *DFA) (*DFA, [][2]State) {
+	return productPairs(a, b, func(x, y bool) bool { return x || y })
 }
 
 // Intersect returns a DFA for L(a) ∩ L(b). Both machines must share an

@@ -18,14 +18,17 @@ var countingProps = []struct {
 	build       func() *spec.Property
 	events      func() *minic.EventMap
 	maxMonoid   int
-	maxStates   int
+	maxStates   int // expanded machine states plus relation-tracker states
+	relations   int
 	wantDomain  string
-	wantSatEdge bool // the tracker has at least one saturating edge
+	wantSatEdge bool // some tracker (counter or relation) saturates
 }{
-	{"semabalance", SemaBalanceProperty, SemaBalanceEvents, 48, 8, "counting(c≤4)", true},
-	{"poolexhaust", PoolExhaustProperty, PoolExhaustEvents, 80, 10, "counting(held≤5)", false},
-	{"depthbound", DepthBoundProperty, DepthBoundEvents, 80, 10, "counting(depth≤5)", false},
-	{"waitgroup", WaitGroupCountProperty, WaitGroupCountEvents, 72, 18, "counting(c≤3)", true},
+	{"semabalance", SemaBalanceProperty, SemaBalanceEvents, 192, 24, 1, "counting(acq−rel∈[0,6])", true},
+	{"lockbalance", LockBalanceProperty, LockBalanceEvents, 80, 18, 1, "counting(lk−un∈[0,4])", true},
+	{"poolexchange", PoolExchangeProperty, PoolExchangeEvents, 80, 18, 1, "counting(tk−gv∈[0,4])", true},
+	{"poolexhaust", PoolExhaustProperty, PoolExhaustEvents, 80, 10, 0, "counting(held≤5)", false},
+	{"depthbound", DepthBoundProperty, DepthBoundEvents, 80, 10, 0, "counting(depth≤5)", false},
+	{"waitgroup", WaitGroupCountProperty, WaitGroupCountEvents, 72, 18, 0, "counting(c≤3)", true},
 }
 
 // TestCountingSpecsCompile compiles every counting spec and checks its
@@ -37,8 +40,11 @@ func TestCountingSpecsCompile(t *testing.T) {
 			if got := p.Domain(); got != c.wantDomain {
 				t.Errorf("Domain() = %q, want %q", got, c.wantDomain)
 			}
-			if len(p.Counters) == 0 {
-				t.Error("property has no counters")
+			if len(p.Counters) == 0 && len(p.Relations) == 0 {
+				t.Error("property has neither counters nor relations")
+			}
+			if got := len(p.Relations); got != c.relations {
+				t.Errorf("property has %d relation(s), want %d", got, c.relations)
 			}
 			if err := p.Machine.Validate(); err != nil {
 				t.Errorf("expanded machine invalid: %v", err)
@@ -49,13 +55,15 @@ func TestCountingSpecsCompile(t *testing.T) {
 
 // TestCountingMonoidCeilings is the monoid-size regression guard (also
 // run by CI). Measured sizes at the time the ceilings were committed:
-// semabalance 35 funcs / 6 states, poolexhaust 61/7, depthbound 61/7,
-// waitgroup 59/15. The waitgroup ceiling is the tight one: its events
-// occur in real code, so its monoid size feeds directly into solver
-// cost (see WaitGroupCountSpecSrc). poolexhaust and depthbound have no
-// saturating edges
-// because their inline `<=` assert condemns a transition before it could
-// saturate (fail takes precedence over clamping).
+// semabalance 148 funcs / 9 states (relational v2; the v1 independent
+// counter measured 35/6 — see SemaBalanceIndepSpecSrc), lockbalance and
+// poolexchange 61/7, poolexhaust and depthbound 61/7, waitgroup 59/15.
+// The waitgroup ceiling is the tight one: its events occur in real code,
+// so its monoid size feeds directly into solver cost (see
+// WaitGroupCountSpecSrc). poolexhaust and depthbound have no saturating
+// edges because their inline `<=` assert condemns a transition before it
+// could saturate (fail takes precedence over clamping); the relational
+// trackers each count their out-of-band sticky jump here.
 func TestCountingMonoidCeilings(t *testing.T) {
 	for _, c := range countingProps {
 		t.Run(c.name, func(t *testing.T) {
@@ -63,10 +71,11 @@ func TestCountingMonoidCeilings(t *testing.T) {
 			if got := p.Mon.Size(); got > c.maxMonoid {
 				t.Errorf("monoid size %d exceeds committed ceiling %d", got, c.maxMonoid)
 			}
-			if got := p.Stats.ExpandedStates; got > c.maxStates {
-				t.Errorf("expanded machine has %d states, ceiling %d", got, c.maxStates)
+			if got := p.Stats.ExpandedStates + p.Stats.RelationStates; got > c.maxStates {
+				t.Errorf("expanded machine plus trackers total %d states, ceiling %d", got, c.maxStates)
 			}
-			if got := p.Stats.SaturatingEdges > 0; got != c.wantSatEdge {
+			sat := p.Stats.SaturatingEdges + p.Stats.RelationSaturatingEdges
+			if got := sat > 0; got != c.wantSatEdge {
 				t.Errorf("saturating edges present = %v, want %v", got, c.wantSatEdge)
 			}
 		})

@@ -92,15 +92,27 @@ type SpecMetrics struct {
 	// counter value into its saturated ≥k state — the points where the
 	// bounded abstraction loses information.
 	SaturatingEdges *Counter
+	// Relations counts the declared counter-pair relations across
+	// selected counting properties.
+	Relations *Counter
+	// RelationStates is the largest per-property relation-tracker state
+	// total among the selected properties.
+	RelationStates *Gauge
+	// RelationSaturations sums the relation-tracker transitions that
+	// leave the declared band for a sticky out-of-band state.
+	RelationSaturations *Counter
 }
 
 // NewSpecMetrics interns the counting-spec bundle in r.
 func NewSpecMetrics(r *Registry) *SpecMetrics {
 	return &SpecMetrics{
-		CountingCheckers:  r.Counter("spec.counting_checkers"),
-		CounterMonoidSize: r.Gauge("spec.counter_monoid_size"),
-		CounterStates:     r.Gauge("spec.counter_states"),
-		SaturatingEdges:   r.Counter("spec.counter_saturating_edges"),
+		CountingCheckers:    r.Counter("spec.counting_checkers"),
+		CounterMonoidSize:   r.Gauge("spec.counter_monoid_size"),
+		CounterStates:       r.Gauge("spec.counter_states"),
+		SaturatingEdges:     r.Counter("spec.counter_saturating_edges"),
+		Relations:           r.Counter("spec.relations"),
+		RelationStates:      r.Gauge("spec.relation_states"),
+		RelationSaturations: r.Counter("spec.relation_saturations"),
 	}
 }
 

@@ -60,6 +60,10 @@ type Violation struct {
 	// Label is the offending parameter instantiation for parametric
 	// properties ("fd2"), or "" for plain ones.
 	Label string
+	// May marks a verdict that rests on a saturated counter or relation
+	// valuation (the tracker lost the exact value, see spec.MayState):
+	// every accepting witness for this label lands in a may-state.
+	May bool
 	// Trace is the witness path (function, line) hops, oldest first.
 	Trace []TracePoint
 	// Provenance is the solver-level derivation chain behind the
@@ -169,6 +173,7 @@ func (r *Result) collectViolations(alg core.Algebra) {
 					Line:       n.Line,
 					NodeID:     n.ID,
 					Label:      lbl,
+					May:        r.mayForLabel(comp, lbl),
 					Trace:      tr,
 					Provenance: prov,
 				})
@@ -212,16 +217,47 @@ func (r *Result) newViolationLabels(prev, comp core.Annot) []string {
 func (r *Result) acceptingLabels(a core.Annot) []string {
 	var out []string
 	for _, v := range r.envTab.AcceptingEntries(subst.ID(a)) {
-		lbl := ""
-		for i, b := range v.Bindings {
-			if i > 0 {
-				lbl += ","
-			}
-			lbl += b.Label
-		}
-		out = append(out, lbl)
+		out = append(out, joinBindingLabels(v.Bindings))
 	}
 	return out
+}
+
+func joinBindingLabels(bs []subst.Binding) string {
+	lbl := ""
+	for i, b := range bs {
+		if i > 0 {
+			lbl += ","
+		}
+		lbl += b.Label
+	}
+	return lbl
+}
+
+// mayForLabel reports whether every accepting witness of annotation a for
+// the given label lands on a saturated (may) machine state. One definite
+// witness makes the verdict definite.
+func (r *Result) mayForLabel(a core.Annot, lbl string) bool {
+	if r.prop == nil {
+		return false
+	}
+	if r.envTab == nil {
+		f := monoid.FuncID(a)
+		if !r.prop.Mon.Accepting(f) {
+			return false
+		}
+		return r.prop.MayState(r.prop.Mon.RightClass(f))
+	}
+	may, found := false, false
+	for _, v := range r.envTab.AcceptingEntries(subst.ID(a)) {
+		if joinBindingLabels(v.Bindings) != lbl {
+			continue
+		}
+		if !r.prop.MayState(r.prop.Mon.RightClass(v.F)) {
+			return false
+		}
+		may, found = true, found || true
+	}
+	return may && found
 }
 
 // labelsOf extracts the violating parameter labels of an accepting
@@ -232,18 +268,7 @@ func (r *Result) labelsOf(a core.Annot) []string {
 	}
 	var out []string
 	for _, v := range r.envTab.AcceptingEntries(subst.ID(a)) {
-		if len(v.Bindings) == 0 {
-			out = append(out, "")
-			continue
-		}
-		lbl := ""
-		for i, b := range v.Bindings {
-			if i > 0 {
-				lbl += ","
-			}
-			lbl += b.Label
-		}
-		out = append(out, lbl)
+		out = append(out, joinBindingLabels(v.Bindings))
 	}
 	if len(out) == 0 {
 		out = []string{""}
@@ -345,25 +370,38 @@ func (r *Result) repOf(v core.VarID) core.VarID {
 // is in an accepting state when the entry function exits (e.g. files
 // still open at the end of the program, §6.4.1).
 func (r *Result) OpenInstancesAtExit(entry string) []string {
+	out, _ := r.OpenInstancesAtExitDetail(entry)
+	return out
+}
+
+// OpenInstancesAtExitDetail is OpenInstancesAtExit plus, per label, whether
+// the verdict is a MAY verdict: every accepting valuation reaching the exit
+// for that label rests on a saturated counter or relation tracker state.
+func (r *Result) OpenInstancesAtExitDetail(entry string) ([]string, map[string]bool) {
 	if entry == "" {
 		entry = "main"
 	}
 	exitVar := r.NodeVar[r.cfg.Exit[entry]]
-	set := map[string]bool{}
+	may := map[string]bool{}
 	for _, a := range r.PN.At(exitVar) {
 		if !r.accepting(a) {
 			continue
 		}
 		for _, lbl := range r.labelsOf(a) {
-			set[lbl] = true
+			m := r.mayForLabel(a, lbl)
+			if prev, seen := may[lbl]; seen {
+				may[lbl] = prev && m
+			} else {
+				may[lbl] = m
+			}
 		}
 	}
 	var out []string
-	for l := range set {
+	for l := range may {
 		out = append(out, l)
 	}
 	sort.Strings(out)
-	return out
+	return out, may
 }
 
 func (r *Result) accepting(a core.Annot) bool {

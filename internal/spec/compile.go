@@ -21,11 +21,17 @@ type Property struct {
 	// when the machine was not minimized away from the declaration and
 	// has no counters; counter expansion replaces states with products).
 	StateOf map[string]dfa.State
-	// Counters lists the declared bounded counters (nil for plain
-	// regular specifications).
+	// Counters lists the individually tracked bounded counters (nil for
+	// plain regular specifications and for counters that appear only in
+	// relations).
 	Counters []CounterInfo
+	// Relations lists the declared counter-pair relations.
+	Relations []RelationInfo
 	// Stats reports counter-expansion cost (zero for regular specs).
 	Stats CounterStats
+	// mayStates marks machine states resting on saturated tracker
+	// valuations; see MayState.
+	mayStates []bool
 }
 
 // Options configures Compile.
@@ -69,12 +75,19 @@ func MustCompile(src string) *Property {
 	return p
 }
 
-// CompileAST compiles a parsed specification.
-func CompileAST(ast *AST, opts Options) (*Property, error) {
-	cs, err := validateCounters(ast)
-	if err != nil {
-		return nil, err
-	}
+// declaredMachine is the declared (pre-expansion) automaton of a
+// specification, shared between compilation and speclint.
+type declaredMachine struct {
+	dfa       *dfa.DFA // declared machine, not yet stuttering-completed
+	stateOf   map[string]dfa.State
+	paramOf   map[string]string
+	anyAccept bool
+}
+
+// buildDeclaredMachine constructs the declared automaton of ast: states,
+// arms and the shared alphabet, before stuttering completion and counter
+// expansion.
+func buildDeclaredMachine(ast *AST) (*declaredMachine, error) {
 	stateOf := make(map[string]dfa.State)
 	var names []string
 	for _, d := range ast.States {
@@ -118,11 +131,6 @@ func CompileAST(ast *AST, opts Options) (*Property, error) {
 	if start == dfa.None {
 		return nil, &SemanticError{ast.States[0].Line, "no start state declared"}
 	}
-	// Counter asserts supply acceptance, so a counter spec need not
-	// declare an accept state.
-	if !anyAccept && cs == nil {
-		return nil, &SemanticError{ast.States[0].Line, "no accept state declared"}
-	}
 
 	d := dfa.NewDFA(alpha, len(names), start)
 	d.StateName = names
@@ -142,31 +150,54 @@ func CompileAST(ast *AST, opts Options) (*Property, error) {
 			d.SetTransition(from, sym, stateOf[a.Target])
 		}
 	}
-	machine := d.CompleteSelfLoop()
-	exposedStates := stateOf
-	machine, counters, stats, err := expandCounters(machine, cs)
+	return &declaredMachine{dfa: d, stateOf: stateOf, paramOf: paramOf, anyAccept: anyAccept}, nil
+}
+
+// CompileAST compiles a parsed specification.
+func CompileAST(ast *AST, opts Options) (*Property, error) {
+	cs, err := validateCounters(ast)
 	if err != nil {
 		return nil, err
 	}
-	if counters != nil {
+	dm, err := buildDeclaredMachine(ast)
+	if err != nil {
+		return nil, err
+	}
+	// Counter asserts supply acceptance, so a counter spec need not
+	// declare an accept state.
+	if !dm.anyAccept && cs == nil {
+		return nil, &SemanticError{ast.States[0].Line, "no accept state declared"}
+	}
+	stateOf, paramOf := dm.stateOf, dm.paramOf
+	machine := dm.dfa.CompleteSelfLoop()
+	exposedStates := stateOf
+	ex, err := expandCounters(machine, cs)
+	if err != nil {
+		return nil, err
+	}
+	machine = ex.machine
+	if ex.counters != nil || ex.relations != nil {
 		exposedStates = nil
 	}
 	if opts.Minimize {
 		machine = dfa.Minimize(machine)
 		exposedStates = nil
+		ex.may = nil
 	}
 	mon, err := monoid.Build(machine, opts.MonoidLimit)
 	if err != nil {
 		return nil, err
 	}
 	return &Property{
-		AST:      ast,
-		Machine:  machine,
-		Mon:      mon,
-		ParamOf:  paramOf,
-		StateOf:  exposedStates,
-		Counters: counters,
-		Stats:    stats,
+		AST:       ast,
+		Machine:   machine,
+		Mon:       mon,
+		ParamOf:   paramOf,
+		StateOf:   exposedStates,
+		Counters:  ex.counters,
+		Relations: ex.relations,
+		Stats:     ex.stats,
+		mayStates: ex.may,
 	}, nil
 }
 

@@ -16,14 +16,16 @@ import (
 //
 //	counter c bound 4;
 //
-// attach updates to arms (`| acquire(x) [c += 1] -> S`, or the shorthand
-// `[+1]` when there is exactly one counter), and assert
+// attach updates to arms (`| acquire(x) [c += 1] -> S`, the shorthand
+// `[+1]` when there is exactly one counter, or the wildcard `[c += *]`
+// for non-literal program arguments), and assert
 //
 //	assert c <= 3;          // inline: violating transitions accept
 //	assert c >= 0;          // inline: only 0 is supported
 //	assert c == 0 at exit;  // exit: violating valuations accept
 //
-// Each counter compiles to a small tracker DFA over the abstract domain
+// Each individually asserted counter compiles to a small tracker DFA over
+// the abstract domain
 //
 //	{0, 1, …, k-1} ∪ {≥k} ∪ {<0} ∪ {fail}
 //
@@ -36,56 +38,154 @@ import (
 // product state names like "S·c=2" carry the counter valuation into
 // witnesses and -explain provenance.
 //
+// Counter pairs may additionally (or instead) be related — see
+// relation.go for the joint difference trackers behind
+//
+//	relate a - b in [-2, 2];
+//	assert a - b <= 1;
+//
+// A counter that appears only in relations gets no individual tracker:
+// its absolute value may grow without bound while the differences it
+// participates in stay finitely tracked.
+//
 // The product factorization requires that a counter update depend only on
 // the symbol, not the source state: every arm mentioning a symbol must
 // carry the same counter deltas (unmentioned symbols stutter with delta
-// 0). Compilation rejects inconsistent deltas.
+// 0). Compilation rejects inconsistent deltas between reachable states;
+// conflicts confined to states unreachable in the declared machine are
+// left to speclint (see lint.go), which reports them as warnings.
 
-// CounterInfo describes one declared counter of a compiled Property.
+// CounterInfo describes one individually tracked counter of a compiled
+// Property.
 type CounterInfo struct {
 	Name  string
 	Bound int
 }
 
-// CounterStats reports the cost of counter expansion, for obs metrics and
-// regression guards.
-type CounterStats struct {
-	// ExpandedStates is the state count of the machine after all counter
-	// trackers were folded in (0 for counter-free specs).
-	ExpandedStates int
-	// SaturatingEdges counts tracker transitions that clamp an exact
-	// counter value into the saturated ≥k state — the places where the
-	// abstraction loses information.
-	SaturatingEdges int
+// RelationInfo describes one declared counter-pair relation of a compiled
+// Property: the difference A−B is tracked over the band [Lo, Hi].
+type RelationInfo struct {
+	A, B   string
+	Lo, Hi int
 }
 
-// maxCounterBound caps a single counter's bound; beyond this the tracker
-// alone would dwarf any realistic property machine.
+// CounterStats reports the cost of counter and relation expansion, for
+// obs metrics and regression guards.
+type CounterStats struct {
+	// ExpandedStates is the state count of the machine after all counter
+	// and relation trackers were folded in (0 for counter-free specs).
+	ExpandedStates int
+	// SaturatingEdges counts individual-tracker transitions that clamp an
+	// exact counter value into the saturated ≥k (or sticky <0) state — the
+	// places where the abstraction loses information.
+	SaturatingEdges int
+	// RelationStates is the total state count of all relation trackers
+	// before folding.
+	RelationStates int
+	// RelationSaturatingEdges counts relation-tracker transitions that
+	// clamp an exact difference into a sticky out-of-band state.
+	RelationSaturatingEdges int
+}
+
+// maxCounterBound caps a single counter's bound and a relation band's
+// magnitude; beyond this the tracker alone would dwarf any realistic
+// property machine.
 const maxCounterBound = 64
 
 // maxExpandedStates caps the product of the declared machine with all
-// counter trackers.
+// counter and relation trackers.
 const maxExpandedStates = 4096
 
-// counterSpec is the validated form of the counter declarations: per-symbol
-// deltas and the assert lists split per counter.
+// symDelta is the canonical effect of one symbol on one counter: either a
+// literal net delta, or a wildcard change of known sign but unknown
+// magnitude (≥ 1).
+type symDelta struct {
+	n    int  // literal net delta (wild == false)
+	wild bool // non-literal magnitude
+	sign int  // +1 / -1, meaningful only when wild
+}
+
+// counterSpec is the validated form of the counter declarations:
+// per-symbol deltas and the assert lists split per counter and relation.
 type counterSpec struct {
-	decls []CounterDecl
+	decls     []CounterDecl
+	relations []*relationSpec
 	// deltas[sym][counter] = net delta applied by symbol sym (absent = 0).
-	deltas map[string]map[string]int
+	deltas map[string]map[string]symDelta
 	// inlineMax[counter] = smallest inline `<= v` bound (-1 if none).
 	inlineMax map[string]int
 	// inlineNonneg[counter] = an inline `>= 0` assert exists.
 	inlineNonneg map[string]bool
 	// exit[counter] = exit asserts on that counter.
 	exit map[string][]AssertDecl
+	// tracked[counter] = the counter has individual asserts and gets its
+	// own tracker DFA. Counters that appear only in relations do not.
+	tracked map[string]bool
+	// wildPlus/wildMinus[counter] = some reachable arm updates the counter
+	// with `+= *` / `-= *`.
+	wildPlus  map[string]bool
+	wildMinus map[string]bool
+	// reachable[state] = the declared state is reachable from the start
+	// state in the declared transition graph (conflicting deltas on
+	// unreachable arms are a lint warning, not a compile error).
+	reachable map[string]bool
 }
 
-// validateCounters checks the counter declarations, arm updates and
-// asserts of ast, returning the canonical per-symbol deltas. It returns
-// (nil, nil) for counter-free specifications.
+// declaredReachable computes which declared states are reachable from the
+// start state through the declared arms. If no (or several) start states
+// are declared — errors reported later by CompileAST — every state is
+// treated as reachable so delta validation stays conservative.
+func declaredReachable(ast *AST) map[string]bool {
+	byName := map[string]*StateDecl{}
+	start := ""
+	starts := 0
+	for i := range ast.States {
+		d := &ast.States[i]
+		if _, dup := byName[d.Name]; !dup {
+			byName[d.Name] = d
+		}
+		if d.IsStart {
+			start = d.Name
+			starts++
+		}
+	}
+	reach := map[string]bool{}
+	if starts != 1 {
+		for _, d := range ast.States {
+			reach[d.Name] = true
+		}
+		return reach
+	}
+	work := []string{start}
+	reach[start] = true
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := byName[n]
+		if d == nil {
+			continue
+		}
+		for _, arm := range d.Arms {
+			if !reach[arm.Target] {
+				if _, known := byName[arm.Target]; known {
+					reach[arm.Target] = true
+					work = append(work, arm.Target)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// validateCounters checks the counter declarations, relations, arm
+// updates and asserts of ast, returning the canonical per-symbol deltas.
+// It returns (nil, nil) for counter-free specifications.
 func validateCounters(ast *AST) (*counterSpec, error) {
 	if len(ast.Counters) == 0 {
+		if len(ast.Relations) > 0 {
+			r := ast.Relations[0]
+			return nil, &SemanticError{r.Line, fmt.Sprintf("relation %s - %s declared but no counters are declared", r.A, r.B)}
+		}
 		if len(ast.Asserts) > 0 {
 			a := ast.Asserts[0]
 			return nil, &SemanticError{a.Line, fmt.Sprintf("assert references counter %q but no counters are declared", a.Counter)}
@@ -102,10 +202,14 @@ func validateCounters(ast *AST) (*counterSpec, error) {
 
 	cs := &counterSpec{
 		decls:        ast.Counters,
-		deltas:       map[string]map[string]int{},
+		deltas:       map[string]map[string]symDelta{},
 		inlineMax:    map[string]int{},
 		inlineNonneg: map[string]bool{},
 		exit:         map[string][]AssertDecl{},
+		tracked:      map[string]bool{},
+		wildPlus:     map[string]bool{},
+		wildMinus:    map[string]bool{},
+		reachable:    declaredReachable(ast),
 	}
 	bounds := map[string]int{}
 	for _, c := range ast.Counters {
@@ -119,8 +223,23 @@ func validateCounters(ast *AST) (*counterSpec, error) {
 		cs.inlineMax[c.Name] = -1
 	}
 
-	asserted := map[string]bool{}
+	if err := cs.validateRelations(ast, bounds); err != nil {
+		return nil, err
+	}
+
+	related := map[string]bool{}
+	for _, r := range cs.relations {
+		related[r.decl.A] = true
+		related[r.decl.B] = true
+	}
+
 	for _, a := range ast.Asserts {
+		if a.CounterB != "" {
+			if err := cs.addRelationAssert(a); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		bound, ok := bounds[a.Counter]
 		if !ok {
 			return nil, &SemanticError{a.Line, fmt.Sprintf("assert references undeclared counter %q", a.Counter)}
@@ -129,7 +248,7 @@ func validateCounters(ast *AST) (*counterSpec, error) {
 			return nil, &SemanticError{a.Line,
 				fmt.Sprintf("assert value %d for counter %q out of range [0, %d] (bound %d must exceed the asserted value)", a.Value, a.Counter, bound-1, bound)}
 		}
-		asserted[a.Counter] = true
+		cs.tracked[a.Counter] = true
 		if a.AtExit {
 			cs.exit[a.Counter] = append(cs.exit[a.Counter], a)
 			continue
@@ -148,41 +267,33 @@ func validateCounters(ast *AST) (*counterSpec, error) {
 			return nil, &SemanticError{a.Line, "'==' asserts are only supported 'at exit'"}
 		}
 	}
+	for _, r := range cs.relations {
+		if len(r.exit) == 0 && !r.hasInlineMax && !r.hasInlineMin {
+			return nil, &SemanticError{r.decl.Line, fmt.Sprintf("relation %s - %s is never asserted", r.decl.A, r.decl.B)}
+		}
+	}
 	for _, c := range ast.Counters {
-		if !asserted[c.Name] {
-			return nil, &SemanticError{c.Line, fmt.Sprintf("counter %q is never asserted", c.Name)}
+		if !cs.tracked[c.Name] && !related[c.Name] {
+			return nil, &SemanticError{c.Line, fmt.Sprintf("counter %q is never asserted or related", c.Name)}
 		}
 	}
 
 	// Canonicalize arm updates into per-symbol deltas and check that every
-	// arm on a symbol agrees (the product factorization needs per-symbol
-	// updates).
+	// reachable arm on a symbol agrees (the product factorization needs
+	// per-symbol updates).
 	soleCounter := ""
 	if len(ast.Counters) == 1 {
 		soleCounter = ast.Counters[0].Name
 	}
-	seenArm := map[string]int{} // symbol -> line of first arm
+	seenArm := map[string]int{} // symbol -> line of first reachable arm
 	for _, d := range ast.States {
 		for _, arm := range d.Arms {
-			net := map[string]int{}
-			for _, op := range arm.Ops {
-				name := op.Counter
-				if name == "" {
-					if soleCounter == "" {
-						return nil, &SemanticError{op.Line,
-							fmt.Sprintf("shorthand counter update on %q is ambiguous with %d counters; name the counter", arm.Symbol, len(ast.Counters))}
-					}
-					name = soleCounter
-				}
-				if _, ok := bounds[name]; !ok {
-					return nil, &SemanticError{op.Line, fmt.Sprintf("arm for %q updates undeclared counter %q", arm.Symbol, name)}
-				}
-				net[name] += op.Delta
+			net, err := armNet(arm, soleCounter, len(ast.Counters), bounds)
+			if err != nil {
+				return nil, err
 			}
-			for name, dl := range net {
-				if dl == 0 {
-					delete(net, name)
-				}
+			if !cs.reachable[d.Name] {
+				continue
 			}
 			if prev, seen := cs.deltas[arm.Symbol]; seen {
 				if !sameDeltas(prev, net) {
@@ -193,12 +304,116 @@ func validateCounters(ast *AST) (*counterSpec, error) {
 				cs.deltas[arm.Symbol] = net
 				seenArm[arm.Symbol] = arm.Line
 			}
+			for name, e := range net {
+				if e.wild {
+					if e.sign > 0 {
+						cs.wildPlus[name] = true
+					} else {
+						cs.wildMinus[name] = true
+					}
+				}
+			}
 		}
+	}
+	if err := cs.resolveRelationDiffs(); err != nil {
+		return nil, err
 	}
 	return cs, nil
 }
 
-func sameDeltas(a, b map[string]int) bool {
+// armNet canonicalizes the counter updates of one arm into net per-counter
+// deltas, resolving the `[+1]` shorthand against the sole counter and
+// rejecting undeclared counters and wildcard/literal mixes.
+func armNet(arm Arm, soleCounter string, numCounters int, bounds map[string]int) (map[string]symDelta, error) {
+	net := map[string]symDelta{}
+	opsOn := map[string]int{}
+	for _, op := range arm.Ops {
+		name := op.Counter
+		if name == "" {
+			if soleCounter == "" {
+				return nil, &SemanticError{op.Line,
+					fmt.Sprintf("shorthand counter update on %q is ambiguous with %d counters; name the counter", arm.Symbol, numCounters)}
+			}
+			name = soleCounter
+		}
+		if _, ok := bounds[name]; !ok {
+			return nil, &SemanticError{op.Line, fmt.Sprintf("arm for %q updates undeclared counter %q", arm.Symbol, name)}
+		}
+		opsOn[name]++
+		if op.Wild {
+			if opsOn[name] > 1 {
+				return nil, &SemanticError{op.Line,
+					fmt.Sprintf("wildcard update of counter %q cannot be combined with another update of it in the same arm", name)}
+			}
+			net[name] = symDelta{wild: true, sign: op.Delta}
+			continue
+		}
+		e := net[name]
+		if e.wild {
+			return nil, &SemanticError{op.Line,
+				fmt.Sprintf("wildcard update of counter %q cannot be combined with another update of it in the same arm", name)}
+		}
+		e.n += op.Delta
+		net[name] = e
+	}
+	for name, e := range net {
+		if !e.wild && e.n == 0 {
+			delete(net, name)
+		}
+	}
+	return net, nil
+}
+
+// stepCause classifies a tracker transition so lint can attribute fail
+// edges to the assert that caused them.
+type stepCause int
+
+const (
+	causeExact      stepCause = iota // lands on an exact value
+	causeSat                         // clamps into the saturated / >hi state
+	causeNeg                         // clamps into the negative / <lo state
+	causeFailMax                     // violates the inline `<=` assert
+	causeFailNonneg                  // violates the inline `>=` assert
+)
+
+// counterStep computes the successor of exact counter value v (0 ≤ v < k)
+// in the individual tracker under delta: the returned state uses the
+// tracker layout 0..k-1 exact, k saturated, k+1 negative, k+2 fail.
+func counterStep(k, inlineMax int, nonneg bool, delta symDelta, v int) (int, stepCause) {
+	sat, neg, fail := k, k+1, k+2
+	switch {
+	case delta.wild && delta.sign > 0:
+		// Unknown increase: it definitely violates an inline maximum the
+		// next value cannot stay under; otherwise the exact value is lost
+		// upward (a may-state).
+		if inlineMax >= 0 && v+1 > inlineMax {
+			return fail, causeFailMax
+		}
+		return sat, causeSat
+	case delta.wild:
+		// Unknown decrease: from 0 it definitely goes negative; otherwise
+		// the exact value is lost, possibly negative.
+		if nonneg && v == 0 {
+			return fail, causeFailNonneg
+		}
+		return neg, causeNeg
+	}
+	switch nv := v + delta.n; {
+	case nv < 0:
+		if nonneg {
+			return fail, causeFailNonneg
+		}
+		return neg, causeNeg
+	case inlineMax >= 0 && nv > inlineMax:
+		return fail, causeFailMax
+	case nv >= k:
+		return sat, causeSat
+	default:
+		return nv, causeExact
+	}
+}
+
+func sameDeltas(a, b map[string]symDelta) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -210,9 +425,9 @@ func sameDeltas(a, b map[string]int) bool {
 	return true
 }
 
-// counterTracker builds the tracker DFA for one counter over the shared
-// spec alphabet. States: 0..k-1 exact, k saturated (≥k), k+1 negative
-// (<0), k+2 fail (absorbing, accepting).
+// counterTracker builds the tracker DFA for one individually asserted
+// counter over the shared spec alphabet. States: 0..k-1 exact, k
+// saturated (≥k), k+1 negative (<0), k+2 fail (absorbing, accepting).
 func (cs *counterSpec) counterTracker(c CounterDecl, alpha *dfa.Alphabet, stats *CounterStats) *dfa.DFA {
 	k := c.Bound
 	sat := dfa.State(k)
@@ -236,7 +451,10 @@ func (cs *counterSpec) counterTracker(c CounterDecl, alpha *dfa.Alphabet, stats 
 	// stands for "anything ≥ k", so it may-violates `==` and `<=` exit
 	// asserts; the negative value records that the counter once went
 	// below zero, which violates `==` and `>=` exit asserts (a precision
-	// choice: `<=` is treated as still satisfiable).
+	// choice: `<=` is treated as still satisfiable). With wildcard
+	// updates in play the sticky values also may-violate inline asserts:
+	// a `+= *` lands in ≥k having possibly crossed an inline maximum,
+	// and a `-= *` lands in <0 having possibly gone negative.
 	d.SetAccept(fail)
 	for _, a := range cs.exit[c.Name] {
 		for v := 0; v < k; v++ {
@@ -253,28 +471,22 @@ func (cs *counterSpec) counterTracker(c CounterDecl, alpha *dfa.Alphabet, stats 
 			d.SetAccept(neg)
 		}
 	}
+	if cs.wildPlus[c.Name] && inlineMax >= 0 {
+		d.SetAccept(sat)
+	}
+	if cs.wildMinus[c.Name] && nonneg {
+		d.SetAccept(neg)
+	}
 
 	for i := 0; i < alpha.Size(); i++ {
 		sym := dfa.Symbol(i)
 		delta := cs.deltas[alpha.Name(sym)][c.Name]
 		for v := 0; v < k; v++ {
-			next := dfa.State(0)
-			switch nv := v + delta; {
-			case nv < 0:
-				if nonneg {
-					next = fail
-				} else {
-					next = neg
-				}
-			case inlineMax >= 0 && nv > inlineMax:
-				next = fail
-			case nv >= k:
-				next = sat
+			nv, cause := counterStep(k, inlineMax, nonneg, delta, v)
+			if cause == causeSat || (cause == causeNeg && delta.wild) {
 				stats.SaturatingEdges++
-			default:
-				next = dfa.State(nv)
 			}
-			d.SetTransition(dfa.State(v), sym, next)
+			d.SetTransition(dfa.State(v), sym, dfa.State(nv))
 		}
 		// Saturated, negative and failed values are sticky: once the
 		// abstraction has lost (or condemned) the exact value, no update
@@ -298,49 +510,118 @@ func violatesExact(a AssertDecl, v int) bool {
 	return false
 }
 
-// expandCounters folds the counter trackers into the completed base
-// machine via the synchronous product (accept = OR), preserving state
-// names so witnesses read "S·c=2".
-func expandCounters(base *dfa.DFA, cs *counterSpec) (*dfa.DFA, []CounterInfo, CounterStats, error) {
-	var stats CounterStats
-	if cs == nil {
-		return base, nil, stats, nil
-	}
-	info := make([]CounterInfo, len(cs.decls))
-	machine := base
-	for i, c := range cs.decls {
-		info[i] = CounterInfo{Name: c.Name, Bound: c.Bound}
-		machine = dfa.Union(machine, cs.counterTracker(c, base.Alpha, &stats))
-		if machine.NumStates > maxExpandedStates {
-			return nil, nil, stats, &SemanticError{c.Line,
-				fmt.Sprintf("counter expansion exceeds %d states at counter %q (bound %d); lower the bounds", maxExpandedStates, c.Name, c.Bound)}
-		}
-	}
-	stats.ExpandedStates = machine.NumStates
-	return machine, info, stats, nil
+// expansion is the result of folding all counter and relation trackers
+// into the completed base machine.
+type expansion struct {
+	machine   *dfa.DFA
+	counters  []CounterInfo
+	relations []RelationInfo
+	stats     CounterStats
+	// may[s] = machine state s rests on a saturated / sticky tracker
+	// valuation, so an accepting run landing there is a MAY verdict.
+	may []bool
 }
 
-// Counters returns the declared counters of the property (nil for plain
-// regular specifications), sorted by name.
+// expandCounters folds the counter and relation trackers into the
+// completed base machine via the synchronous product (accept = OR),
+// preserving state names so witnesses read "S·c=2" / "S·a-b=1" and
+// tracking which product states rest on saturated valuations.
+func expandCounters(base *dfa.DFA, cs *counterSpec) (expansion, error) {
+	ex := expansion{machine: base}
+	if cs == nil {
+		return ex, nil
+	}
+	ex.may = make([]bool, base.NumStates)
+	fold := func(t *dfa.DFA, sticky map[dfa.State]bool, line int, what string) error {
+		m2, pairs := dfa.UnionPairs(ex.machine, t)
+		may2 := make([]bool, m2.NumStates)
+		for s, p := range pairs {
+			may2[s] = ex.may[p[0]] || sticky[p[1]]
+		}
+		ex.machine, ex.may = m2, may2
+		if m2.NumStates > maxExpandedStates {
+			return &SemanticError{line,
+				fmt.Sprintf("counter expansion exceeds %d states at %s; lower the bounds", maxExpandedStates, what)}
+		}
+		return nil
+	}
+	for _, c := range cs.decls {
+		if !cs.tracked[c.Name] {
+			continue
+		}
+		ex.counters = append(ex.counters, CounterInfo{Name: c.Name, Bound: c.Bound})
+		t := cs.counterTracker(c, base.Alpha, &ex.stats)
+		sticky := map[dfa.State]bool{dfa.State(c.Bound): true, dfa.State(c.Bound + 1): true}
+		if err := fold(t, sticky, c.Line, fmt.Sprintf("counter %q (bound %d)", c.Name, c.Bound)); err != nil {
+			return ex, err
+		}
+	}
+	for _, r := range cs.relations {
+		ex.relations = append(ex.relations, RelationInfo{A: r.decl.A, B: r.decl.B, Lo: r.decl.Lo, Hi: r.decl.Hi})
+		t, sticky := r.tracker(base.Alpha, &ex.stats)
+		ex.stats.RelationStates += t.NumStates
+		if err := fold(t, sticky, r.decl.Line, fmt.Sprintf("relation %s - %s (band [%d, %d])", r.decl.A, r.decl.B, r.decl.Lo, r.decl.Hi)); err != nil {
+			return ex, err
+		}
+	}
+	ex.stats.ExpandedStates = ex.machine.NumStates
+	return ex, nil
+}
+
+// CounterList returns the individually tracked counters of the property
+// (nil for plain regular specifications), sorted by name.
 func (p *Property) CounterList() []CounterInfo {
 	out := append([]CounterInfo(nil), p.Counters...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
+// RelationList returns the declared counter-pair relations, sorted by
+// (A, B).
+func (p *Property) RelationList() []RelationInfo {
+	out := append([]RelationInfo(nil), p.Relations...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// MayState reports whether machine state s rests on a saturated / sticky
+// counter or relation valuation — an accepting annotation landing there
+// is a MAY verdict, not a definite one.
+func (p *Property) MayState(s dfa.State) bool {
+	return p.mayStates != nil && int(s) < len(p.mayStates) && p.mayStates[s]
+}
+
+// signedNum renders n with a typographic minus for display strings.
+func signedNum(n int) string {
+	if n < 0 {
+		return fmt.Sprintf("−%d", -n)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
 // Domain describes the annotation domain of the property for display:
 // "regular" for plain finite-state specifications, "counting(c≤4)" style
-// for bounded-counter ones.
+// for bounded-counter ones, with relations rendered as their band, e.g.
+// "counting(a−b∈[−2,2])". The rendering is sorted (counters by name,
+// then relations by pair) so -list output stays byte-stable.
 func (p *Property) Domain() string {
-	if len(p.Counters) == 0 {
+	if len(p.Counters) == 0 && len(p.Relations) == 0 {
 		return "regular"
 	}
 	s := "counting("
-	for i, c := range p.CounterList() {
-		if i > 0 {
-			s += ","
-		}
-		s += fmt.Sprintf("%s≤%d", c.Name, c.Bound)
+	sep := ""
+	for _, c := range p.CounterList() {
+		s += sep + fmt.Sprintf("%s≤%d", c.Name, c.Bound)
+		sep = ","
+	}
+	for _, r := range p.RelationList() {
+		s += sep + fmt.Sprintf("%s−%s∈[%s,%s]", r.A, r.B, signedNum(r.Lo), signedNum(r.Hi))
+		sep = ","
 	}
 	return s + ")"
 }

@@ -128,7 +128,8 @@ func TestCounterSyntaxErrors(t *testing.T) {
 		{"missing bound value", "counter c bound;", "expected counter bound", 1, 16},
 		{"lone <", "counter c bound 2;\nassert c < 1;", "expected '<=' after '<'", 2, 11},
 		{"at without exit", "counter c bound 2;\nassert c == 0 at end;", "expected 'exit' after 'at'", 2, 18},
-		{"bad op", "start state S :\n | a [c * 1] -> S;", "unexpected character", 2, 9},
+		{"bad op", "start state S :\n | a [c * 1] -> S;", "expected '+=' or '-='", 2, 9},
+		{"bad char", "start state S :\n | a [c @ 1] -> S;", "unexpected character", 2, 9},
 		{"negative delta", "start state S :\n | a [c += -1] -> S;", "must be non-negative", 2, 12},
 		{"unclosed bracket", "start state S :\n | a [+1 -> S;", "expected ']'", 2, 10},
 		{"empty brackets", "start state S :\n | a [] -> S;", "expected counter update", 2, 7},

@@ -22,6 +22,19 @@ func FuzzCompile(f *testing.F) {
 		"assert <= at exit;;",
 		"counter bound bound bound;",
 		"start state S : | a [c += -] -> S;",
+		// Relational counters and wildcard updates: the valid semabalance v2
+		// shape, a wildcard spec, then malformed relate/assert fragments.
+		relSemSrc,
+		"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\nstart state S : | up(x) [a += 1] -> S | dn(x) [b += 1] -> S;\nassert a - b <= 2;",
+		"counter c bound 3;\nstart state S : | add(x) [c += *] -> S | take(x) [c -= *] -> S;\nassert c >= 0;",
+		"relate a - b in [0, 2];",
+		"relate a b in [0, 2];",
+		"relate a - b in [2, 0];",
+		"relate a - b in [0, 2;",
+		"relate a - b in [*, *];",
+		"assert a - b <= ;",
+		"assert a - <= 1;",
+		"start state S : | m(x) [c += *, c += 1] -> S;",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -44,6 +44,8 @@ const (
 	tokNumber
 	tokPlusEq
 	tokMinusEq
+	tokMinus
+	tokStar
 	tokLE
 	tokGE
 	tokEqEq
@@ -79,6 +81,10 @@ func (k tokenKind) String() string {
 		return "'+='"
 	case tokMinusEq:
 		return "'-='"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
 	case tokLE:
 		return "'<='"
 	case tokGE:
@@ -213,6 +219,9 @@ func (l *lexer) next() (token, error) {
 	case r == ',':
 		l.advance()
 		return token{tokComma, ",", line, col}, nil
+	case r == '*':
+		l.advance()
+		return token{tokStar, "*", line, col}, nil
 	case unicode.IsDigit(r):
 		return l.number(line, col, false), nil
 	case r == '-':
@@ -227,7 +236,7 @@ func (l *lexer) next() (token, error) {
 		case unicode.IsDigit(l.peek()):
 			return l.number(line, col, true), nil
 		}
-		return token{}, l.errf("expected '->', '-=' or a number after '-'")
+		return token{tokMinus, "-", line, col}, nil
 	case r == '+':
 		l.advance()
 		switch {

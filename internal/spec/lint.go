@@ -1,0 +1,369 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"rasc/internal/dfa"
+)
+
+// speclint: static analysis over specifications themselves. Where
+// compilation rejects specs that cannot mean anything (hard semantic
+// errors), lint flags specs that compile but almost certainly do not mean
+// what their author intended:
+//
+//	dead-state          a declared state (and all its arms) is unreachable
+//	no-accept-reachable the compiled machine can never accept
+//	vacuous-assert      no reachable valuation can ever fire the assert
+//	shadowed-assert     a tighter inline assert on the same (pair of)
+//	                    counter(s) makes this one unobservable
+//	loose-band          a relation band is wider than any reachable
+//	                    difference, or the difference never leaves it
+//	inconsistent-delta  an unreachable arm disagrees with the reachable
+//	                    per-symbol counter deltas (reachable conflicts
+//	                    stay hard compile errors)
+//
+// The assert checks work on the same product the compiler builds — the
+// declared machine joined with each counter / relation tracker — using
+// the shared step functions (counterStep, relationSpec.step), so lint
+// verdicts cannot drift from compiled semantics.
+
+// LintFinding is one speclint warning.
+type LintFinding struct {
+	Code string `json:"code"`
+	Line int    `json:"line"`
+	Msg  string `json:"msg"`
+}
+
+func (f LintFinding) String() string {
+	return fmt.Sprintf("spec:%d: [%s] %s", f.Line, f.Code, f.Msg)
+}
+
+// Lint parses, compiles and lints a specification source. Parse and
+// compile errors are returned as the error; lint findings never are.
+func Lint(src string, opts Options) ([]LintFinding, error) {
+	p, err := Compile(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return LintProperty(p), nil
+}
+
+// LintProperty lints a compiled property. Properties without an AST
+// (FromRegex) only get the machine-level checks.
+func LintProperty(p *Property) []LintFinding {
+	var out []LintFinding
+	if !anyReachableAccept(p.Machine) {
+		out = append(out, LintFinding{Code: "no-accept-reachable", Line: 1,
+			Msg: "no accepting state is reachable: the property can never report"})
+	}
+	if p.AST == nil {
+		return out
+	}
+	ast := p.AST
+	reach := declaredReachable(ast)
+	for _, d := range ast.States {
+		if !reach[d.Name] {
+			out = append(out, LintFinding{Code: "dead-state", Line: d.Line,
+				Msg: fmt.Sprintf("state %q is unreachable from the start state; its %d arm(s) are dead", d.Name, len(d.Arms))})
+		}
+	}
+	cs, err := validateCounters(ast)
+	if err != nil || cs == nil {
+		sortFindings(out)
+		return out
+	}
+	dm, err := buildDeclaredMachine(ast)
+	if err != nil {
+		sortFindings(out)
+		return out
+	}
+	base := dm.dfa.CompleteSelfLoop()
+
+	out = append(out, lintDeltas(ast, cs)...)
+	out = append(out, lintCounterAsserts(ast, cs, base)...)
+	out = append(out, lintRelations(ast, cs, base)...)
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(out []LintFinding) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Code != out[j].Code {
+			return out[i].Code < out[j].Code
+		}
+		return out[i].Msg < out[j].Msg
+	})
+}
+
+func anyReachableAccept(m *dfa.DFA) bool {
+	reach := m.Reachable()
+	for s, r := range reach {
+		if r && m.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDeltas reports per-symbol counter-delta conflicts confined to
+// unreachable arms — the cases validateCounters deliberately tolerates.
+func lintDeltas(ast *AST, cs *counterSpec) []LintFinding {
+	var out []LintFinding
+	bounds := map[string]int{}
+	for _, c := range ast.Counters {
+		bounds[c.Name] = c.Bound
+	}
+	soleCounter := ""
+	if len(ast.Counters) == 1 {
+		soleCounter = ast.Counters[0].Name
+	}
+	type canon struct {
+		net  map[string]symDelta
+		line int
+	}
+	unreachSeen := map[string]canon{} // symbols appearing only on unreachable arms
+	for _, d := range ast.States {
+		if cs.reachable[d.Name] {
+			continue
+		}
+		for _, arm := range d.Arms {
+			net, err := armNet(arm, soleCounter, len(ast.Counters), bounds)
+			if err != nil {
+				continue
+			}
+			if reachable, ok := cs.deltas[arm.Symbol]; ok {
+				if !sameDeltas(net, reachable) {
+					out = append(out, LintFinding{Code: "inconsistent-delta", Line: arm.Line,
+						Msg: fmt.Sprintf("unreachable arm for %q carries different counter updates than the reachable arms; compilation used the reachable deltas", arm.Symbol)})
+				}
+				continue
+			}
+			if prev, seen := unreachSeen[arm.Symbol]; seen {
+				if !sameDeltas(net, prev.net) {
+					out = append(out, LintFinding{Code: "inconsistent-delta", Line: arm.Line,
+						Msg: fmt.Sprintf("unreachable arm for %q disagrees with the unreachable arm at line %d about counter updates", arm.Symbol, prev.line)})
+				}
+			} else {
+				unreachSeen[arm.Symbol] = canon{net: net, line: arm.Line}
+			}
+		}
+	}
+	return out
+}
+
+// trackerReach folds one tracker into the completed base machine and
+// returns which tracker components are reachable in the product.
+func trackerReach(base, t *dfa.DFA) map[int]bool {
+	prod, pairs := dfa.UnionPairs(base, t)
+	reach := prod.Reachable()
+	comp := map[int]bool{}
+	for s, ok := range reach {
+		if ok {
+			comp[int(pairs[s][1])] = true
+		}
+	}
+	return comp
+}
+
+// lintCounterAsserts checks each individual-counter assert for
+// vacuousness and shadowing against the reachable tracker valuations.
+func lintCounterAsserts(ast *AST, cs *counterSpec, base *dfa.DFA) []LintFinding {
+	var out []LintFinding
+	byName := map[string]CounterDecl{}
+	for _, c := range ast.Counters {
+		byName[c.Name] = c
+	}
+	reachOf := map[string]map[int]bool{}
+	causesOf := map[string]map[stepCause]bool{}
+	for _, c := range ast.Counters {
+		if !cs.tracked[c.Name] {
+			continue
+		}
+		var dummy CounterStats
+		t := cs.counterTracker(c, base.Alpha, &dummy)
+		comp := trackerReach(base, t)
+		reachOf[c.Name] = comp
+		causes := map[stepCause]bool{}
+		inlineMax, nonneg := cs.inlineMax[c.Name], cs.inlineNonneg[c.Name]
+		for v := 0; v < c.Bound; v++ {
+			if !comp[v] {
+				continue
+			}
+			for i := 0; i < base.Alpha.Size(); i++ {
+				delta := cs.deltas[base.Alpha.Name(dfa.Symbol(i))][c.Name]
+				_, cause := counterStep(c.Bound, inlineMax, nonneg, delta, v)
+				causes[cause] = true
+			}
+		}
+		causesOf[c.Name] = causes
+	}
+	for _, a := range ast.Asserts {
+		if a.CounterB != "" {
+			continue
+		}
+		c, ok := byName[a.Counter]
+		if !ok {
+			continue
+		}
+		comp, causes := reachOf[a.Counter], causesOf[a.Counter]
+		k := c.Bound
+		sat, neg := k, k+1
+		if a.AtExit {
+			fires := false
+			for v := 0; v < k; v++ {
+				if comp[v] && violatesExact(a, v) {
+					fires = true
+				}
+			}
+			if (a.Cmp == "==" || a.Cmp == "<=") && comp[sat] {
+				fires = true
+			}
+			if (a.Cmp == "==" || a.Cmp == ">=") && comp[neg] {
+				fires = true
+			}
+			if !fires {
+				out = append(out, LintFinding{Code: "vacuous-assert", Line: a.Line,
+					Msg: fmt.Sprintf("exit assert on %q can never fire: no reachable counter valuation violates it", a.Counter)})
+			}
+			continue
+		}
+		switch a.Cmp {
+		case "<=":
+			if a.Value > cs.inlineMax[a.Counter] {
+				out = append(out, LintFinding{Code: "shadowed-assert", Line: a.Line,
+					Msg: fmt.Sprintf("inline assert %q <= %d is shadowed by the tighter <= %d", a.Counter, a.Value, cs.inlineMax[a.Counter])})
+				continue
+			}
+			if !causes[causeFailMax] && !(cs.wildPlus[a.Counter] && comp[sat]) {
+				out = append(out, LintFinding{Code: "vacuous-assert", Line: a.Line,
+					Msg: fmt.Sprintf("inline assert %q <= %d can never fire: no reachable valuation exceeds it", a.Counter, a.Value)})
+			}
+		case ">=":
+			if !causes[causeFailNonneg] && !(cs.wildMinus[a.Counter] && comp[neg]) {
+				out = append(out, LintFinding{Code: "vacuous-assert", Line: a.Line,
+					Msg: fmt.Sprintf("inline assert %q >= %d can never fire: no reachable valuation goes under it", a.Counter, a.Value)})
+			}
+		}
+	}
+	return out
+}
+
+// lintRelations checks relational asserts for vacuousness / shadowing and
+// each relation band against the reachable differences.
+func lintRelations(ast *AST, cs *counterSpec, base *dfa.DFA) []LintFinding {
+	var out []LintFinding
+	type relReach struct {
+		comp   map[int]bool
+		causes map[stepCause]bool
+	}
+	reachOf := map[*relationSpec]relReach{}
+	for _, rs := range cs.relations {
+		var dummy CounterStats
+		t, _ := rs.tracker(base.Alpha, &dummy)
+		comp := trackerReach(base, t)
+		causes := map[stepCause]bool{}
+		lo, hi := rs.decl.Lo, rs.decl.Hi
+		for v := lo; v <= hi; v++ {
+			if !comp[v-lo] {
+				continue
+			}
+			for i := 0; i < base.Alpha.Size(); i++ {
+				dl := rs.diffs[base.Alpha.Name(dfa.Symbol(i))]
+				_, cause := rs.step(dl, v)
+				causes[cause] = true
+			}
+		}
+		reachOf[rs] = relReach{comp: comp, causes: causes}
+
+		// Band checks: reachable exact differences should span the band,
+		// and the difference should be able to leave it (through a sticky
+		// state or an inline fail) — otherwise the band is loose.
+		width := hi - lo + 1
+		dmin, dmax, any := 0, 0, false
+		for v := lo; v <= hi; v++ {
+			if comp[v-lo] {
+				if !any || v < dmin {
+					dmin = v
+				}
+				if !any || v > dmax {
+					dmax = v
+				}
+				any = true
+			}
+		}
+		switch {
+		case any && (dmin > lo || dmax < hi):
+			out = append(out, LintFinding{Code: "loose-band", Line: rs.decl.Line,
+				Msg: fmt.Sprintf("band [%d, %d] of relation %s - %s is loose: reachable differences span only [%d, %d]", lo, hi, rs.decl.A, rs.decl.B, dmin, dmax)})
+		case !comp[width] && !comp[width+1] && !comp[width+2]:
+			out = append(out, LintFinding{Code: "loose-band", Line: rs.decl.Line,
+				Msg: fmt.Sprintf("the difference %s - %s never leaves the band [%d, %d]; the relation constrains nothing beyond its exit asserts", rs.decl.A, rs.decl.B, lo, hi)})
+		}
+	}
+	for _, a := range ast.Asserts {
+		if a.CounterB == "" {
+			continue
+		}
+		var rs *relationSpec
+		for _, r := range cs.relations {
+			if r.decl.A == a.Counter && r.decl.B == a.CounterB {
+				rs = r
+				break
+			}
+		}
+		if rs == nil {
+			continue
+		}
+		rr := reachOf[rs]
+		lo, hi := rs.decl.Lo, rs.decl.Hi
+		width := hi - lo + 1
+		hiS, loS := width, width+1
+		pair := fmt.Sprintf("%s - %s", a.Counter, a.CounterB)
+		if a.AtExit {
+			fires := false
+			for v := lo; v <= hi; v++ {
+				if rr.comp[v-lo] && violatesExact(a, v) {
+					fires = true
+				}
+			}
+			if (a.Cmp == "==" || a.Cmp == "<=") && rr.comp[hiS] {
+				fires = true
+			}
+			if (a.Cmp == "==" || a.Cmp == ">=") && rr.comp[loS] {
+				fires = true
+			}
+			if !fires {
+				out = append(out, LintFinding{Code: "vacuous-assert", Line: a.Line,
+					Msg: fmt.Sprintf("exit assert on %s can never fire: no reachable difference violates it", pair)})
+			}
+			continue
+		}
+		switch a.Cmp {
+		case "<=":
+			if a.Value > rs.inlineMax {
+				out = append(out, LintFinding{Code: "shadowed-assert", Line: a.Line,
+					Msg: fmt.Sprintf("inline assert %s <= %d is shadowed by the tighter <= %d", pair, a.Value, rs.inlineMax)})
+				continue
+			}
+			if !rr.causes[causeFailMax] && !(rs.wildPlus && rr.comp[hiS]) {
+				out = append(out, LintFinding{Code: "vacuous-assert", Line: a.Line,
+					Msg: fmt.Sprintf("inline assert %s <= %d can never fire: no reachable difference exceeds it", pair, a.Value)})
+			}
+		case ">=":
+			if a.Value < rs.inlineMin {
+				out = append(out, LintFinding{Code: "shadowed-assert", Line: a.Line,
+					Msg: fmt.Sprintf("inline assert %s >= %d is shadowed by the tighter >= %d", pair, a.Value, rs.inlineMin)})
+				continue
+			}
+			if !rr.causes[causeFailNonneg] && !(rs.wildMinus && rr.comp[loS]) {
+				out = append(out, LintFinding{Code: "vacuous-assert", Line: a.Line,
+					Msg: fmt.Sprintf("inline assert %s >= %d can never fire: no reachable difference goes under it", pair, a.Value)})
+			}
+		}
+	}
+	return out
+}

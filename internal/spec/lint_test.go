@@ -1,0 +1,185 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintCodes collects the codes of a source's findings.
+func lintCodes(t *testing.T, src string) []string {
+	t.Helper()
+	fs, err := Lint(src, Options{})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	var codes []string
+	for _, f := range fs {
+		codes = append(codes, f.Code)
+	}
+	return codes
+}
+
+func wantCode(t *testing.T, src, code, msgFrag string) {
+	t.Helper()
+	fs, err := Lint(src, Options{})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	for _, f := range fs {
+		if f.Code == code && strings.Contains(f.Msg, msgFrag) {
+			if f.Line <= 0 {
+				t.Errorf("finding [%s] has no line: %s", code, f)
+			}
+			return
+		}
+	}
+	t.Errorf("no [%s] finding containing %q; got %v", code, msgFrag, fs)
+}
+
+func TestLintCleanSpecs(t *testing.T) {
+	clean := []string{
+		// Plain regular property.
+		`start state A : | open -> B; state B : | close -> E; accept state E;`,
+		// Counter spec with both assert directions exercised.
+		`counter c bound 3;
+start state S : | up [c += 1] -> S | down [c -= 1] -> S;
+assert c >= 0;
+assert c == 0 at exit;`,
+		// Relational spec: band fully spanned, fail reachable.
+		`counter a bound 4;
+counter b bound 4;
+relate a - b in [0, 2];
+start state S : | up [a += 1] -> S | down [b += 1] -> S;
+assert a - b >= 0;
+assert a - b == 0 at exit;`,
+	}
+	for i, src := range clean {
+		if codes := lintCodes(t, src); len(codes) != 0 {
+			t.Errorf("spec %d: want clean, got %v", i, codes)
+		}
+	}
+}
+
+func TestLintDeadState(t *testing.T) {
+	wantCode(t, `start state A : | go -> B; accept state B; state Dead : | go -> A;`,
+		"dead-state", `state "Dead" is unreachable`)
+}
+
+func TestLintNoAcceptReachable(t *testing.T) {
+	// The accept state exists but no arm leads to it.
+	wantCode(t, `start state A : | go -> A; accept state E;`,
+		"no-accept-reachable", "can never report")
+}
+
+func TestLintVacuousCounterAsserts(t *testing.T) {
+	// No decrement anywhere: the non-negativity assert can never fire.
+	wantCode(t, `counter c bound 3;
+start state S : | up [c += 1] -> S;
+assert c >= 0;
+assert c == 0 at exit;`,
+		"vacuous-assert", `"c" >= 0 can never fire`)
+
+	// Exit assert on a valuation no reachable path produces: the counter
+	// only decrements from 0, which the inline assert fails first, so the
+	// only violating valuations of `== 0` (1..k-1, sat) are unreachable.
+	wantCode(t, `counter c bound 3;
+start state S : | down [c -= 1] -> S;
+assert c >= 0;
+assert c == 0 at exit;`,
+		"vacuous-assert", "exit assert")
+}
+
+func TestLintShadowedCounterAssert(t *testing.T) {
+	wantCode(t, `counter c bound 5;
+start state S : | up [c += 1] -> S;
+assert c <= 2;
+assert c <= 3;`,
+		"shadowed-assert", `"c" <= 3 is shadowed by the tighter <= 2`)
+}
+
+func TestLintLooseBand(t *testing.T) {
+	// The difference only ever rises: [-2, 2] is loose below.
+	wantCode(t, `counter a bound 4;
+counter b bound 4;
+relate a - b in [-2, 2];
+start state S : | up [a += 1] -> S;
+assert a - b == 0 at exit;`,
+		"loose-band", "span only [0, 2]")
+
+	// Deltas cancel: the difference never moves, so it spans the whole
+	// (zero-width) band yet can never leave it — the relation constrains
+	// nothing beyond its exit asserts.
+	wantCode(t, `counter a bound 4;
+counter b bound 4;
+relate a - b in [0, 0];
+start state S : | both [a += 1, b += 1] -> S;
+assert a - b == 0 at exit;`,
+		"loose-band", "never leaves the band")
+}
+
+func TestLintShadowedRelationAssert(t *testing.T) {
+	wantCode(t, `counter a bound 6;
+counter b bound 6;
+relate a - b in [0, 4];
+start state S : | up [a += 1] -> S | down [b += 1] -> S;
+assert a - b <= 2;
+assert a - b <= 3;`,
+		"shadowed-assert", "a - b <= 3 is shadowed by the tighter <= 2")
+}
+
+func TestLintVacuousRelationAssert(t *testing.T) {
+	// The difference only rises; the >= assert can never fire.
+	wantCode(t, `counter a bound 4;
+counter b bound 4;
+relate a - b in [0, 2];
+start state S : | up [a += 1] -> S;
+assert a - b >= 0;
+assert a - b <= 2;`,
+		"vacuous-assert", "a - b >= 0 can never fire")
+}
+
+func TestLintInconsistentDeltaUnreachable(t *testing.T) {
+	// The unreachable state's arm for "up" disagrees with the reachable
+	// delta; compilation tolerates it (the arm is dead), lint flags it.
+	wantCode(t, `counter c bound 3;
+start state S : | up [c += 1] -> S | down [c -= 1] -> S;
+state Dead : | up [c += 2] -> Dead;
+assert c >= 0;`,
+		"inconsistent-delta", `unreachable arm for "up"`)
+}
+
+func TestLintFindingsSortedAndStable(t *testing.T) {
+	src := `counter c bound 3;
+start state S : | up [c += 1] -> S;
+state Dead : | up [c += 2] -> Dead;
+assert c >= 0;
+assert c == 0 at exit;`
+	a, err := Lint(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lint(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) < 2 {
+		t.Fatalf("want >= 2 findings to check ordering, got %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("finding %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Line > a[i].Line {
+			t.Errorf("findings not sorted by line: %v before %v", a[i-1], a[i])
+		}
+	}
+}
+
+func TestLintStringFormat(t *testing.T) {
+	f := LintFinding{Code: "dead-state", Line: 4, Msg: "state \"X\" is unreachable"}
+	if got := f.String(); got != `spec:4: [dead-state] state "X" is unreachable` {
+		t.Errorf("String() = %q", got)
+	}
+}

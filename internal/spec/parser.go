@@ -9,10 +9,14 @@ import (
 
 // CounterOp is one counter update attached to an arm, e.g. `c += 1`. The
 // shorthand forms `[+1]` / `[-1]` leave Counter empty and are resolved to
-// the specification's sole counter during compilation.
+// the specification's sole counter during compilation. A wildcard update
+// `c += *` / `c -= *` (for non-literal program arguments) sets Wild and
+// stores only the sign of the change in Delta (+1 or -1); its magnitude
+// is unknown, so the tracker saturates into a may-state.
 type CounterOp struct {
 	Counter string
 	Delta   int
+	Wild    bool
 	Line    int
 }
 
@@ -43,20 +47,33 @@ type CounterDecl struct {
 }
 
 // AssertDecl is one `assert c <= n;` / `assert c >= 0;` /
-// `assert c == 0 at exit;` declaration.
+// `assert c == 0 at exit;` declaration, or the relational form
+// `assert a - b <= n;` (CounterB non-empty) constraining the difference
+// of a declared counter pair.
 type AssertDecl struct {
-	Counter string
-	Cmp     string // "<=", ">=" or "=="
-	Value   int
-	AtExit  bool
-	Line    int
+	Counter  string
+	CounterB string // second counter of `assert a - b ...`, "" otherwise
+	Cmp      string // "<=", ">=" or "=="
+	Value    int
+	AtExit   bool
+	Line     int
+}
+
+// RelateDecl is one `relate a - b in [lo, hi];` declaration: the
+// difference a−b is tracked jointly through a saturating zone domain
+// {lo..hi exact, <lo sticky, >hi sticky, fail absorbing}.
+type RelateDecl struct {
+	A, B   string
+	Lo, Hi int
+	Line   int
 }
 
 // AST is a parsed specification.
 type AST struct {
-	States   []StateDecl
-	Counters []CounterDecl
-	Asserts  []AssertDecl
+	States    []StateDecl
+	Counters  []CounterDecl
+	Relations []RelateDecl
+	Asserts   []AssertDecl
 }
 
 type parser struct {
@@ -103,6 +120,12 @@ func Parse(src string) (*AST, error) {
 				return nil, err
 			}
 			ast.Counters = append(ast.Counters, decl)
+		case t.kind == tokIdent && t.text == "relate":
+			decl, err := p.relateDecl()
+			if err != nil {
+				return nil, err
+			}
+			ast.Relations = append(ast.Relations, decl)
 		case t.kind == tokIdent && t.text == "assert":
 			decl, err := p.assertDecl()
 			if err != nil {
@@ -160,7 +183,54 @@ func (p *parser) counterDecl() (CounterDecl, error) {
 	return d, nil
 }
 
-// assertDecl parses `assert <counter> (<=|>=|==) <n> [at exit] ;`.
+// relateDecl parses `relate <a> - <b> in [ <lo> , <hi> ] ;`.
+func (p *parser) relateDecl() (RelateDecl, error) {
+	var d RelateDecl
+	d.Line = p.cur().line
+	p.bump() // "relate"
+	a, err := p.expectIdent("counter name")
+	if err != nil {
+		return d, err
+	}
+	d.A = a.text
+	if _, err := p.expect(tokMinus); err != nil {
+		return d, err
+	}
+	b, err := p.expectIdent("counter name")
+	if err != nil {
+		return d, err
+	}
+	d.B = b.text
+	kw := p.cur()
+	if kw.kind != tokIdent || kw.text != "in" {
+		return d, p.errf(kw, "expected 'in', found %s %q", kw.kind, kw.text)
+	}
+	p.bump()
+	if _, err := p.expect(tokLBracket); err != nil {
+		return d, err
+	}
+	d.Lo, _, err = p.expectNumber("band lower bound")
+	if err != nil {
+		return d, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return d, err
+	}
+	d.Hi, _, err = p.expectNumber("band upper bound")
+	if err != nil {
+		return d, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return d, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// assertDecl parses `assert <counter> (<=|>=|==) <n> [at exit] ;` or the
+// relational form `assert <a> - <b> (<=|>=|==) <n> [at exit] ;`.
 func (p *parser) assertDecl() (AssertDecl, error) {
 	var d AssertDecl
 	d.Line = p.cur().line
@@ -170,6 +240,14 @@ func (p *parser) assertDecl() (AssertDecl, error) {
 		return d, err
 	}
 	d.Counter = name.text
+	if p.cur().kind == tokMinus {
+		p.bump()
+		b, err := p.expectIdent("counter name")
+		if err != nil {
+			return d, err
+		}
+		d.CounterB = b.text
+	}
 	switch t := p.cur(); t.kind {
 	case tokLE, tokGE, tokEqEq:
 		d.Cmp = t.text
@@ -326,6 +404,15 @@ func (p *parser) counterOp() (CounterOp, error) {
 			p.bump()
 		default:
 			return op, p.errf(t, "expected '+=' or '-=', found %s %q", t.kind, t.text)
+		}
+		if p.cur().kind == tokStar {
+			p.bump()
+			op.Wild = true
+			op.Delta = 1
+			if neg {
+				op.Delta = -1
+			}
+			return op, nil
 		}
 		n, nt, err := p.expectNumber("counter delta")
 		if err != nil {

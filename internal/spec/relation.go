@@ -1,0 +1,312 @@
+package spec
+
+import (
+	"fmt"
+
+	"rasc/internal/dfa"
+)
+
+// Relational counting: a declared pair relation
+//
+//	relate a - b in [lo, hi];
+//
+// tracks the difference a−b jointly through one tracker DFA over the
+// saturating zone domain
+//
+//	{lo, …, hi} ∪ {>hi sticky} ∪ {<lo sticky} ∪ {fail absorbing}
+//
+// so two individually unbounded event streams stay finitely analyzable as
+// long as their difference is what the property constrains. The band must
+// contain 0 — the initial difference. Relational asserts
+//
+//	assert a - b <= k;          // inline, k ≥ 0
+//	assert a - b >= k;          // inline, k ≤ 0
+//	assert a - b == 0 at exit;  // exit
+//
+// fail the tracker (inline, on the violating transition) or mark
+// valuations accepting (exit). Out-of-band sticky states are MAY
+// valuations: `>hi` may-violates `==`/`<=` exit asserts, `<lo`
+// may-violates `==`/`>=` ones, mirroring the single-counter precision
+// choices in counter.go.
+//
+// The per-symbol update of the difference is the difference of the
+// per-symbol counter updates; a wildcard update contributes a change of
+// known sign and unknown magnitude, so it is admissible only when every
+// contribution on that symbol pushes the difference the same way (the
+// tracker then jumps straight to the sticky state on that side).
+//
+// Each relation is one tracker for one declared pair — deliberately not a
+// difference-bound matrix over all counters: the product of the declared
+// machine with one zone per declared pair stays small and the monoid
+// finite, while a full DBM closure would square the state space for
+// constraints no spec asserts. See DESIGN.md "Relational counters".
+
+// relationSpec is the validated form of one `relate` declaration plus the
+// asserts attached to its pair.
+type relationSpec struct {
+	decl RelateDecl
+
+	hasInlineMax bool
+	inlineMax    int // smallest inline `<= v`
+	hasInlineMin bool
+	inlineMin    int // largest inline `>= v`
+	exit         []AssertDecl
+
+	// diffs[sym] = canonical per-symbol update of the difference A−B.
+	diffs map[string]symDelta
+	// wildPlus / wildMinus = some symbol moves the difference by a
+	// wildcard amount up / down.
+	wildPlus  bool
+	wildMinus bool
+}
+
+// validateRelations checks the `relate` declarations against the counter
+// table.
+func (cs *counterSpec) validateRelations(ast *AST, bounds map[string]int) error {
+	seen := map[[2]string]bool{}
+	for _, r := range ast.Relations {
+		if _, ok := bounds[r.A]; !ok {
+			return &SemanticError{r.Line, fmt.Sprintf("relation references undeclared counter %q", r.A)}
+		}
+		if _, ok := bounds[r.B]; !ok {
+			return &SemanticError{r.Line, fmt.Sprintf("relation references undeclared counter %q", r.B)}
+		}
+		if r.A == r.B {
+			return &SemanticError{r.Line, fmt.Sprintf("relation relates counter %q to itself", r.A)}
+		}
+		if seen[[2]string{r.A, r.B}] || seen[[2]string{r.B, r.A}] {
+			return &SemanticError{r.Line, fmt.Sprintf("duplicate relation between %q and %q", r.A, r.B)}
+		}
+		seen[[2]string{r.A, r.B}] = true
+		if r.Lo > r.Hi {
+			return &SemanticError{r.Line, fmt.Sprintf("relation band [%d, %d] is empty", r.Lo, r.Hi)}
+		}
+		if r.Lo > 0 || r.Hi < 0 {
+			return &SemanticError{r.Line, fmt.Sprintf("relation band [%d, %d] must contain 0, the initial difference", r.Lo, r.Hi)}
+		}
+		if r.Lo < -maxCounterBound || r.Hi > maxCounterBound {
+			return &SemanticError{r.Line, fmt.Sprintf("relation band [%d, %d] out of range [%d, %d]", r.Lo, r.Hi, -maxCounterBound, maxCounterBound)}
+		}
+		cs.relations = append(cs.relations, &relationSpec{decl: r})
+	}
+	return nil
+}
+
+// addRelationAssert attaches one relational assert `a - b <cmp> v` to its
+// declared relation.
+func (cs *counterSpec) addRelationAssert(a AssertDecl) error {
+	var rs *relationSpec
+	for _, r := range cs.relations {
+		if r.decl.A == a.Counter && r.decl.B == a.CounterB {
+			rs = r
+			break
+		}
+		if r.decl.A == a.CounterB && r.decl.B == a.Counter {
+			return &SemanticError{a.Line,
+				fmt.Sprintf("relation is declared as %s - %s; write the assert in the same orientation", r.decl.A, r.decl.B)}
+		}
+	}
+	if rs == nil {
+		return &SemanticError{a.Line, fmt.Sprintf("no relation declared for %s - %s (add `relate %s - %s in [lo, hi];`)", a.Counter, a.CounterB, a.Counter, a.CounterB)}
+	}
+	lo, hi := rs.decl.Lo, rs.decl.Hi
+	if a.Value < lo || a.Value > hi {
+		return &SemanticError{a.Line,
+			fmt.Sprintf("assert value %d for relation %s - %s out of range: the band [%d, %d] must cover it", a.Value, a.Counter, a.CounterB, lo, hi)}
+	}
+	if a.AtExit {
+		rs.exit = append(rs.exit, a)
+		return nil
+	}
+	switch a.Cmp {
+	case "<=":
+		if a.Value < 0 {
+			return &SemanticError{a.Line,
+				fmt.Sprintf("inline '<=' on relation %s - %s requires a non-negative value (the initial difference 0 must satisfy it)", a.Counter, a.CounterB)}
+		}
+		if !rs.hasInlineMax || a.Value < rs.inlineMax {
+			rs.hasInlineMax, rs.inlineMax = true, a.Value
+		}
+	case ">=":
+		if a.Value > 0 {
+			return &SemanticError{a.Line,
+				fmt.Sprintf("inline '>=' on relation %s - %s requires a non-positive value (the initial difference 0 must satisfy it)", a.Counter, a.CounterB)}
+		}
+		if !rs.hasInlineMin || a.Value > rs.inlineMin {
+			rs.hasInlineMin, rs.inlineMin = true, a.Value
+		}
+	case "==":
+		return &SemanticError{a.Line, "'==' asserts are only supported 'at exit'"}
+	}
+	return nil
+}
+
+// resolveRelationDiffs derives each relation's canonical per-symbol
+// difference update from the counter deltas, rejecting wildcard
+// combinations whose net direction on the difference is indeterminate.
+func (cs *counterSpec) resolveRelationDiffs() error {
+	for _, rs := range cs.relations {
+		rs.diffs = map[string]symDelta{}
+		for sym, net := range cs.deltas {
+			da, db := net[rs.decl.A], net[rs.decl.B]
+			if !da.wild && !db.wild {
+				if d := da.n - db.n; d != 0 {
+					rs.diffs[sym] = symDelta{n: d}
+				}
+				continue
+			}
+			// At least one wildcard contribution: every effect on the
+			// difference must push the same direction.
+			sign := 0
+			indeterminate := false
+			push := func(s int) {
+				if s == 0 {
+					return
+				}
+				if sign == 0 {
+					sign = s
+				} else if sign != s {
+					indeterminate = true
+				}
+			}
+			if da.wild {
+				push(da.sign)
+			} else {
+				push(signOf(da.n))
+			}
+			if db.wild {
+				push(-db.sign)
+			} else {
+				push(signOf(-db.n))
+			}
+			if indeterminate {
+				return &SemanticError{rs.decl.Line,
+					fmt.Sprintf("symbol %q moves the difference %s - %s in an indeterminate direction (wildcard and opposing updates); split the symbol or align the updates", sym, rs.decl.A, rs.decl.B)}
+			}
+			rs.diffs[sym] = symDelta{wild: true, sign: sign}
+			if sign > 0 {
+				rs.wildPlus = true
+			} else {
+				rs.wildMinus = true
+			}
+		}
+	}
+	return nil
+}
+
+func signOf(n int) int {
+	switch {
+	case n > 0:
+		return 1
+	case n < 0:
+		return -1
+	}
+	return 0
+}
+
+// step computes the successor of the exact difference v (lo ≤ v ≤ hi)
+// under the per-symbol difference update dl: the returned state uses the
+// tracker layout 0..hi-lo exact (difference lo+i), then >hi, <lo, fail.
+// causeSat / causeNeg stand for the >hi / <lo sticky jumps, causeFailMax /
+// causeFailNonneg for inline `<=` / `>=` violations.
+func (rs *relationSpec) step(dl symDelta, v int) (int, stepCause) {
+	lo, hi := rs.decl.Lo, rs.decl.Hi
+	width := hi - lo + 1
+	hiS, loS, fail := width, width+1, width+2
+	idx := func(d int) int { return d - lo }
+	switch {
+	case dl.wild && dl.sign > 0:
+		// Unknown increase of the difference: it definitely violates an
+		// inline maximum the next difference cannot stay under; otherwise
+		// the exact difference is lost upward.
+		if rs.hasInlineMax && v+1 > rs.inlineMax {
+			return fail, causeFailMax
+		}
+		return hiS, causeSat
+	case dl.wild:
+		if rs.hasInlineMin && v-1 < rs.inlineMin {
+			return fail, causeFailNonneg
+		}
+		return loS, causeNeg
+	}
+	switch nd := v + dl.n; {
+	case rs.hasInlineMin && nd < rs.inlineMin:
+		return fail, causeFailNonneg
+	case rs.hasInlineMax && nd > rs.inlineMax:
+		return fail, causeFailMax
+	case nd > hi:
+		return hiS, causeSat
+	case nd < lo:
+		return loS, causeNeg
+	default:
+		return idx(nd), causeExact
+	}
+}
+
+// tracker builds the zone-domain difference tracker DFA for the relation
+// over the shared spec alphabet, returning it together with its sticky
+// (MAY) states. States: indices 0..hi-lo exact (difference lo+i), then
+// >hi, <lo, fail.
+func (rs *relationSpec) tracker(alpha *dfa.Alphabet, stats *CounterStats) (*dfa.DFA, map[dfa.State]bool) {
+	lo, hi := rs.decl.Lo, rs.decl.Hi
+	width := hi - lo + 1
+	hiS := dfa.State(width)
+	loS := dfa.State(width + 1)
+	fail := dfa.State(width + 2)
+	idx := func(v int) dfa.State { return dfa.State(v - lo) }
+	start := idx(0)
+	d := dfa.NewDFA(alpha, width+3, start)
+	pair := rs.decl.A + "-" + rs.decl.B
+	names := make([]string, width+3)
+	for v := lo; v <= hi; v++ {
+		names[idx(v)] = fmt.Sprintf("%s=%d", pair, v)
+	}
+	names[hiS] = fmt.Sprintf("%s>%d", pair, hi)
+	names[loS] = fmt.Sprintf("%s<%d", pair, lo)
+	names[fail] = fmt.Sprintf("%s:fail", pair)
+	d.StateName = names
+
+	// Accepting valuations: fail always; exact differences iff they
+	// violate an exit assert; the sticky states for the exit asserts they
+	// may-violate, plus the inline asserts a wildcard jump may have
+	// crossed.
+	d.SetAccept(fail)
+	for _, a := range rs.exit {
+		for v := lo; v <= hi; v++ {
+			if violatesExact(a, v) {
+				d.SetAccept(idx(v))
+			}
+		}
+		switch a.Cmp {
+		case "==", "<=":
+			d.SetAccept(hiS)
+		}
+		switch a.Cmp {
+		case "==", ">=":
+			d.SetAccept(loS)
+		}
+	}
+	if rs.wildPlus && rs.hasInlineMax {
+		d.SetAccept(hiS)
+	}
+	if rs.wildMinus && rs.hasInlineMin {
+		d.SetAccept(loS)
+	}
+
+	for i := 0; i < alpha.Size(); i++ {
+		sym := dfa.Symbol(i)
+		dl := rs.diffs[alpha.Name(sym)]
+		for v := lo; v <= hi; v++ {
+			ns, cause := rs.step(dl, v)
+			if cause == causeSat || cause == causeNeg {
+				stats.RelationSaturatingEdges++
+			}
+			d.SetTransition(idx(v), sym, dfa.State(ns))
+		}
+		// Out-of-band and failed differences are sticky.
+		d.SetTransition(hiS, sym, hiS)
+		d.SetTransition(loS, sym, loS)
+		d.SetTransition(fail, sym, fail)
+	}
+	return d, map[dfa.State]bool{hiS: true, loS: true}
+}

@@ -1,0 +1,448 @@
+package spec
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rasc/internal/dfa"
+	"rasc/internal/monoid"
+)
+
+// relSemSrc is the canonical relational specification used throughout
+// the tests: two individually unbounded counters whose difference is
+// tracked jointly through one zone tracker (the semabalance v2 shape).
+const relSemSrc = `
+counter acq bound 8;
+counter rel bound 8;
+
+relate acq - rel in [0, 6];
+
+start state S :
+    | acquire(x) [acq += 1] -> S
+    | release(x) [rel += 1] -> S;
+
+assert acq - rel >= 0;
+assert acq - rel == 0 at exit;
+`
+
+func TestRelationCompile(t *testing.T) {
+	p, err := Compile(relSemSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Domain(); got != "counting(acq−rel∈[0,6])" {
+		t.Errorf("Domain() = %q, want counting(acq−rel∈[0,6])", got)
+	}
+	if len(p.Relations) != 1 {
+		t.Fatalf("Relations = %+v, want one", p.Relations)
+	}
+	if r := p.Relations[0]; r.A != "acq" || r.B != "rel" || r.Lo != 0 || r.Hi != 6 {
+		t.Errorf("Relations[0] = %+v, want acq-rel in [0,6]", r)
+	}
+	// Neither counter is asserted on its own, so neither gets an
+	// individual tracker: the relation carries the whole property.
+	if len(p.Counters) != 0 {
+		t.Errorf("Counters = %+v, want none (relation-only counters)", p.Counters)
+	}
+	if p.Stats.RelationStates == 0 {
+		t.Error("Stats.RelationStates = 0, want the tracker counted")
+	}
+	if p.Stats.RelationSaturatingEdges == 0 {
+		t.Error("Stats.RelationSaturatingEdges = 0, want the out-of-band jump counted")
+	}
+	var names []string
+	for s := 0; s < p.Machine.NumStates; s++ {
+		names = append(names, p.Machine.NameOf(dfa.State(s)))
+	}
+	joined := strings.Join(names, " ")
+	// The "<lo" zone state is unreachable here: the inline `>= 0` assert
+	// routes underflow straight to fail, and the product trims it.
+	for _, want := range []string{"S·acq-rel=0", "S·acq-rel=6", "S·acq-rel>6", "S·acq-rel:fail"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("state names %q missing %q", joined, want)
+		}
+	}
+}
+
+// relSeq composes the monoid functions of a symbol sequence.
+func relSeq(t *testing.T, p *Property, syms ...string) monoid.FuncID {
+	t.Helper()
+	f := p.Mon.Identity()
+	for _, s := range syms {
+		g, ok := p.Mon.SymbolFuncByName(s)
+		if !ok {
+			t.Fatalf("no symbol %q", s)
+		}
+		f = p.Mon.Then(f, g)
+	}
+	return f
+}
+
+func repSyms(sym string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = sym
+	}
+	return out
+}
+
+// TestRelationSemantics drives the compiled monoid through the zone
+// domain: balanced traffic of any depth within the band stays exact
+// (the relational win over independent saturating counters), imbalance
+// at exit is a definite report, band overflow is a may-report, and
+// over-release fails definitely.
+func TestRelationSemantics(t *testing.T) {
+	p, err := Compile(relSemSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	landing := func(f monoid.FuncID) dfa.State { return p.Mon.RightClass(f) }
+	cases := []struct {
+		name string
+		syms []string
+		acc  bool
+		may  bool
+	}{
+		{"empty trace: balanced", nil, false, false},
+		{"lone acquire: held at exit, definite", []string{"acquire"}, true, false},
+		{"acquire release: balanced", []string{"acquire", "release"}, false, false},
+		{"five acquires five releases: still exact (v1 saturated here)",
+			append(repSyms("acquire", 5), repSyms("release", 5)...), false, false},
+		{"six acquires five releases: definite imbalance",
+			append(repSyms("acquire", 6), repSyms("release", 5)...), true, false},
+		{"seven acquires: band overflow, may-verdict", repSyms("acquire", 7), true, true},
+		{"release first: underflow fails definitely", []string{"release", "acquire"}, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := relSeq(t, p, c.syms...)
+			if got := p.Mon.Accepting(f); got != c.acc {
+				t.Errorf("accepting = %v (state %s), want %v", got, p.Machine.NameOf(landing(f)), c.acc)
+			}
+			if got := p.MayState(landing(f)); got != c.may {
+				t.Errorf("MayState = %v (state %s), want %v", got, p.Machine.NameOf(landing(f)), c.may)
+			}
+		})
+	}
+	// Sticky: once out of the band, no suffix recovers exactness.
+	over := relSeq(t, p, repSyms("acquire", 7)...)
+	relF, _ := p.Mon.SymbolFuncByName("release")
+	if f := p.Mon.Then(over, relF); !p.Mon.Accepting(f) || !p.MayState(p.Mon.RightClass(f)) {
+		t.Error("band overflow must stay an accepting may-state after a release")
+	}
+}
+
+// TestRelationFewerMayVerdicts is the point of the relational domain: on
+// balanced paired patterns deeper than the independent counter's bound,
+// the v1 single-counter spec saturates and may-reports, while the
+// relational spec tracks the difference exactly and stays silent.
+func TestRelationFewerMayVerdicts(t *testing.T) {
+	indep, err := Compile(semCounterSrc, Options{}) // counter c bound 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	relp, err := Compile(relSemSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for depth := 5; depth <= 6; depth++ {
+		syms := append(repSyms("acquire", depth), repSyms("release", depth)...)
+		if f := relSeq(t, indep, syms...); !indep.Mon.Accepting(f) {
+			t.Errorf("depth %d: independent counter should saturate and may-report", depth)
+		}
+		if f := relSeq(t, relp, syms...); relp.Mon.Accepting(f) {
+			t.Errorf("depth %d: relational tracker should verify the balanced pattern", depth)
+		}
+	}
+	// No regression on true positives: both report the unbalanced run.
+	syms := repSyms("acquire", 2)
+	if f := relSeq(t, indep, syms...); !indep.Mon.Accepting(f) {
+		t.Error("independent counter missed the unbalanced run")
+	}
+	if f := relSeq(t, relp, syms...); !relp.Mon.Accepting(f) {
+		t.Error("relational tracker missed the unbalanced run")
+	}
+}
+
+// TestWildcardUpdates checks `c += *` / `c -= *` semantics: a wildcard
+// increase saturates (no report without an assert to cross), a wildcard
+// decrease from an exactly-zero counter definitely violates `>= 0`, and
+// from a positive counter it may-violates it.
+func TestWildcardUpdates(t *testing.T) {
+	src := `
+counter c bound 3;
+
+start state S :
+    | add(x) [c += *] -> S
+    | take(x) [c -= *] -> S
+    | inc(x) [c += 1] -> S
+    | done(x) [c -= 1] -> S;
+
+assert c >= 0;
+`
+	p, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		syms []string
+		acc  bool
+		may  bool
+	}{
+		{"wildcard add alone: saturated but nothing violated", []string{"add"}, false, true},
+		{"wildcard take at zero: definite underflow", []string{"take"}, true, false},
+		{"done at zero: definite underflow", []string{"done"}, true, false},
+		{"take from saturated: saturation is sticky, still nothing definite", []string{"add", "take"}, false, true},
+		{"wildcard take from a positive value: may-underflow", []string{"inc", "inc", "take"}, true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := relSeq(t, p, c.syms...)
+			if got := p.Mon.Accepting(f); got != c.acc {
+				t.Errorf("accepting = %v, want %v", got, c.acc)
+			}
+			if got := p.MayState(p.Mon.RightClass(f)); got != c.may {
+				t.Errorf("MayState = %v, want %v", got, c.may)
+			}
+		})
+	}
+}
+
+// TestRelationSyntaxErrors checks positions and messages on malformed
+// relate / relational-assert grammar.
+func TestRelationSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		want      string
+		line, col int
+	}{
+		{"missing minus", "relate a b in [0, 2];", "expected '-'", 1, 10},
+		{"missing in", "relate a - b [0, 2];", "expected 'in'", 1, 14},
+		{"missing lbracket", "relate a - b in 0, 2;", "expected '['", 1, 17},
+		{"missing comma", "relate a - b in [0 2];", "expected ','", 1, 20},
+		{"missing rbracket", "relate a - b in [0, 2;", "expected ']'", 1, 22},
+		{"missing lower bound", "relate a - b in [, 2];", "expected band lower bound", 1, 18},
+		{"assert missing second counter", "assert a - <= 1;", "expected counter name", 1, 12},
+		{"wildcard outside brackets", "start state S :\n | a [c += 1] -> S *;", "expected", 2, 20},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %T is not a *SyntaxError", err)
+			}
+			if se.Line != c.line || se.Col != c.col {
+				t.Errorf("error at %d:%d, want %d:%d (%s)", se.Line, se.Col, c.line, c.col, se.Msg)
+			}
+		})
+	}
+}
+
+func TestRelationSemanticErrors(t *testing.T) {
+	// decl is the shared two-counter preamble and machine.
+	const machine = "start state S : | up(x) [a += 1] -> S | dn(x) [b += 1] -> S;\n"
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"relate without counters",
+			"relate a - b in [0, 2];\n" + machine,
+			"no counters are declared"},
+		{"undeclared counter",
+			"counter a bound 4;\nrelate a - z in [0, 2];\n" + machine +
+				"assert a - z == 0 at exit;",
+			"undeclared counter"},
+		{"self relation",
+			"counter a bound 4;\nrelate a - a in [0, 2];\n" + machine +
+				"assert a - a == 0 at exit;",
+			"to itself"},
+		{"duplicate relation reversed",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\nrelate b - a in [-2, 0];\n" + machine +
+				"assert a - b == 0 at exit;",
+			"duplicate relation"},
+		{"empty band",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [2, 0];\n" + machine +
+				"assert a - b == 0 at exit;",
+			"is empty"},
+		{"band without zero",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [1, 3];\n" + machine +
+				"assert a - b == 0 at exit;",
+			"must contain 0"},
+		{"band out of range",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [-65, 0];\n" + machine +
+				"assert a - b == 0 at exit;",
+			"out of range"},
+		{"assert wrong orientation",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\n" + machine +
+				"assert b - a == 0 at exit;",
+			"same orientation"},
+		{"assert without relation",
+			"counter a bound 4;\ncounter b bound 4;\ncounter z bound 4;\nrelate a - b in [0, 2];\n" + machine +
+				"assert a - b == 0 at exit;\nassert a - z == 0 at exit;",
+			"no relation declared"},
+		{"assert value outside band",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\n" + machine +
+				"assert a - b <= 3;",
+			"must cover it"},
+		{"inline <= negative",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [-2, 2];\n" + machine +
+				"assert a - b <= -1;",
+			"requires a non-negative value"},
+		{"inline >= positive",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\n" + machine +
+				"assert a - b >= 1;",
+			"requires a non-positive value"},
+		{"inline ==",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\n" + machine +
+				"assert a - b == 0;",
+			"only supported 'at exit'"},
+		{"relation never asserted",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\n" + machine,
+			"never asserted"},
+		{"counter neither asserted nor related",
+			"counter a bound 4;\ncounter b bound 4;\ncounter z bound 4;\nrelate a - b in [0, 2];\n" + machine +
+				"assert a - b == 0 at exit;",
+			"never asserted or related"},
+		{"indeterminate wildcard direction",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\n" +
+				"start state S : | m(x) [a += *, b += 2] -> S;\n" +
+				"assert a - b == 0 at exit;",
+			"indeterminate direction"},
+		{"wildcard combined with literal on same counter",
+			"counter a bound 4;\ncounter b bound 4;\nrelate a - b in [0, 2];\n" +
+				"start state S : | m(x) [a += *, a += 1] -> S | dn(x) [b += 1] -> S;\n" +
+				"assert a - b == 0 at exit;",
+			"cannot be combined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, Options{})
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+			var se *SemanticError
+			if !errors.As(err, &se) {
+				t.Errorf("error %T is not a *SemanticError", err)
+			}
+		})
+	}
+}
+
+// TestRelationRandomizedOracle drives the compiled relational monoid
+// with random acquire/release strings and checks every verdict against
+// a direct simulation of the zone domain: exact difference while inside
+// [0, 6], absorbing fail on underflow (the inline `>= 0`), sticky
+// saturation above the band. The same strings run through the v1
+// independent-counter spec as a differential: the relational machine
+// never accepts a string the independent one verifies, and it produces
+// strictly fewer may-verdicts over the batch.
+func TestRelationRandomizedOracle(t *testing.T) {
+	relp, err := Compile(relSemSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := Compile(semCounterSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const fail, his = -1, -2
+	relMays, indepMays := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(24)
+		syms := make([]string, n)
+		diff := 0 // oracle zone state: 0..6 exact, fail, his
+		for i := range syms {
+			if rng.Intn(2) == 0 {
+				syms[i] = "acquire"
+			} else {
+				syms[i] = "release"
+			}
+			if diff == fail || diff == his {
+				continue // sticky
+			}
+			d := 1
+			if syms[i] == "release" {
+				d = -1
+			}
+			switch nd := diff + d; {
+			case nd < 0:
+				diff = fail
+			case nd > 6:
+				diff = his
+			default:
+				diff = nd
+			}
+		}
+		wantAcc := diff == fail || diff == his || diff > 0
+		wantMay := diff == his
+
+		f := relSeq(t, relp, syms...)
+		acc, may := relp.Mon.Accepting(f), relp.MayState(relp.Mon.RightClass(f))
+		if acc != wantAcc || may != (wantMay && acc) {
+			t.Fatalf("trial %d %v: accepting/may = %v/%v, oracle %v/%v",
+				trial, syms, acc, may, wantAcc, wantMay)
+		}
+		g := relSeq(t, indep, syms...)
+		iacc := indep.Mon.Accepting(g)
+		if acc && !may && !iacc {
+			t.Fatalf("trial %d %v: relational reports definitely but independent is silent", trial, syms)
+		}
+		if acc && may {
+			relMays++
+		}
+		if iacc && indep.MayState(indep.Mon.RightClass(g)) {
+			indepMays++
+		}
+	}
+	if relMays >= indepMays {
+		t.Errorf("relational may-verdicts = %d, independent = %d; want strictly fewer", relMays, indepMays)
+	}
+}
+
+// TestRelationZeroRelationIdentical: a counter spec with no relations
+// must compile to exactly the same machine, monoid and stats as before
+// the relational extension existed (the expansion path must not perturb
+// wildcard-free, relation-free specs).
+func TestRelationZeroRelationIdentical(t *testing.T) {
+	p, err := Compile(semCounterSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Relations) != 0 {
+		t.Fatalf("Relations = %+v, want none", p.Relations)
+	}
+	if p.Stats.RelationStates != 0 || p.Stats.RelationSaturatingEdges != 0 {
+		t.Errorf("relation stats nonzero on a relation-free spec: %+v", p.Stats)
+	}
+	// No state of a wildcard-free, relation-free counter spec is a
+	// may-state *unless* it is one of the PR-6 sticky sat/neg valuations;
+	// here the sat state exists and must still be flagged.
+	saw := false
+	for s := 0; s < p.Machine.NumStates; s++ {
+		if p.MayState(dfa.State(s)) {
+			saw = true
+			if name := p.Machine.NameOf(dfa.State(s)); !strings.Contains(name, ">=") && !strings.Contains(name, "<0") {
+				t.Errorf("unexpected may-state %q", name)
+			}
+		}
+	}
+	if !saw {
+		t.Error("the saturated valuation should be a may-state")
+	}
+}

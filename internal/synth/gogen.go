@@ -47,7 +47,8 @@ func GenerateGo(cfg GoConfig) []GoFile {
 		fmt.Fprintf(&b, "var mu%d sync.Mutex\n", i)
 		fmt.Fprintf(&b, "var shared%d int\n", i)
 		fmt.Fprintf(&b, "var sem%d Sem\n", i)
-		fmt.Fprintf(&b, "var pool%d Pool\n\n", i)
+		fmt.Fprintf(&b, "var pool%d Pool\n", i)
+		fmt.Fprintf(&b, "var bufs%d Bufs\n\n", i)
 		// Root: the entry function the driver will pick up. It spawns a
 		// background bumper so the race checker has ≥2 goroutines to
 		// reason about.
@@ -96,9 +97,19 @@ func GenerateGo(cfg GoConfig) []GoFile {
 }
 
 func genGoSafe(b *strings.Builder, r *rand.Rand, file int) {
-	switch r.Intn(5) {
+	switch r.Intn(7) {
 	case 0:
 		fmt.Fprintf(b, "\tmu%d.Lock()\n\twork(n)\n\tmu%d.Unlock()\n", file, file)
+	case 5:
+		// Deep balanced semaphore burst: five permits held at once, deeper
+		// than an independent counter's bound — only the relational
+		// acq−rel tracker verifies this without a may-verdict.
+		fmt.Fprintf(b, "\tsem%d.Acquire(ctx, 1)\n\tsem%d.Acquire(ctx, 1)\n\tsem%d.Acquire(ctx, 1)\n\tsem%d.Acquire(ctx, 1)\n\tsem%d.Acquire(ctx, 1)\n\twork(n)\n\tsem%d.Release(1)\n\tsem%d.Release(1)\n\tsem%d.Release(1)\n\tsem%d.Release(1)\n\tsem%d.Release(1)\n",
+			file, file, file, file, file, file, file, file, file, file)
+	case 6:
+		// Get/Put exchange loop: the tk−gv difference returns to 0 each
+		// round, clean under poolexchange at any iteration count.
+		fmt.Fprintf(b, "\tfor k := 0; k < n; k++ {\n\t\tb%d := bufs%d.Get()\n\t\tuse(b%d)\n\t\tbufs%d.Put(b%d)\n\t}\n", file, file, file, file, file)
 	case 1:
 		// Balanced semaphore hold, including a nested reacquire on one
 		// branch — exercises the counting checkers' exact range.
@@ -113,9 +124,12 @@ func genGoSafe(b *strings.Builder, r *rand.Rand, file int) {
 }
 
 func genGoUnsafe(b *strings.Builder, r *rand.Rand, file int) {
-	switch r.Intn(5) {
+	switch r.Intn(6) {
 	case 0:
 		fmt.Fprintf(b, "\tmu%d.Lock()\n\tif n > 0 {\n\t\tmu%d.Lock()\n\t}\n\tmu%d.Unlock()\n", file, file, file)
+	case 5:
+		// Get hoard: checkouts without returns push tk−gv over the band.
+		fmt.Fprintf(b, "\tfor k := 0; k < n; k++ {\n\t\tb%d := bufs%d.Get()\n\t\tuse(b%d)\n\t}\n", file, file, file)
 	case 1:
 		// Unbalanced semaphore: the permit stays held on one branch.
 		fmt.Fprintf(b, "\tsem%d.Acquire(ctx, 1)\n\tif n > 0 {\n\t\tsem%d.Release(1)\n\t}\n", file, file)
