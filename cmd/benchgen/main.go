@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"rasc/internal/analysis"
@@ -157,6 +158,20 @@ type benchResult struct {
 		// the observability cache counters.
 		ColdStores int64 `json:"cold_stores"`
 		WarmStores int64 `json:"warm_stores"`
+		// The snapshot-cold scenario is a fresh process image (fresh
+		// Package, zero in-memory reuse) over a populated skeleton+result
+		// cache: job results are served from the result cache, and every
+		// entry's solved constraint skeleton is reconstructed from its
+		// frozen snapshot — the per-entry stats memos are dropped first so
+		// the snapshot decode path genuinely runs instead of being
+		// shadowed by the memo. Findings must again be byte-identical to
+		// the cold run, with every skeleton a snapshot hit (enforced).
+		SnapshotColdWallMS float64 `json:"snapshot_cold_wall_ms"`
+		// SnapshotColdSpeedup is cold_wall_ms / snapshot_cold_wall_ms.
+		SnapshotColdSpeedup float64 `json:"snapshot_cold_speedup"`
+		SnapshotHits        int     `json:"snapshot_hits"`
+		SnapshotMisses      int     `json:"snapshot_misses"`
+		SnapshotIdentical   bool    `json:"snapshot_identical"`
 	} `json:"cache"`
 	// SolverMetrics are the internal/obs hook counters from the main
 	// (cacheless) run: solver work beyond the System-size totals in
@@ -291,8 +306,10 @@ func runBench(path string, seed int64, files, functions, stmts, unsafe int) erro
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d findings over %d jobs in %.1f ms (cache: cold %.1f ms, warm %.1f ms, %.1fx)\n",
-		path, out.Findings, out.Jobs, out.WallMS, out.Cache.ColdWallMS, out.Cache.WarmWallMS, out.Cache.Speedup)
+	fmt.Printf("wrote %s: %d findings over %d jobs in %.1f ms (cache: cold %.1f ms, snapshot-cold %.1f ms [%.1fx], warm %.1f ms [%.1fx])\n",
+		path, out.Findings, out.Jobs, out.WallMS, out.Cache.ColdWallMS,
+		out.Cache.SnapshotColdWallMS, out.Cache.SnapshotColdSpeedup,
+		out.Cache.WarmWallMS, out.Cache.Speedup)
 	return nil
 }
 
@@ -348,6 +365,41 @@ func runCacheBench(out *benchResult, in []gosrc.File) error {
 	if warm.Cache.ResolvedFunctions != 0 || warm.Cache.Misses != 0 {
 		return fmt.Errorf("warm cached run was not fully cached: %d misses, %d functions re-solved",
 			warm.Cache.Misses, warm.Cache.ResolvedFunctions)
+	}
+
+	// Snapshot-cold: a fresh process image over the populated cache. The
+	// per-entry stats memos are removed so the solved skeletons must be
+	// reconstructed, which routes through the frozen-snapshot decoder; a
+	// run that never touches the snapshot tier would measure nothing.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "entry-") && strings.HasSuffix(e.Name(), ".json") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	snap, snapMS, err := run(obs.NewRegistry())
+	if err != nil {
+		return err
+	}
+	snapJSON, _ := json.Marshal(snap.Diagnostics)
+	out.Cache.SnapshotColdWallMS = snapMS
+	if snapMS > 0 {
+		out.Cache.SnapshotColdSpeedup = coldMS / snapMS
+	}
+	out.Cache.SnapshotHits = snap.Cache.SkeletonHits
+	out.Cache.SnapshotMisses = snap.Cache.SkeletonMisses
+	out.Cache.SnapshotIdentical = string(snapJSON) == string(coldJSON)
+	if !out.Cache.SnapshotIdentical {
+		return fmt.Errorf("snapshot-cold run changed the findings")
+	}
+	if snap.Cache.SkeletonHits == 0 || snap.Cache.SkeletonMisses != 0 || snap.Cache.SkeletonCorrupt != 0 {
+		return fmt.Errorf("snapshot-cold run did not decode every skeleton: hits=%d misses=%d corrupt=%d",
+			snap.Cache.SkeletonHits, snap.Cache.SkeletonMisses, snap.Cache.SkeletonCorrupt)
 	}
 	return nil
 }

@@ -34,6 +34,8 @@ func TestBenchJSONDeterministic(t *testing.T) {
 			delete(c, "cold_wall_ms")
 			delete(c, "warm_wall_ms")
 			delete(c, "speedup")
+			delete(c, "snapshot_cold_wall_ms")
+			delete(c, "snapshot_cold_speedup")
 		}
 		out, err := json.Marshal(m) // map marshaling sorts keys
 		if err != nil {

@@ -8,7 +8,7 @@
 //
 //	gocheck [-checkers all|name,...] [-entry fn,...]
 //	        [-format text|json|sarif|github] [-fail-on error|warning|note]
-//	        [-parallel N] [-cache-dir dir]
+//	        [-parallel N] [-cache-dir dir] [-skeleton-cache=false]
 //	        [-trace-out f.json] [-metrics-json f.json] [-explain] [-progress]
 //	        [-cpuprofile f.prof] [-memprofile f.prof] path...
 //	gocheck -list
@@ -28,7 +28,12 @@
 // package re-analyzes from disk without solving anything, and an edit
 // re-solves only the edited function's SCC and its callers. A one-line
 // cache summary goes to stderr; the report itself is byte-identical to
-// a cacheless run.
+// a cacheless run. With the cache on, solved constraint skeletons are
+// additionally serialized as frozen snapshots (-skeleton-cache, default
+// true): a cold process whose source is unchanged reconstructs each
+// entry's solved base layer directly from bytes instead of translating
+// and re-solving it. Corrupt or version-skewed snapshots demote to a
+// live build, never a wrong report.
 //
 // Observability: -trace-out writes a Chrome trace-event JSON of every
 // driver phase (load, translate, ir.lower, skeleton builds, per-job
@@ -67,6 +72,7 @@ func run() int {
 	failOn := flag.String("fail-on", "warning", "lowest severity that fails the run (error, warning or note)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the incremental result cache (empty = no cache)")
+	skelCache := flag.Bool("skeleton-cache", true, "with -cache-dir, snapshot solved constraint skeletons for instant cold starts")
 	list := flag.Bool("list", false, "list registered checkers and exit")
 	speclint := flag.Bool("speclint", false, "lint the checkers' property specs and exit (3 on findings)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
@@ -150,15 +156,16 @@ func run() int {
 		return fail(err)
 	}
 	rep, err := analysis.Analyze(pkg, analysis.Config{
-		Checkers: checkers,
-		Entries:  entries,
-		Parallel: *parallel,
-		Opts:     core.Options{},
-		Cache:    cache,
-		Trace:    tracer,
-		Metrics:  registry,
-		Explain:  *explain,
-		Progress: prog,
+		Checkers:            checkers,
+		Entries:             entries,
+		Parallel:            *parallel,
+		Opts:                core.Options{},
+		Cache:               cache,
+		NoSkeletonSnapshots: !*skelCache,
+		Trace:               tracer,
+		Metrics:             registry,
+		Explain:             *explain,
+		Progress:            prog,
 	})
 	if err != nil {
 		return fail(err)
@@ -170,6 +177,10 @@ func run() int {
 		cs := rep.Cache
 		fmt.Fprintf(os.Stderr, "gocheck: cache hits=%d misses=%d rate=%.1f%% resolved=%d/%d\n",
 			cs.Hits, cs.Misses, cs.HitRate(), cs.ResolvedFunctions, cs.TotalFunctions)
+		if cs.SkeletonHits+cs.SkeletonMisses > 0 {
+			fmt.Fprintf(os.Stderr, "gocheck: skeleton snapshots hits=%d misses=%d corrupt=%d\n",
+				cs.SkeletonHits, cs.SkeletonMisses, cs.SkeletonCorrupt)
+		}
 		for _, n := range cs.Notes {
 			fmt.Fprintf(os.Stderr, "gocheck: %s\n", n)
 		}

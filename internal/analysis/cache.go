@@ -20,15 +20,19 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rasc/internal/core"
 	"rasc/internal/obs"
+	"rasc/internal/pdm"
+	"rasc/internal/snapshot"
 )
 
 // CacheVersion is the on-disk format version. Bump it whenever the
@@ -194,6 +198,17 @@ type CacheStats struct {
 	TotalFunctions int `json:"total_functions"`
 	// Resolved lists the re-solved functions' canonical names, sorted.
 	Resolved []string `json:"resolved,omitempty"`
+	// SkeletonHits counts entry skeletons reconstructed from a frozen
+	// snapshot instead of a live build-and-solve; SkeletonMisses counts
+	// skeleton builds that had no usable snapshot. Skeleton lookups are
+	// deliberately not folded into Hits/Misses: those count result-record
+	// lookups, and their hit rate is what the cache-effectiveness CI job
+	// asserts on.
+	SkeletonHits   int `json:"skeleton_hits,omitempty"`
+	SkeletonMisses int `json:"skeleton_misses,omitempty"`
+	// SkeletonCorrupt counts snapshots discarded by integrity or
+	// structural validation (also counted in SkeletonMisses).
+	SkeletonCorrupt int `json:"skeleton_corrupt,omitempty"`
 	// Notes lists non-fatal cache incidents (corruption, version skew).
 	Notes []string `json:"notes,omitempty"`
 }
@@ -237,13 +252,26 @@ type cacheSession struct {
 	pkg   *Package
 	regFP string
 	opts  string
+	// optsRaw is opts without the explain marker: skeleton snapshots are
+	// property-independent, so explain and non-explain runs share them.
+	optsRaw string
+	// coreOpts are the session's solver options, revalidated against the
+	// options a snapshot was encoded under at decode time.
+	coreOpts core.Options
+	// snapshots enables the frozen-skeleton snapshot path (load before a
+	// live BuildSkeleton, store after one).
+	snapshots bool
 
 	// metrics (nil OK) receives per-lookup hit/miss/corrupt/skew and
 	// per-write store counts for job and entry records. Function-stamp
 	// probes are not counted, matching CacheStats.
 	metrics *obs.CacheMetrics
+	// snapM (nil OK) receives skeleton-snapshot hit/miss/corrupt/skew
+	// counts, byte volumes and encode/decode timings.
+	snapM *obs.SnapshotMetrics
 
-	hits, misses atomic.Int64
+	hits, misses                      atomic.Int64
+	skelHits, skelMisses, skelCorrupt atomic.Int64
 
 	// stale[id] reports that function id had no valid stamp when the
 	// session started (its summary changed, or the cache is cold).
@@ -265,13 +293,15 @@ func (c *Cache) session(pkg *Package, opts core.Options, explain bool, m *obs.Ca
 		optKey += " explain"
 	}
 	cs := &cacheSession{
-		c:       c,
-		pkg:     pkg,
-		regFP:   registryFingerprint(),
-		opts:    optKey,
-		metrics: m,
-		stale:   map[int]bool{},
-		solved:  map[string]bool{},
+		c:        c,
+		pkg:      pkg,
+		regFP:    registryFingerprint(),
+		opts:     optKey,
+		optsRaw:  fmt.Sprintf("%+v", opts),
+		coreOpts: opts,
+		metrics:  m,
+		stale:    map[int]bool{},
+		solved:   map[string]bool{},
 	}
 	for _, f := range pkg.Prog.Funcs {
 		var rec fnRecord
@@ -376,13 +406,115 @@ func (cs *cacheSession) storeEntry(entry string, base core.Stats) {
 	}
 }
 
+// skelPath derives the on-disk name of an entry's frozen-skeleton
+// snapshot. The key bakes in everything the snapshot's validity depends
+// on: the container format version, the checker-registry fingerprint
+// (event callees shape skeleton construction), the solver options, and
+// the entry's transitive summary digest — any code or configuration
+// change moves the key, so a stale snapshot is an ordinary miss, never
+// a wrong skeleton. Explain mode is deliberately absent: skeletons are
+// property-independent, so both run flavors share one snapshot.
+func (cs *cacheSession) skelPath(entry string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "skel\nv:%d\nreg:%s\nopts:%s\nentry:%s\nsum:%s\n",
+		snapshot.FormatVersion, cs.regFP, cs.optsRaw, entry, cs.summaryOf(entry))
+	return filepath.Join(cs.c.dir, "skel-"+hex.EncodeToString(h.Sum(nil))+".snap")
+}
+
+// loadSkeleton reconstructs entry's skeleton from its snapshot, if one
+// exists and survives validation. Every failure demotes to a live build:
+// a missing file is a silent miss, version skew is a counted miss with a
+// note, and corruption (container integrity, structural validation, or
+// a program/entry mismatch that the content key should have prevented)
+// is a counted miss with a note and a best-effort removal.
+func (cs *cacheSession) loadSkeleton(entry string) (*pdm.Skeleton, bool) {
+	path := cs.skelPath(entry)
+	m := cs.snapM
+	miss := func() (*pdm.Skeleton, bool) {
+		cs.skelMisses.Add(1)
+		if m != nil {
+			m.Misses.Inc()
+		}
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			cs.c.note("cache: unreadable skeleton snapshot %s: %v", filepath.Base(path), err)
+		}
+		return miss()
+	}
+	t0 := time.Now()
+	sk, err := pdm.LoadSkeleton(data, cs.pkg.Prog, entry, cs.coreOpts)
+	if err != nil {
+		if errors.Is(err, snapshot.ErrVersion) {
+			cs.c.note("cache: skeleton snapshot %s has a different format version; falling back to a live build",
+				filepath.Base(path))
+			if m != nil {
+				m.VersionSkew.Inc()
+			}
+			return miss()
+		}
+		cs.c.note("cache: corrupt skeleton snapshot %s discarded: %v", filepath.Base(path), err)
+		os.Remove(path)
+		cs.skelCorrupt.Add(1)
+		if m != nil {
+			m.Corrupt.Inc()
+		}
+		return miss()
+	}
+	cs.skelHits.Add(1)
+	if m != nil {
+		m.Hits.Inc()
+		m.Bytes.Add(int64(len(data)))
+		m.DecodeMs.Observe(time.Since(t0).Milliseconds())
+	}
+	return sk, true
+}
+
+// storeSkeleton serializes a freshly built skeleton beside the JSON
+// result records (atomic temp-file + rename; the container carries its
+// own SHA-256 and per-section CRCs, so no envelope is needed). Write
+// failures degrade to a snapshot that never hits.
+func (cs *cacheSession) storeSkeleton(entry string, sk *pdm.Skeleton) {
+	t0 := time.Now()
+	data := sk.Snapshot()
+	encodeMs := time.Since(t0).Milliseconds()
+	path := cs.skelPath(entry)
+	tmp, err := os.CreateTemp(cs.c.dir, "tmp-*")
+	if err != nil {
+		cs.c.note("cache: writing %s: %v", filepath.Base(path), err)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		cs.c.note("cache: writing %s: %v", filepath.Base(path), firstErr(werr, cerr))
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		cs.c.note("cache: writing %s: %v", filepath.Base(path), err)
+		return
+	}
+	if m := cs.snapM; m != nil {
+		m.Stores.Inc()
+		m.Bytes.Add(int64(len(data)))
+		m.EncodeMs.Observe(encodeMs)
+	}
+}
+
 // finish computes the run's CacheStats and writes the function stamps
 // for everything the run solved.
 func (cs *cacheSession) finish() *CacheStats {
 	st := &CacheStats{
-		Hits:           int(cs.hits.Load()),
-		Misses:         int(cs.misses.Load()),
-		TotalFunctions: len(cs.pkg.Prog.Funcs),
+		Hits:            int(cs.hits.Load()),
+		Misses:          int(cs.misses.Load()),
+		TotalFunctions:  len(cs.pkg.Prog.Funcs),
+		SkeletonHits:    int(cs.skelHits.Load()),
+		SkeletonMisses:  int(cs.skelMisses.Load()),
+		SkeletonCorrupt: int(cs.skelCorrupt.Load()),
 	}
 	cs.mu.Lock()
 	solved := make([]string, 0, len(cs.solved))

@@ -56,7 +56,13 @@ type skelEntry struct {
 // on one build; distinct entries build independently. ob (nil OK)
 // records the build as a trace span and feeds the skeleton-layer
 // metrics; reuse of an already-built skeleton records nothing.
-func (p *Package) skeleton(entry string, opts core.Options, ob *obsState) (*pdm.Skeleton, error) {
+//
+// With a snapshot-enabled cache session (cs non-nil), the build is
+// first attempted as a snapshot decode — reconstructing the solved base
+// layer straight from bytes, skipping translation and the solve — and a
+// live build stores its snapshot for the next cold process. Snapshot
+// failures of any kind demote silently to the live path.
+func (p *Package) skeleton(entry string, opts core.Options, ob *obsState, cs *cacheSession) (*pdm.Skeleton, error) {
 	key := skelCacheKey{gen: generation(), opts: opts}
 	p.skelMu.Lock()
 	if p.skels == nil || p.skelKey != key {
@@ -71,6 +77,19 @@ func (p *Package) skeleton(entry string, opts core.Options, ob *obsState) (*pdm.
 	p.skelMu.Unlock()
 	e.once.Do(func() {
 		sp := ob.span("skeleton:" + entry)
+		if cs != nil && cs.snapshots {
+			dsp := sp.Child("snapshot.decode")
+			sk, ok := cs.loadSkeleton(entry)
+			dsp.Finish()
+			if ok {
+				e.sk = sk
+				sp.SetAttr("snapshot", "hit")
+				sp.SetAttr("deferred", sk.Deferred())
+				sp.Finish()
+				return
+			}
+			sp.SetAttr("snapshot", "miss")
+		}
 		callees := eventCallees()
 		e.sk, e.err = pdm.BuildSkeleton(p.Prog, entry, opts,
 			func(call *minic.CallExpr, _ string) bool { return callees[call.Name] })
@@ -79,6 +98,11 @@ func (p *Package) skeleton(entry string, opts core.Options, ob *obsState) (*pdm.
 			if ob != nil && ob.pdmM != nil {
 				ob.pdmM.SkeletonBuilds.Inc()
 				ob.pdmM.DeferredStmts.Add(int64(e.sk.Deferred()))
+			}
+			if cs != nil && cs.snapshots {
+				esp := sp.Child("snapshot.encode")
+				cs.storeSkeleton(entry, e.sk)
+				esp.Finish()
 			}
 		}
 		sp.Finish()
@@ -106,6 +130,14 @@ type Config struct {
 	// Suppression is applied to cached results afresh on every run, so
 	// //rasc:ignore edits take effect without invalidating anything.
 	Cache *Cache
+	// NoSkeletonSnapshots disables the frozen-skeleton snapshot path of
+	// the cache. By default (false), every live-built entry skeleton is
+	// serialized beside the result records and the next cold process
+	// reconstructs it straight from the bytes instead of re-translating
+	// and re-solving; snapshots are keyed so that any code, option or
+	// registry change demotes them to a live build. Only meaningful when
+	// Cache is set.
+	NoSkeletonSnapshots bool
 
 	// Trace, when non-nil, records every driver phase — skeleton builds,
 	// per-job cache lookups, solves and stores, the merge — as spans,
@@ -266,6 +298,10 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 			cm = ob.cacheM
 		}
 		cs = cfg.Cache.session(pkg, cfg.Opts, cfg.Explain, cm)
+		cs.snapshots = !cfg.NoSkeletonSnapshots
+		if ob != nil {
+			cs.snapM = ob.snapM
+		}
 	}
 
 	type job struct {
@@ -309,7 +345,7 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 					sp.SetAttr("cache", "miss")
 				}
 				ssp := sp.Child("solve")
-				results[i], stats[i], errs[i] = runJob(pkg, c, e, cfg.Opts, ob)
+				results[i], stats[i], errs[i] = runJob(pkg, c, e, cfg.Opts, ob, cs)
 				ssp.Finish()
 				if cs != nil && errs[i] == nil {
 					wsp := sp.Child("cache.store")
@@ -368,7 +404,7 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 					continue
 				}
 			}
-			sk, err := pkg.skeleton(e, cfg.Opts, ob)
+			sk, err := pkg.skeleton(e, cfg.Opts, ob, cs)
 			if err != nil {
 				return nil, err
 			}
@@ -453,7 +489,7 @@ func coversChecker(names []string, checker string) bool {
 // supplies metric hooks and the explain flag; with explain on, every
 // diagnostic leaves with a non-empty provenance chain, so cached
 // records round-trip explain output unchanged.
-func runJob(pkg *Package, c *Checker, entry string, opts core.Options, ob *obsState) ([]Diagnostic, core.Stats, error) {
+func runJob(pkg *Package, c *Checker, entry string, opts core.Options, ob *obsState, cs *cacheSession) ([]Diagnostic, core.Stats, error) {
 	if c.Run != nil {
 		ds := c.Run(pkg, c, entry)
 		if ob.explainOn() {
@@ -462,7 +498,7 @@ func runJob(pkg *Package, c *Checker, entry string, opts core.Options, ob *obsSt
 		return ds, core.Stats{}, nil
 	}
 	prop, events := c.compiled()
-	sk, err := pkg.skeleton(entry, opts, ob)
+	sk, err := pkg.skeleton(entry, opts, ob, cs)
 	if err != nil {
 		return nil, core.Stats{}, fmt.Errorf("analysis: %s/%s: %w", c.Name, entry, err)
 	}

@@ -465,3 +465,79 @@ func TestFreshNamesSurviveCollapse(t *testing.T) {
 		t.Errorf("Fresh name %q collides after collapse", n)
 	}
 }
+
+// Freeze's documented contract: idempotent, and write-free once the
+// union-find is normalized, so a second Freeze (or a Freeze racing
+// concurrent Forks) never perturbs a frozen base.
+func TestFreezeIdempotent(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	r := rand.New(rand.NewSource(11))
+	ident := func() Annot { return Annot(mon.Identity()) }
+	e := newSysEnv(alg, Options{}, 10, 3)
+	e.apply(randomOps(r, 50, 10, 3, ident)) // identity ops drive cycle collapsing
+	e.s.Solve()
+	e.s.Freeze()
+
+	if e.s.Stats().Collapsed == 0 {
+		t.Fatal("test premise: expected some collapsed variables")
+	}
+	first := make([]VarID, len(e.s.vars))
+	for v := range e.s.vars {
+		if p := e.s.vars[v].uf; e.s.vars[p].uf != p {
+			t.Fatalf("after Freeze, parent of v%d is not a root", v)
+		}
+		first[v] = e.s.vars[v].uf
+	}
+	e.s.Freeze()
+	for v := range e.s.vars {
+		if e.s.vars[v].uf != first[v] {
+			t.Fatalf("second Freeze moved v%d: %d -> %d", v, first[v], e.s.vars[v].uf)
+		}
+		e.s.Rep(VarID(v)) // find on a normalized path must not write either
+	}
+	for v := range e.s.vars {
+		if e.s.vars[v].uf != first[v] {
+			t.Fatalf("Rep after Freeze moved v%d", v)
+		}
+	}
+}
+
+// Forking after one Freeze and after a redundant second Freeze yields
+// equivalent layers: same stats and same query answers for the same
+// layered constraints.
+func TestForkAfterDoubleFreeze(t *testing.T) {
+	mon := oneBitMonoid(t)
+	alg := FuncAlgebra{mon}
+	r := rand.New(rand.NewSource(12))
+	ident := func() Annot { return Annot(mon.Identity()) }
+	anyAnnot := func() Annot { return Annot(r.Intn(mon.Size())) }
+	baseOps := randomOps(r, 30, 8, 3, ident)
+	layerOps := randomOps(r, 12, 8, 3, anyAnnot)
+
+	e := newSysEnv(alg, Options{}, 8, 3)
+	e.apply(baseOps)
+	e.s.Solve()
+	e.s.Freeze()
+	once := e.fork(alg)
+	once.apply(layerOps)
+	once.s.Solve()
+
+	e.s.Freeze()
+	twice := e.fork(alg)
+	twice.apply(layerOps)
+	twice.s.Solve()
+
+	if once.s.Stats() != twice.s.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", once.s.Stats(), twice.s.Stats())
+	}
+	for ci := range e.consts {
+		for vi := range e.vars {
+			if !annotsEqual(
+				once.s.ConstAnnots(once.consts[ci], once.vars[vi]),
+				twice.s.ConstAnnots(twice.consts[ci], twice.vars[vi])) {
+				t.Fatalf("ConstAnnots diverge at const %d var %d", ci, vi)
+			}
+		}
+	}
+}

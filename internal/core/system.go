@@ -340,6 +340,10 @@ func (s *System) newVar() VarID {
 // intermediates).
 func (s *System) NumVars() int { return len(s.vars) }
 
+// NumConsNodes returns the number of interned constructor expressions;
+// every valid CNode is below it.
+func (s *System) NumConsNodes() int { return len(s.cons) }
+
 // VarName returns the diagnostic name of v.
 func (s *System) VarName(v VarID) string {
 	d := &s.vars[v]
