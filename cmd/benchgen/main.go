@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -173,6 +174,24 @@ type benchResult struct {
 		SnapshotMisses      int     `json:"snapshot_misses"`
 		SnapshotIdentical   bool    `json:"snapshot_identical"`
 	} `json:"cache"`
+	// Server measures the resident-engine (gocheckd) hot path over the
+	// same corpus: an analysis.Engine backed by the populated cache
+	// directory takes a full seed push, then a stream of single-file
+	// edit requests toggling one tick function's body between two
+	// variants. Once both variants have been seen, every job replays
+	// from the engine's in-memory memo, so the steady-state latency is
+	// what a warm gocheckd client pays per request. The tick function is
+	// clean and excluded from the entry set, so every response must
+	// reproduce the cold run's findings byte-for-byte, and steady-state
+	// ticks must be fully memoized — both enforced, not just recorded.
+	Server struct {
+		Ticks      int     `json:"ticks"`
+		P50MS      float64 `json:"server_p50_ms"`
+		P99MS      float64 `json:"server_p99_ms"`
+		MemoHits   int64   `json:"memo_hits"`
+		MemoMisses int64   `json:"memo_misses"`
+		Identical  bool    `json:"identical"`
+	} `json:"server"`
 	// SolverMetrics are the internal/obs hook counters from the main
 	// (cacheless) run: solver work beyond the System-size totals in
 	// "solver". All are deterministic for a fixed seed — each job solves
@@ -306,10 +325,11 @@ func runBench(path string, seed int64, files, functions, stmts, unsafe int) erro
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d findings over %d jobs in %.1f ms (cache: cold %.1f ms, snapshot-cold %.1f ms [%.1fx], warm %.1f ms [%.1fx])\n",
+	fmt.Printf("wrote %s: %d findings over %d jobs in %.1f ms (cache: cold %.1f ms, snapshot-cold %.1f ms [%.1fx], warm %.1f ms [%.1fx]; server p50 %.1f ms p99 %.1f ms)\n",
 		path, out.Findings, out.Jobs, out.WallMS, out.Cache.ColdWallMS,
 		out.Cache.SnapshotColdWallMS, out.Cache.SnapshotColdSpeedup,
-		out.Cache.WarmWallMS, out.Cache.Speedup)
+		out.Cache.WarmWallMS, out.Cache.Speedup,
+		out.Server.P50MS, out.Server.P99MS)
 	return nil
 }
 
@@ -400,6 +420,74 @@ func runCacheBench(out *benchResult, in []gosrc.File) error {
 	if snap.Cache.SkeletonHits == 0 || snap.Cache.SkeletonMisses != 0 || snap.Cache.SkeletonCorrupt != 0 {
 		return fmt.Errorf("snapshot-cold run did not decode every skeleton: hits=%d misses=%d corrupt=%d",
 			snap.Cache.SkeletonHits, snap.Cache.SkeletonMisses, snap.Cache.SkeletonCorrupt)
+	}
+
+	return runServerBench(out, in, cache, coldJSON)
+}
+
+// serverTicks is the number of timed warm-server requests. The first
+// two ticks introduce the two tick-function variants (memo misses that
+// replay from disk); the remaining ten are steady-state memo replays,
+// so the median lands on the resident hot path.
+const serverTicks = 12
+
+// runServerBench measures the resident-engine request latency: the
+// scenario a gocheckd client sees against a warm daemon. The engine
+// shares the populated cache directory; each tick upserts one file
+// whose single function alternates between two bodies, forcing a
+// re-fingerprint and a fresh whole-program digest without touching any
+// entry's summary.
+func runServerBench(out *benchResult, in []gosrc.File, cache *analysis.Cache, coldJSON []byte) error {
+	pkg, err := analysis.LoadFiles(in)
+	if err != nil {
+		return err
+	}
+	entries := pkg.Roots()
+	eng := analysis.NewEngine(analysis.EngineConfig{Cache: cache})
+	if _, err := eng.Check(analysis.CheckRequest{Upserts: in, Entries: entries}); err != nil {
+		return fmt.Errorf("server seed push: %v", err)
+	}
+
+	tick := func(i int) gosrc.File {
+		return gosrc.File{
+			Name: "zz_edit_tick.go",
+			Src:  fmt.Sprintf("package bench\n\nfunc editTick() int {\n\tx := %d\n\treturn x\n}\n", i%2),
+		}
+	}
+	out.Server.Ticks = serverTicks
+	out.Server.Identical = true
+	samples := make([]float64, 0, serverTicks)
+	for i := 1; i <= serverTicks; i++ {
+		start := time.Now()
+		rep, err := eng.Check(analysis.CheckRequest{
+			Upserts: []gosrc.File{tick(i)},
+			Entries: entries,
+		})
+		if err != nil {
+			return fmt.Errorf("server tick %d: %v", i, err)
+		}
+		samples = append(samples, float64(time.Since(start).Microseconds())/1000)
+		tickJSON, _ := json.Marshal(rep.Diagnostics)
+		if string(tickJSON) != string(coldJSON) {
+			out.Server.Identical = false
+			return fmt.Errorf("server tick %d changed the findings", i)
+		}
+		// Once both variants are resident, a tick must never fall back
+		// to disk or re-solve anything: the memo key (which includes
+		// the whole-program digest) has been seen before.
+		if i > 2 && rep.Cache != nil && (rep.Cache.Misses != 0 || rep.Cache.ResolvedFunctions != 0) {
+			return fmt.Errorf("server tick %d was not fully memoized: %d misses, %d functions re-solved",
+				i, rep.Cache.Misses, rep.Cache.ResolvedFunctions)
+		}
+	}
+	sort.Float64s(samples)
+	out.Server.P50MS = samples[len(samples)/2]
+	out.Server.P99MS = samples[(len(samples)*99+99)/100-1]
+	st := eng.Stats()
+	out.Server.MemoHits = st.MemoHits
+	out.Server.MemoMisses = st.MemoMisses
+	if st.MemoHits == 0 {
+		return fmt.Errorf("server scenario never hit the memo")
 	}
 	return nil
 }

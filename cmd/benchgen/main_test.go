@@ -37,6 +37,10 @@ func TestBenchJSONDeterministic(t *testing.T) {
 			delete(c, "snapshot_cold_wall_ms")
 			delete(c, "snapshot_cold_speedup")
 		}
+		if s, ok := m["server"].(map[string]any); ok {
+			delete(s, "server_p50_ms")
+			delete(s, "server_p99_ms")
+		}
 		out, err := json.Marshal(m) // map marshaling sorts keys
 		if err != nil {
 			t.Fatal(err)

@@ -81,6 +81,9 @@ func run() int {
 	metricsJSON := flag.String("metrics-json", "", "write a JSON snapshot of the run's metric registry to this file")
 	explain := flag.Bool("explain", false, "attach a derivation chain (provenance) to every finding")
 	progress := flag.Bool("progress", false, "print coarse progress lines to stderr while analyzing")
+	verbose := flag.Bool("verbose", false, "print secondary cache telemetry (skeleton snapshots) to stderr")
+	serverAddr := flag.String("server", "", "check through a running gocheckd at this address instead of analyzing in-process")
+	program := flag.String("program", "default", "with -server, the resident program name to check against")
 	flag.Parse()
 
 	if *list {
@@ -117,6 +120,19 @@ func run() int {
 		if e = strings.TrimSpace(e); e != "" {
 			entries = append(entries, e)
 		}
+	}
+
+	if *serverAddr != "" {
+		return runServer(serverOpts{
+			addr:     *serverAddr,
+			program:  *program,
+			paths:    flag.Args(),
+			checkers: *checkersFlag,
+			entries:  entries,
+			format:   *format,
+			failOn:   *failOn,
+			explain:  *explain,
+		})
 	}
 
 	if *cpuprofile != "" {
@@ -177,7 +193,10 @@ func run() int {
 		cs := rep.Cache
 		fmt.Fprintf(os.Stderr, "gocheck: cache hits=%d misses=%d rate=%.1f%% resolved=%d/%d\n",
 			cs.Hits, cs.Misses, cs.HitRate(), cs.ResolvedFunctions, cs.TotalFunctions)
-		if cs.SkeletonHits+cs.SkeletonMisses > 0 {
+		// Skeleton-snapshot telemetry is secondary: scripted consumers
+		// only want it on request (-verbose); the counts always land in
+		// -metrics-json as the snapshot.* counters.
+		if *verbose && cs.SkeletonHits+cs.SkeletonMisses > 0 {
 			fmt.Fprintf(os.Stderr, "gocheck: skeleton snapshots hits=%d misses=%d corrupt=%d\n",
 				cs.SkeletonHits, cs.SkeletonMisses, cs.SkeletonCorrupt)
 		}
@@ -202,36 +221,21 @@ func run() int {
 		}
 	}
 
-	var threshold analysis.Severity
-	switch *failOn {
-	case "error":
-		threshold = analysis.SeverityError
-	case "warning":
-		threshold = analysis.SeverityWarning
-	case "note":
-		threshold = analysis.SeverityNote
-	default:
+	threshold, ok := parseThreshold(*failOn)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "gocheck: unknown -fail-on severity %q\n", *failOn)
 		return 2
 	}
 
 	rsp := tracer.Start("render")
-	switch *format {
-	case "text":
-		err = rep.Text(os.Stdout)
-	case "json":
-		err = rep.JSON(os.Stdout)
-	case "sarif":
-		err = rep.SARIF(os.Stdout)
-	case "github":
-		err = rep.Github(os.Stdout)
-	default:
-		fmt.Fprintf(os.Stderr, "gocheck: unknown format %q\n", *format)
-		return 2
-	}
+	err = render(rep, *format)
 	rsp.SetAttr("format", *format)
 	rsp.Finish()
 	if err != nil {
+		if _, unknown := err.(unknownFormatError); unknown {
+			fmt.Fprintln(os.Stderr, "gocheck:", err)
+			return 2
+		}
 		return fail(err)
 	}
 	if err := writeObsOutputs(tracer, *traceOut, registry, *metricsJSON); err != nil {
@@ -273,6 +277,41 @@ func writeObsOutputs(tracer *obs.Tracer, tracePath string, registry *obs.Registr
 		}
 	}
 	return nil
+}
+
+// parseThreshold maps a -fail-on value to a severity.
+func parseThreshold(failOn string) (analysis.Severity, bool) {
+	switch failOn {
+	case "error":
+		return analysis.SeverityError, true
+	case "warning":
+		return analysis.SeverityWarning, true
+	case "note":
+		return analysis.SeverityNote, true
+	}
+	return 0, false
+}
+
+// unknownFormatError marks a bad -format value (usage error, exit 2).
+type unknownFormatError struct{ format string }
+
+func (e unknownFormatError) Error() string { return fmt.Sprintf("unknown format %q", e.format) }
+
+// render writes the report to stdout in the selected format. The same
+// renderers serve in-process and -server runs, so both modes emit
+// byte-identical output for identical reports.
+func render(rep *analysis.Report, format string) error {
+	switch format {
+	case "text":
+		return rep.Text(os.Stdout)
+	case "json":
+		return rep.JSON(os.Stdout)
+	case "sarif":
+		return rep.SARIF(os.Stdout)
+	case "github":
+		return rep.Github(os.Stdout)
+	}
+	return unknownFormatError{format}
 }
 
 func fail(err error) int {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"rasc/internal/analysis"
+	"rasc/internal/server"
+)
+
+// serverOpts carries the -server client mode's inputs.
+type serverOpts struct {
+	addr     string
+	program  string
+	paths    []string
+	checkers string
+	entries  []string
+	format   string
+	failOn   string
+	explain  bool
+}
+
+// runServer is gocheck's client mode: read the local file set, diff it
+// against the daemon's manifest, post the minimal delta, and render the
+// returned report through the same renderers as an in-process run —
+// output and exit codes are identical to a one-shot gocheck over the
+// same sources.
+func runServer(o serverOpts) int {
+	threshold, ok := parseThreshold(o.failOn)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gocheck: unknown -fail-on severity %q\n", o.failOn)
+		return 2
+	}
+
+	files, err := analysis.ReadPathFiles(o.paths)
+	if err != nil {
+		return fail(err)
+	}
+	var checkerNames []string
+	if o.checkers != "" && o.checkers != "all" {
+		for _, name := range strings.Split(o.checkers, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				checkerNames = append(checkerNames, name)
+			}
+		}
+	}
+
+	c := server.NewClient(o.addr)
+	rep, err := c.CheckFiles(o.program, files, server.CheckRequest{
+		Checkers: checkerNames,
+		Entries:  o.entries,
+		Explain:  o.explain,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := render(rep, o.format); err != nil {
+		if _, unknown := err.(unknownFormatError); unknown {
+			fmt.Fprintln(os.Stderr, "gocheck:", err)
+			return 2
+		}
+		return fail(err)
+	}
+	if rep.HasFindingsAtLeast(threshold) {
+		return 3
+	}
+	return 0
+}

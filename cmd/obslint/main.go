@@ -7,6 +7,7 @@
 // Usage:
 //
 //	obslint [-trace f.json] [-metrics f.json] [-require-metrics name,...]
+//	        [-require-histograms name,...]
 //	        [-findings report.json] [-require-provenance]
 //
 // Exit status is 1 when any named artifact fails validation, 2 on
@@ -28,6 +29,7 @@ func main() {
 	trace := flag.String("trace", "", "validate this Chrome trace-event JSON file")
 	metrics := flag.String("metrics", "", "validate this metrics snapshot JSON file")
 	requireMetrics := flag.String("require-metrics", "", "with -metrics: comma-separated metric names that must be present in the snapshot")
+	requireHists := flag.String("require-histograms", "", "with -metrics: comma-separated histogram names that must be present with samples and self-consistent buckets")
 	findings := flag.String("findings", "", "validate this gocheck -format json report")
 	requireProv := flag.Bool("require-provenance", false, "with -findings: every diagnostic must carry a non-empty provenance chain")
 	flag.Parse()
@@ -53,6 +55,9 @@ func main() {
 		check(*metrics, validateFile(*metrics, obs.ValidateMetricsJSON))
 		if *requireMetrics != "" {
 			check(*metrics+" required metrics", requireMetricNames(*metrics, *requireMetrics))
+		}
+		if *requireHists != "" {
+			check(*metrics+" required histograms", requireHistogramNames(*metrics, *requireHists))
 		}
 	}
 	if *findings != "" {
@@ -96,6 +101,45 @@ func requireMetricNames(path, names string) error {
 	}
 	if len(missing) > 0 {
 		return fmt.Errorf("metrics missing from snapshot: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// requireHistogramNames checks that every named histogram is present,
+// has recorded at least one sample, and is internally consistent: the
+// per-bucket counts must sum to the histogram's total count. CI uses
+// this on the daemon's metrics snapshot to pin the request-latency
+// histogram (server.request_ms): a smoke run that served traffic must
+// have observed it, and an exporter bug that drops or double-counts a
+// bucket is a validation failure, not a dashboard mystery.
+func requireHistogramNames(path, names string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("not a metrics snapshot: %v", err)
+	}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		h, ok := snap.Histograms[n]
+		if !ok {
+			return fmt.Errorf("histogram %s missing from snapshot", n)
+		}
+		if h.Count <= 0 {
+			return fmt.Errorf("histogram %s has no samples", n)
+		}
+		var sum int64
+		for _, b := range h.Buckets {
+			sum += b.Count
+		}
+		if sum != h.Count {
+			return fmt.Errorf("histogram %s buckets sum to %d, count says %d", n, sum, h.Count)
+		}
 	}
 	return nil
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"rasc/internal/analysis"
+	"rasc/internal/gosrc"
 	"rasc/internal/obs"
 )
 
@@ -65,5 +67,100 @@ func Hold(n int) {
 	}
 	if err := requireMetricNames(snapPath, " "); err != nil {
 		t.Errorf("blank requirement list must pass: %v", err)
+	}
+}
+
+// TestRequireHistogramNames drives an analysis.Engine (the gocheckd
+// core) with a metrics registry so the request-latency histogram gets
+// real samples, then checks the -require-histograms validation: the
+// served histogram passes, a missing one is named, an empty one is
+// rejected, and a bucket/count mismatch is caught.
+func TestRequireHistogramNames(t *testing.T) {
+	dir := t.TempDir()
+	src := `package demo
+
+import "sync"
+
+var mu sync.Mutex
+
+func Use() {
+	mu.Lock()
+	mu.Unlock()
+}
+`
+	reg := obs.NewRegistry()
+	eng := analysis.NewEngine(analysis.EngineConfig{Metrics: reg})
+	if _, err := eng.Check(analysis.CheckRequest{
+		Upserts: []gosrc.File{{Name: "demo.go", Src: src}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "metrics.json")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := requireHistogramNames(snapPath, "server.request_ms"); err != nil {
+		t.Errorf("request-latency histogram missing from a served engine's snapshot: %v", err)
+	}
+	err = requireHistogramNames(snapPath, "server.nosuch_ms")
+	if err == nil || !strings.Contains(err.Error(), "server.nosuch_ms") {
+		t.Errorf("missing histogram not reported: %v", err)
+	}
+	// relower_ms exists in the snapshot too; it must also have samples
+	// (the seed push re-lowered the program).
+	if err := requireHistogramNames(snapPath, "server.request_ms, server.relower_ms"); err != nil {
+		t.Errorf("relower histogram: %v", err)
+	}
+
+	// An empty histogram fails the sample requirement, and a corrupted
+	// bucket breakdown fails the consistency requirement.
+	empty := obs.NewRegistry()
+	empty.Histogram("idle_ms", obs.DefaultLatencyBounds)
+	emptyPath := filepath.Join(dir, "empty.json")
+	f, err = os.Create(emptyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = requireHistogramNames(emptyPath, "idle_ms")
+	if err == nil || !strings.Contains(err.Error(), "no samples") {
+		t.Errorf("empty histogram not rejected: %v", err)
+	}
+
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	h := snap.Histograms["server.request_ms"]
+	h.Count += 9
+	snap.Histograms["server.request_ms"] = h
+	corrupt, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptPath := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corruptPath, corrupt, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	err = requireHistogramNames(corruptPath, "server.request_ms")
+	if err == nil || !strings.Contains(err.Error(), "buckets sum") {
+		t.Errorf("inconsistent histogram not rejected: %v", err)
 	}
 }

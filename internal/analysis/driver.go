@@ -168,6 +168,13 @@ func LoadPaths(paths []string) (*Package, error) {
 	return LoadFiles(files)
 }
 
+// ReadPathFiles resolves LoadPaths' path patterns (files, directories,
+// recursive "dir/..." trees) and reads the files without translating
+// them, in the same sorted order LoadPaths analyzes them in. Server
+// clients use it to assemble the file set they push to a resident
+// engine.
+func ReadPathFiles(paths []string) ([]gosrc.File, error) { return readPathFiles(paths) }
+
 // readPathFiles resolves LoadPaths' path patterns and reads the files.
 func readPathFiles(paths []string) ([]gosrc.File, error) {
 	var names []string
@@ -272,6 +279,17 @@ func (p *Package) fileOf(fn string) string { return p.Prog.FileOf(fn) }
 // solver statistics; Report.Cache records hit/miss counts and which
 // functions had to be re-solved.
 func Analyze(pkg *Package, cfg Config) (*Report, error) {
+	return NewEngine(EngineConfig{}).AnalyzePackage(pkg, cfg)
+}
+
+// analyze is the driver core shared by the one-shot wrapper and the
+// resident Engine. mem (nil OK) is the engine's in-memory job memo,
+// consulted before the on-disk cache and fed from every source (memo
+// miss that hits disk, and fresh solves), so a warm engine replays jobs
+// without touching disk at all. Memo keys pin the same content
+// coordinates as disk keys, so results are byte-identical whichever
+// layer serves them.
+func analyze(pkg *Package, cfg Config, mem *jobMemo) (*Report, error) {
 	checkers := cfg.Checkers
 	if len(checkers) == 0 {
 		checkers = All()
@@ -291,18 +309,38 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	}
 	ob := newObsState(&cfg)
 	ob.recordSpecMetrics(checkers)
-	var cs *cacheSession
+	// The disk session is created lazily, on the first memo miss that
+	// needs it: session setup stamps every function against the cache
+	// directory (one read per function), which a fully memoized
+	// resident-engine request never needs. One-shot and cold runs miss
+	// the memo on their first job and materialize it immediately, so
+	// their behavior is unchanged.
+	var disk *lazySession
 	if cfg.Cache != nil {
 		var cm *obs.CacheMetrics
 		if ob != nil {
 			cm = ob.cacheM
 		}
-		cs = cfg.Cache.session(pkg, cfg.Opts, cfg.Explain, cm)
-		cs.snapshots = !cfg.NoSkeletonSnapshots
-		if ob != nil {
-			cs.snapM = ob.snapM
-		}
+		disk = &lazySession{mk: func() *cacheSession {
+			cs := cfg.Cache.session(pkg, cfg.Opts, cfg.Explain, cm)
+			cs.snapshots = !cfg.NoSkeletonSnapshots
+			if ob != nil {
+				cs.snapM = ob.snapM
+			}
+			return cs
+		}}
 	}
+	// Memo key coordinates, mirroring cacheSession's key derivation.
+	var memoRegFP, memoOpts, memoProg string
+	if mem != nil {
+		memoRegFP = registryFingerprint()
+		memoOpts = fmt.Sprintf("%+v", cfg.Opts)
+		if cfg.Explain {
+			memoOpts += " explain"
+		}
+		memoProg = pkg.Prog.Digest.String()
+	}
+	summaryOf := func(entry string) string { return pkg.Prog.ByName[entry].Summary.String() }
 
 	type job struct {
 		checker *Checker
@@ -331,12 +369,25 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 			for i := range idx {
 				c, e := jobs[i].checker, jobs[i].entry
 				sp := ob.span("job:" + c.Name + "/" + e)
+				if mem != nil {
+					if ds, st, ok := mem.loadJob(memoRegFP, memoOpts, memoProg, c.fingerprint(), e, summaryOf(e)); ok {
+						results[i], stats[i] = ds, st
+						sp.SetAttr("memo", "hit")
+						sp.Finish()
+						ob.jobDone(false)
+						continue
+					}
+				}
+				cs := disk.get()
 				if cs != nil {
 					lsp := sp.Child("cache.lookup")
 					ds, st, ok := cs.loadJob(c, e)
 					lsp.Finish()
 					if ok {
 						results[i], stats[i] = ds, st
+						if mem != nil {
+							mem.storeJob(memoRegFP, memoOpts, memoProg, c.fingerprint(), e, summaryOf(e), ds, st)
+						}
 						sp.SetAttr("cache", "hit")
 						sp.Finish()
 						ob.jobDone(false)
@@ -347,10 +398,15 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 				ssp := sp.Child("solve")
 				results[i], stats[i], errs[i] = runJob(pkg, c, e, cfg.Opts, ob, cs)
 				ssp.Finish()
-				if cs != nil && errs[i] == nil {
-					wsp := sp.Child("cache.store")
-					cs.storeJob(c, e, results[i], stats[i])
-					wsp.Finish()
+				if errs[i] == nil {
+					if cs != nil {
+						wsp := sp.Child("cache.store")
+						cs.storeJob(c, e, results[i], stats[i])
+						wsp.Finish()
+					}
+					if mem != nil {
+						mem.storeJob(memoRegFP, memoOpts, memoProg, c.fingerprint(), e, summaryOf(e), results[i], stats[i])
+					}
 				}
 				sp.Finish()
 				ob.jobDone(true)
@@ -394,13 +450,26 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 	if hasProperty {
 		for _, e := range entries {
 			// The skeleton's base stats are content-keyed too: a warm run
-			// reconstructs them from the cache instead of rebuilding (and
-			// re-solving) the skeleton just to report its size.
+			// reconstructs them from the memo or cache instead of
+			// rebuilding (and re-solving) the skeleton just to report its
+			// size.
+			if mem != nil {
+				if base, ok := mem.loadEntry(memoRegFP, memoOpts, memoProg, e, summaryOf(e)); ok {
+					rep.Solver.Vars += base.Vars
+					rep.Solver.ConsNodes += base.ConsNodes
+					rep.Solver.Edges += base.Edges
+					continue
+				}
+			}
+			cs := disk.get()
 			if cs != nil {
 				if base, ok := cs.loadEntry(e); ok {
 					rep.Solver.Vars += base.Vars
 					rep.Solver.ConsNodes += base.ConsNodes
 					rep.Solver.Edges += base.Edges
+					if mem != nil {
+						mem.storeEntry(memoRegFP, memoOpts, memoProg, e, summaryOf(e), base)
+					}
 					continue
 				}
 			}
@@ -415,10 +484,17 @@ func Analyze(pkg *Package, cfg Config) (*Report, error) {
 			if cs != nil {
 				cs.storeEntry(e, base)
 			}
+			if mem != nil {
+				mem.storeEntry(memoRegFP, memoOpts, memoProg, e, summaryOf(e), base)
+			}
 		}
 	}
-	if cs != nil {
+	if cs := disk.made(); cs != nil {
 		rep.Cache = cs.finish()
+	} else if cfg.Cache != nil {
+		// Fully memoized: the session was never needed. Zero stats keep
+		// the report schema (and the engine's accounting) intact.
+		rep.Cache = &CacheStats{}
 	}
 	for _, c := range checkers {
 		rep.Checkers = append(rep.Checkers, c.Name)

@@ -1,0 +1,254 @@
+package gosrc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// diffTranslations fails the test if the memoized and one-shot
+// translations differ anywhere a consumer can observe.
+func diffTranslations(t *testing.T, step string, got, want *Translation) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Prog.Funcs, want.Prog.Funcs) {
+		t.Errorf("%s: Prog.Funcs differ (got %d, want %d funcs)", step, len(got.Prog.Funcs), len(want.Prog.Funcs))
+		for i := range got.Prog.Funcs {
+			if i >= len(want.Prog.Funcs) || !reflect.DeepEqual(got.Prog.Funcs[i], want.Prog.Funcs[i]) {
+				t.Errorf("%s: first divergence at func %d: got %q", step, i, got.Prog.Funcs[i].Name)
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Prog.ByName, want.Prog.ByName) {
+		t.Errorf("%s: Prog.ByName differs: got %d, want %d entries", step, len(got.Prog.ByName), len(want.Prog.ByName))
+	}
+	if !reflect.DeepEqual(got.Notes, want.Notes) {
+		t.Errorf("%s: Notes differ:\n got %+v\nwant %+v", step, got.Notes, want.Notes)
+	}
+	if !reflect.DeepEqual(got.Ignores, want.Ignores) {
+		t.Errorf("%s: Ignores differ:\n got %+v\nwant %+v", step, got.Ignores, want.Ignores)
+	}
+	if !reflect.DeepEqual(got.FileIgnores, want.FileIgnores) {
+		t.Errorf("%s: FileIgnores differ:\n got %+v\nwant %+v", step, got.FileIgnores, want.FileIgnores)
+	}
+	if !reflect.DeepEqual(got.Shared, want.Shared) {
+		t.Errorf("%s: Shared differs: got %v, want %v", step, got.Shared, want.Shared)
+	}
+}
+
+// TestTranslateFilesMemoDifferential drives one Memo through an edit
+// sequence exercising every cross-file coupling (method aliases,
+// closure numbering, shared globals, suppression directives, file
+// add/remove) and checks each state against the one-shot translator.
+func TestTranslateFilesMemoDifferential(t *testing.T) {
+	a := `package p
+
+var shared int
+
+func main() {
+	helper()
+	go func() { shared = 1 }()
+	w.Close()
+}
+`
+	b := `package p
+
+type W struct{}
+
+func (w *W) Close() {
+	shared = 2
+}
+
+func helper() {
+	go func() { drain() }()
+	go func() { drain() }()
+}
+`
+	c := `package p
+
+//rasc:ignore-file chanclose
+
+func drain() {
+	shared = 3 //rasc:ignore
+}
+`
+	files := []File{
+		{Name: "a.go", Src: a},
+		{Name: "b.go", Src: b},
+		{Name: "c.go", Src: c},
+	}
+	m := NewMemo()
+	check := func(step string, fs []File) {
+		t.Helper()
+		got, gerr := TranslateFilesMemo(fs, m)
+		want, werr := TranslateFiles(fs)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("%s: memo err %v, one-shot err %v", step, gerr, werr)
+		}
+		if gerr != nil {
+			if gerr.Error() != werr.Error() {
+				t.Fatalf("%s: error text: memo %q, one-shot %q", step, gerr, werr)
+			}
+			return
+		}
+		diffTranslations(t, step, got, want)
+	}
+
+	check("cold", files)
+	check("fully warm", files)
+
+	// Single-body edit: only a.go should re-translate; closures in b.go
+	// keep their numbering because a.go still synthesizes one closure.
+	files[0].Src = `package p
+
+var shared int
+
+func main() {
+	helper()
+	go func() { shared = 4 }()
+	w.Close()
+	w.Close()
+}
+`
+	check("edit a.go body", files)
+
+	// Closure-count edit: a.go now synthesizes two closures, shifting
+	// the counter offset for b.go — b.go must re-translate even though
+	// its content is unchanged.
+	files[0].Src = `package p
+
+var shared int
+
+func main() {
+	helper()
+	go func() { shared = 5 }()
+	go func() { shared = 6 }()
+	w.Close()
+}
+`
+	check("closure count shift", files)
+
+	// Globals edit: removing the only declaration of `shared` changes
+	// the package-wide shared set, so every unit must re-translate
+	// (accesses to `shared` stop being emitted).
+	files[0].Src = `package p
+
+func main() {
+	helper()
+	w.Close()
+}
+`
+	check("global removed", files)
+	files[0].Src = `package p
+
+var shared int
+
+func main() {
+	helper()
+	w.Close()
+}
+`
+	check("global restored", files)
+
+	// File add: a second receiver for Close makes the bare-name alias
+	// ambiguous, which changes the alias pass and adds a Note.
+	files = append(files, File{Name: "d.go", Src: `package p
+
+type V struct{}
+
+func (v *V) Close() {
+	drain()
+}
+`})
+	check("file added (ambiguous method)", files)
+
+	// File remove: back to a unique Close; the memo drops d.go.
+	files = files[:3]
+	check("file removed", files)
+
+	// Within-file duplicate: handled inside the unit, Note preserved.
+	files[2].Src = `package p
+
+//rasc:ignore-file chanclose
+
+func drain() {
+	shared = 3 //rasc:ignore
+}
+
+func drain() {
+	shared = 7
+}
+`
+	check("within-file duplicate", files)
+
+	// Cross-file duplicate: the memo path must detect it during merge
+	// and fall back to the one-shot translator.
+	files[2].Src = `package p
+
+func helper() {
+	drain()
+}
+
+func drain() {
+}
+`
+	check("cross-file duplicate fallback", files)
+
+	// Recover from the duplicate and make sure the memo is still
+	// coherent afterwards.
+	files[2].Src = c
+	check("recovered from duplicate", files)
+
+	// Error propagation: a parse error surfaces identically.
+	files[1].Src = "package p\nfunc broken( {"
+	check("parse error", files)
+	files[1].Src = b
+	check("recovered from parse error", files)
+
+	// Empty program error.
+	empty := []File{{Name: "e.go", Src: "package p\n\ntype T struct{}\n"}}
+	check("no bodies error", empty)
+}
+
+// TestTranslateFilesMemoManyOrders shuffles file order to confirm the
+// memo respects the order of the request, not insertion history.
+func TestTranslateFilesMemoManyOrders(t *testing.T) {
+	mk := func(i int) File {
+		return File{
+			Name: fmt.Sprintf("f%d.go", i),
+			Src: fmt.Sprintf(`package p
+
+func fn%d() {
+	go func() { work%d() }()
+}
+`, i, i),
+		}
+	}
+	files := []File{mk(0), mk(1), mk(2), mk(3)}
+	m := NewMemo()
+	for step := 0; step < 4; step++ {
+		// Rotate the order each step; closure numbering follows file
+		// order, so rotated requests re-key every unit's offset.
+		rot := append(append([]File{}, files[step:]...), files[:step]...)
+		got, err := TranslateFilesMemo(rot, m)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, err := TranslateFiles(rot)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		diffTranslations(t, fmt.Sprintf("rotation %d", step), got, want)
+	}
+}
+
+// TestTranslateFilesMemoNil degrades to the one-shot path.
+func TestTranslateFilesMemoNil(t *testing.T) {
+	files := []File{{Name: "a.go", Src: "package p\n\nfunc main() { f() }\n"}}
+	got, err := TranslateFilesMemo(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := TranslateFiles(files)
+	diffTranslations(t, "nil memo", got, want)
+}

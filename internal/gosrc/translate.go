@@ -155,45 +155,10 @@ func TranslateFiles(files []File) (*Translation, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			name := fd.Name.Name
-			isMethod := false
-			if fd.Recv != nil {
-				if rt := recvTypeName(fd.Recv); rt != "" {
-					name = rt + "." + name
-					isMethod = true
-				}
-			}
-			if _, dup := prog.ByName[name]; dup {
-				// Same qualified name twice (e.g. two files defining
-				// main): keep the first body, note the rest.
-				tr.note(fd.Pos(), fmt.Sprintf("duplicate definition of %s ignored (first wins)", name))
+			def, isMethod := tr.funcDecl(fd)
+			if def == nil {
 				continue
 			}
-			tr.deferred = nil
-			tr.fnName = name
-			tr.locals = localNames(fd)
-			def := &minic.FuncDef{
-				Name: name,
-				Line: tr.line(fd.Pos()),
-				File: f.Name,
-			}
-			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
-				def.Params = append(def.Params, fd.Recv.List[0].Names[0].Name)
-			}
-			if fd.Type.Params != nil {
-				for _, p := range fd.Type.Params.List {
-					for _, n := range p.Names {
-						def.Params = append(def.Params, n.Name)
-					}
-				}
-			}
-			body := tr.block(fd.Body)
-			// Deferred calls run at the end of the body (return statements
-			// were already expanded inside).
-			body = append(body, tr.deferredCalls()...)
-			def.Body = body
-			prog.Funcs = append(prog.Funcs, def)
-			prog.ByName[name] = def
 			if isMethod {
 				methodsByBare[fd.Name.Name] = append(methodsByBare[fd.Name.Name], def)
 			}
@@ -202,9 +167,67 @@ func TranslateFiles(files []File) (*Translation, error) {
 	if len(prog.Funcs) == 0 {
 		return nil, fmt.Errorf("gosrc: no function bodies found")
 	}
-	// Bare-name aliases: x.M(...) translates to M(x, ...), so a uniquely
-	// named method resolves interprocedurally through the alias. An
-	// ambiguous name (several receivers) stays external, noted once.
+	registerAliases(out, methodsByBare)
+	sortNotes(out.Notes)
+	return out, nil
+}
+
+// funcDecl translates one function declaration into t.out's program:
+// dup-checks the qualified name (first definition wins, later ones get a
+// Note and return nil), translates the body with defers expanded, and
+// registers the definition. The second result reports whether the
+// declaration is a method (its bare name is an alias candidate).
+func (t *translator) funcDecl(fd *ast.FuncDecl) (*minic.FuncDef, bool) {
+	name := fd.Name.Name
+	isMethod := false
+	if fd.Recv != nil {
+		if rt := recvTypeName(fd.Recv); rt != "" {
+			name = rt + "." + name
+			isMethod = true
+		}
+	}
+	prog := t.out.Prog
+	if _, dup := prog.ByName[name]; dup {
+		// Same qualified name twice (e.g. two files defining
+		// main): keep the first body, note the rest.
+		t.note(fd.Pos(), fmt.Sprintf("duplicate definition of %s ignored (first wins)", name))
+		return nil, false
+	}
+	t.deferred = nil
+	t.fnName = name
+	t.locals = localNames(fd)
+	def := &minic.FuncDef{
+		Name: name,
+		Line: t.line(fd.Pos()),
+		File: t.file,
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		def.Params = append(def.Params, fd.Recv.List[0].Names[0].Name)
+	}
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			for _, n := range p.Names {
+				def.Params = append(def.Params, n.Name)
+			}
+		}
+	}
+	body := t.block(fd.Body)
+	// Deferred calls run at the end of the body (return statements
+	// were already expanded inside).
+	body = append(body, t.deferredCalls()...)
+	def.Body = body
+	prog.Funcs = append(prog.Funcs, def)
+	prog.ByName[name] = def
+	return def, isMethod
+}
+
+// registerAliases applies the bare-name alias pass: x.M(...) translates
+// to M(x, ...), so a uniquely named method resolves interprocedurally
+// through the alias. An ambiguous name (several receivers) stays
+// external, noted once. Shared by the one-shot and memoized translation
+// paths so both resolve calls identically.
+func registerAliases(out *Translation, methodsByBare map[string][]*minic.FuncDef) {
+	prog := out.Prog
 	for bare, defs := range methodsByBare {
 		if _, taken := prog.ByName[bare]; taken {
 			continue // a plain function M shadows method aliases
@@ -220,8 +243,6 @@ func TranslateFiles(files []File) (*Translation, error) {
 				bare, len(defs)),
 		})
 	}
-	sortNotes(out.Notes)
-	return out, nil
 }
 
 // recvTypeName extracts the receiver's base type name: *T -> T,

@@ -46,6 +46,12 @@ func (p *Program) fingerprint() {
 	for _, f := range p.Funcs {
 		f.Fingerprint = fingerprintFunc(p.MC, f.Def)
 	}
+	p.summarize()
+}
+
+// summarize computes the SCC closure hashes and per-function Summary
+// keys from the already-set Fingerprints (bottom-up over the SCC DAG).
+func (p *Program) summarize() {
 	closure := make([]Digest, len(p.SCCs))
 	for ci, members := range p.SCCs { // bottom-up: callees first
 		h := sha256.New()
@@ -80,6 +86,12 @@ func (p *Program) fingerprint() {
 		fmt.Fprintf(h, "summary\nfp:%s\nscc:%s\n", f.Fingerprint, closure[f.SCC])
 		copy(f.Summary[:], h.Sum(nil))
 	}
+	ph := sha256.New()
+	fmt.Fprintf(ph, "program\n")
+	for _, f := range p.Funcs {
+		fmt.Fprintf(ph, "fn:%s:%s\n", f.Name, f.Fingerprint)
+	}
+	copy(p.Digest[:], ph.Sum(nil))
 }
 
 // fingerprintFunc hashes one function's normalized content.

@@ -161,6 +161,12 @@ type Program struct {
 	// SCCs lists the call graph's strongly connected components in
 	// bottom-up order: every callee SCC precedes its callers.
 	SCCs [][]int
+	// Digest fingerprints the whole program: every function's name and
+	// fingerprint in definition order. Anything that depends on global
+	// program shape — such as skeleton construction, which allocates a
+	// constraint variable per CFG node of the entire program — is pinned
+	// by this, not by any single entry's Summary.
+	Digest Digest
 	// Meta carries frontend notes and suppression directives.
 	Meta
 
@@ -173,6 +179,18 @@ type Program struct {
 // summary keys. The meta block comes from the front end (zero for bare
 // kernel programs).
 func New(mc *minic.Program, meta Meta) (*Program, error) {
+	p, err := build(mc, meta)
+	if err != nil {
+		return nil, err
+	}
+	p.fingerprint()
+	return p, nil
+}
+
+// build lowers a kernel program into the IR minus fingerprints: CFG,
+// call graph, SCC condensation. New and NewIncremental share it and
+// differ only in how fingerprints are obtained.
+func build(mc *minic.Program, meta Meta) (*Program, error) {
 	cfg, err := minic.Build(mc)
 	if err != nil {
 		return nil, fmt.Errorf("ir: %w", err)
@@ -222,7 +240,6 @@ func New(mc *minic.Program, meta Meta) (*Program, error) {
 			p.Funcs[id].SCC = ci
 		}
 	}
-	p.fingerprint()
 	return p, nil
 }
 

@@ -84,6 +84,11 @@ type Histogram struct {
 // distributions (reach-set sizes, layer widths).
 var DefaultSizeBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
 
+// DefaultLatencyBounds is the power-of-two millisecond ladder used for
+// request/operation latency distributions; the implicit final bucket
+// catches anything over ~16s.
+var DefaultLatencyBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
 func newHistogram(bounds []int64) *Histogram {
 	b := append([]int64(nil), bounds...)
 	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
@@ -115,6 +120,37 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts: it returns the upper bound of the first bucket at which the
+// cumulative count reaches q of the total. The estimate is exact up to
+// bucket granularity; samples landing in the implicit +inf bucket
+// report one past the last finite bound. Returns 0 on nil or when no
+// samples were observed.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	need := int64(q * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] + 1
+		}
+	}
+	return h.bounds[len(h.bounds)-1] + 1
 }
 
 // Registry interns named counters, gauges and histograms. Interning is

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"rasc/internal/analysis"
+	"rasc/internal/gosrc"
+)
+
+// Client talks to a gocheckd daemon. The zero value is not usable; use
+// NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for a daemon address. addr may be a bare
+// host:port or a full http:// URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		http: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// decode reads one JSON response, mapping non-2xx statuses to the
+// server's error body.
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("server: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var er errorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server: %s", er.Error)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("server: undecodable response: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return decode(resp, out)
+}
+
+func (c *Client) post(path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("server: encoding request: %w", err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return decode(resp, out)
+}
+
+// Health probes GET /v1/health.
+func (c *Client) Health() (HealthResponse, error) {
+	var h HealthResponse
+	err := c.get("/v1/health", &h)
+	return h, err
+}
+
+// Manifest fetches the server's file-hash manifest for a program.
+func (c *Client) Manifest(program string) (ManifestResponse, error) {
+	var m ManifestResponse
+	err := c.get("/v1/manifest?program="+url.QueryEscape(program), &m)
+	return m, err
+}
+
+// Check posts one check request and returns the server's report.
+func (c *Client) Check(req CheckRequest) (*analysis.Report, error) {
+	var resp CheckResponse
+	if err := c.post("/v1/check", req, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Report == nil {
+		return nil, fmt.Errorf("server: response carried no report")
+	}
+	return resp.Report, nil
+}
+
+// CheckFiles diffs the local file set against the server's manifest and
+// posts the minimal delta: the resident-engine fast path for editor and
+// CI clients.
+func (c *Client) CheckFiles(program string, files []gosrc.File, req CheckRequest) (*analysis.Report, error) {
+	m, err := c.Manifest(program)
+	if err != nil {
+		return nil, err
+	}
+	req.Program = program
+	req.Upserts, req.Removes = Delta(files, m.Files)
+	return c.Check(req)
+}
+
+// Metrics fetches GET /v1/metrics.
+func (c *Client) Metrics() (MetricsResponse, error) {
+	var m MetricsResponse
+	err := c.get("/v1/metrics", &m)
+	return m, err
+}
+
+// Shutdown requests a graceful daemon stop.
+func (c *Client) Shutdown() error {
+	return c.post("/v1/shutdown", struct{}{}, nil)
+}

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rasc/internal/analysis"
+	"rasc/internal/gosrc"
+	"rasc/internal/obs"
+)
+
+const srvASrc = `package p
+
+import "sync"
+
+var mu sync.Mutex
+
+func Top() { mid() }
+
+func mid() { leaf() }
+
+func leaf() {
+	mu.Lock()
+	mu.Lock() // BUG
+}
+`
+
+const srvBSrc = `package p
+
+import "sync"
+
+var mu2 sync.Mutex
+
+func Other() { ok() }
+
+func ok() {
+	mu2.Lock()
+	mu2.Unlock()
+}
+`
+
+// newTestServer stands a full daemon stack up: engine, handler,
+// httptest server, client.
+func newTestServer(t *testing.T, onShutdown func()) (*Client, *analysis.Engine, *httptest.Server) {
+	t.Helper()
+	registry := obs.NewRegistry()
+	engine := analysis.NewEngine(analysis.EngineConfig{Metrics: registry})
+	h := NewHandler(engine, registry, onShutdown)
+	ts := httptest.NewServer(h.Mux())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), engine, ts
+}
+
+// oneShot is the reference: a fresh in-process Analyze over the same
+// sources, cache block stripped like the CLI strips it.
+func oneShot(t *testing.T, files []gosrc.File, explain bool) *analysis.Report {
+	t.Helper()
+	pkg, err := analysis.LoadFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.Analyze(pkg, analysis.Config{Explain: explain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Cache = nil
+	return rep
+}
+
+func sarifOf(t *testing.T, rep *analysis.Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.SARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func jsonOf(t *testing.T, rep *analysis.Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestServerRoundTripMatchesOneShot drives the full client flow —
+// manifest diff, minimal delta, check — through HTTP and asserts the
+// rendered report is byte-identical to a fresh one-shot run, across an
+// edit.
+func TestServerRoundTripMatchesOneShot(t *testing.T) {
+	client, _, _ := newTestServer(t, nil)
+
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}, {Name: "b.go", Src: srvBSrc}}
+	rep, err := client.CheckFiles("default", files, CheckRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oneShot(t, files, false)
+	if got, exp := sarifOf(t, rep), sarifOf(t, want); got != exp {
+		t.Fatalf("server SARIF differs from one-shot:\nserver:\n%s\none-shot:\n%s", got, exp)
+	}
+	if got, exp := jsonOf(t, rep), jsonOf(t, want); got != exp {
+		t.Fatalf("server JSON differs from one-shot")
+	}
+
+	// The manifest now covers both files; an identical re-check pushes
+	// nothing.
+	m, err := client.Manifest("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Files) != 2 {
+		t.Fatalf("manifest = %v, want 2 files", m.Files)
+	}
+	if up, rm := Delta(files, m.Files); len(up) != 0 || len(rm) != 0 {
+		t.Fatalf("unchanged set diffs to %d upserts / %d removes", len(up), len(rm))
+	}
+
+	// Edit one file: the delta is exactly that file, and the warm
+	// re-check matches a fresh one-shot over the edited set.
+	files[0].Src = strings.Replace(srvASrc, "mu.Lock() // BUG", "mu.Unlock()", 1)
+	if up, _ := Delta(files, m.Files); len(up) != 1 || up[0].Name != "a.go" {
+		t.Fatalf("edit delta = %+v, want just a.go", up)
+	}
+	rep, err = client.CheckFiles("default", files, CheckRequest{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = oneShot(t, files, true)
+	if got, exp := sarifOf(t, rep), sarifOf(t, want); got != exp {
+		t.Fatalf("post-edit server SARIF differs from one-shot:\nserver:\n%s\none-shot:\n%s", got, exp)
+	}
+
+	// Dropping a file flows through as a remove.
+	files = files[:1]
+	m, err = client.Manifest("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rm := Delta(files, m.Files); len(rm) != 1 || rm[0] != "b.go" {
+		t.Fatalf("remove delta = %v, want [b.go]", rm)
+	}
+	rep, err = client.CheckFiles("default", files, CheckRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := jsonOf(t, rep), jsonOf(t, oneShot(t, files, false)); got != exp {
+		t.Fatalf("post-remove server JSON differs from one-shot")
+	}
+}
+
+// TestServerConcurrentClients hits one daemon with goroutines mixing
+// check, explain, metrics, health and list traffic. A -race exercise
+// for the handler + engine stack; also asserts response stability and
+// the request accounting.
+func TestServerConcurrentClients(t *testing.T) {
+	client, engine, ts := newTestServer(t, nil)
+
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}, {Name: "b.go", Src: srvBSrc}}
+	seed, err := client.CheckFiles("default", files, CheckRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := jsonOf(t, seed)
+
+	const workers = 12
+	const iters = 3
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			for i := 0; i < iters; i++ {
+				switch w % 4 {
+				case 0:
+					rep, err := c.Check(CheckRequest{})
+					if err != nil {
+						errc <- err
+						continue
+					}
+					if got := jsonOf(t, rep); got != wantJSON {
+						t.Errorf("worker %d: report diverged", w)
+					}
+				case 1:
+					if _, err := c.Check(CheckRequest{Explain: true}); err != nil {
+						errc <- err
+					}
+				case 2:
+					if _, err := c.CheckFiles("alt", files, CheckRequest{}); err != nil {
+						errc <- err
+					}
+				case 3:
+					if _, err := c.Metrics(); err != nil {
+						errc <- err
+					}
+					if _, err := c.Health(); err != nil {
+						errc <- err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := engine.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("engine errors = %d", st.Errors)
+	}
+	// 1 seed + every check-issuing worker's iterations.
+	checkWorkers := 0
+	for w := 0; w < workers; w++ {
+		if w%4 != 3 {
+			checkWorkers++
+		}
+	}
+	if want := int64(1 + checkWorkers*iters); st.Requests != want {
+		t.Fatalf("requests = %d, want %d", st.Requests, want)
+	}
+
+	m, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine.Requests != st.Requests {
+		t.Fatalf("metrics engine stats = %+v, engine says %+v", m.Engine, st)
+	}
+	if len(m.Programs) != 2 {
+		t.Fatalf("programs = %+v, want default and alt", m.Programs)
+	}
+	if m.P99MS < m.P50MS {
+		t.Fatalf("p99 %d < p50 %d", m.P99MS, m.P50MS)
+	}
+}
+
+// TestServerErrorPaths: bad methods, bad bodies, engine errors and the
+// disabled shutdown endpoint all surface as JSON errors with the right
+// status.
+func TestServerErrorPaths(t *testing.T) {
+	client, _, ts := newTestServer(t, nil)
+
+	// Engine error: a file set that fails to parse.
+	_, err := client.Check(CheckRequest{
+		Upserts: []FilePayload{{Name: "x.go", Src: "package p\nfunc broken( {"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "server:") {
+		t.Fatalf("parse error not surfaced: %v", err)
+	}
+
+	// Empty program.
+	if _, err := client.Check(CheckRequest{Program: "empty"}); err == nil {
+		t.Fatal("check of a fileless program succeeded")
+	}
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/check = %d", resp.StatusCode)
+	}
+
+	// Undecodable body.
+	resp, err = http.Post(ts.URL+"/v1/check", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body = %d", resp.StatusCode)
+	}
+
+	// Shutdown disabled (nil onShutdown).
+	if err := client.Shutdown(); err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("disabled shutdown: %v", err)
+	}
+}
+
+// TestServerShutdownOnce: the shutdown endpoint fires its callback
+// exactly once, however many clients ask.
+func TestServerShutdownOnce(t *testing.T) {
+	fired := make(chan struct{}, 2)
+	client, _, _ := newTestServer(t, func() { fired <- struct{}{} })
+	if err := client.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	<-fired
+	select {
+	case <-fired:
+		t.Fatal("shutdown callback fired twice")
+	default:
+	}
+}
+
+// TestServerListEndpoint: /v1/list serves the same text as gocheck
+// -list.
+func TestServerListEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := analysis.ListText(&want); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want.String() {
+		t.Fatalf("/v1/list differs from ListText:\n%s\nvs\n%s", buf.String(), want.String())
+	}
+	if !strings.Contains(buf.String(), "doublelock") {
+		t.Fatal("list output lacks doublelock")
+	}
+}
+
+// TestServerMetricsSchema pins the wire shape obslint and dashboards
+// read: engine stats keys, the latency quantiles, and the server.*
+// registry metrics.
+func TestServerMetricsSchema(t *testing.T) {
+	client, _, ts := newTestServer(t, nil)
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}}
+	if _, err := client.CheckFiles("default", files, CheckRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"engine", "programs", "p50_ms", "p99_ms", "metrics"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics response lacks %q", key)
+		}
+	}
+	var snap obs.MetricsSnapshot
+	if err := json.Unmarshal(m["metrics"], &snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Counters["server.requests"]; !ok {
+		t.Error("registry snapshot lacks server.requests counter")
+	}
+	if _, ok := snap.Histograms["server.request_ms"]; !ok {
+		t.Error("registry snapshot lacks server.request_ms histogram")
+	}
+}
