@@ -40,6 +40,9 @@ func TestBenchJSONDeterministic(t *testing.T) {
 		if s, ok := m["server"].(map[string]any); ok {
 			delete(s, "server_p50_ms")
 			delete(s, "server_p99_ms")
+			delete(s, "telemetry_p50_ms")
+			delete(s, "telemetry_p99_ms")
+			delete(s, "telemetry_overhead_pct")
 		}
 		out, err := json.Marshal(m) // map marshaling sorts keys
 		if err != nil {

@@ -11,6 +11,7 @@
 //	        [-parallel N] [-cache-dir dir] [-skeleton-cache=false]
 //	        [-trace-out f.json] [-metrics-json f.json] [-explain] [-progress]
 //	        [-cpuprofile f.prof] [-memprofile f.prof] path...
+//	gocheck -server addr [-program name] [-server-timeout 30s] path...
 //	gocheck -list
 //	gocheck -speclint [-checkers all|name,...]
 //
@@ -84,6 +85,7 @@ func run() int {
 	verbose := flag.Bool("verbose", false, "print secondary cache telemetry (skeleton snapshots) to stderr")
 	serverAddr := flag.String("server", "", "check through a running gocheckd at this address instead of analyzing in-process")
 	program := flag.String("program", "default", "with -server, the resident program name to check against")
+	serverTimeout := flag.Duration("server-timeout", 0, "with -server, per-request HTTP timeout (0 = default 5m)")
 	flag.Parse()
 
 	if *list {
@@ -126,6 +128,7 @@ func run() int {
 		return runServer(serverOpts{
 			addr:     *serverAddr,
 			program:  *program,
+			timeout:  *serverTimeout,
 			paths:    flag.Args(),
 			checkers: *checkersFlag,
 			entries:  entries,

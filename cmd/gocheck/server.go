@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rasc/internal/analysis"
 	"rasc/internal/server"
@@ -13,6 +14,7 @@ import (
 type serverOpts struct {
 	addr     string
 	program  string
+	timeout  time.Duration
 	paths    []string
 	checkers string
 	entries  []string
@@ -46,7 +48,10 @@ func runServer(o serverOpts) int {
 		}
 	}
 
-	c := server.NewClient(o.addr)
+	// The client retries a connection-refused failure once with backoff
+	// by default, so a daemon mid-restart doesn't fail the check; server
+	// errors come back tagged with the request's trace ID for log lookup.
+	c := server.NewClientWith(o.addr, server.ClientOptions{Timeout: o.timeout})
 	rep, err := c.CheckFiles(o.program, files, server.CheckRequest{
 		Checkers: checkerNames,
 		Entries:  o.entries,

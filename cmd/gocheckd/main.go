@@ -11,24 +11,36 @@
 //
 //	gocheckd [-addr 127.0.0.1:7433] [-cache-dir dir] [-skeleton-cache=false]
 //	         [-parallel N] [-memory-budget MB] [-memo-entries N]
-//	         [-allow-shutdown=false] [-verbose]
+//	         [-allow-shutdown=false] [-log-level info] [-debug-addr addr]
+//	         [-flight-entries N] [-flight-slowest N] [-slow-ms N] [-flight-dir dir]
+//	         [-slo-p99-ms N] [-slo-error-rate F]
 //
 // Endpoints: POST /v1/check, GET /v1/manifest, GET /v1/list,
-// GET /v1/metrics, GET /v1/health, POST /v1/shutdown (when enabled).
-// See internal/server for the protocol types. The daemon stops
-// gracefully on SIGINT/SIGTERM or (with -allow-shutdown, the default)
-// POST /v1/shutdown, draining in-flight requests first.
+// GET /v1/metrics (?format=prometheus), GET /v1/health,
+// GET /v1/debug/flight, GET /v1/debug/vars, POST /v1/shutdown (when
+// enabled). See internal/server for the protocol types. With
+// -debug-addr, net/http/pprof is served on a second listener, kept off
+// the API port so profiling exposure is an explicit opt-in. The daemon
+// stops gracefully on SIGINT/SIGTERM or (with -allow-shutdown, the
+// default) POST /v1/shutdown, draining in-flight requests first.
+//
+// Telemetry: every request is recorded in a bounded in-memory flight
+// recorder (-flight-entries recent, plus the -flight-slowest slowest
+// ever), dumpable via /v1/debug/flight; requests slower than -slow-ms
+// are persisted as Chrome trace JSON under -flight-dir. Access and
+// lifecycle logs are structured JSON lines on stderr at -log-level.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -50,17 +62,36 @@ func run() int {
 	budgetMB := flag.Int64("memory-budget", 0, "resident-program memory budget in MiB; past it, least-recently-used programs are evicted (0 = unlimited)")
 	memoEntries := flag.Int("memo-entries", 0, "in-memory job-result memo capacity in records (0 = default)")
 	allowShutdown := flag.Bool("allow-shutdown", true, "enable POST /v1/shutdown")
-	verbose := flag.Bool("verbose", false, "log each request to stderr")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = pprof off)")
+	flightEntries := flag.Int("flight-entries", 64, "flight recorder: recent requests retained")
+	flightSlowest := flag.Int("flight-slowest", 8, "flight recorder: slowest-ever requests retained beyond the ring")
+	slowMS := flag.Int64("slow-ms", 0, "persist traces of requests slower than this many milliseconds (0 = off)")
+	flightDir := flag.String("flight-dir", "", "directory for persisted slow-request traces (required by -slow-ms)")
+	sloP99 := flag.Int64("slo-p99-ms", 0, "degrade /v1/health when a window's p99 exceeds this (0 = default 2000)")
+	sloErrRate := flag.Float64("slo-error-rate", 0, "degrade /v1/health when a window's error fraction exceeds this (0 = default 0.05)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return fail(nil, err)
+	}
+	log := obs.NewLogger(os.Stderr, level)
 
 	registry := obs.NewRegistry()
 	var cache *analysis.Cache
 	if *cacheDir != "" {
-		var err error
 		if cache, err = analysis.OpenCache(*cacheDir); err != nil {
-			return fail(err)
+			return fail(log, err)
 		}
 	}
+	flight := obs.NewFlight(obs.FlightConfig{
+		Recent:  *flightEntries,
+		Slowest: *flightSlowest,
+		SlowUS:  *slowMS * 1000,
+		Dir:     *flightDir,
+		Metrics: registry,
+	})
 	engine := analysis.NewEngine(analysis.EngineConfig{
 		Cache:               cache,
 		NoSkeletonSnapshots: !*skelCache,
@@ -69,6 +100,7 @@ func run() int {
 		MemoryBudget:        *budgetMB << 20,
 		MemoEntries:         *memoEntries,
 		Metrics:             registry,
+		Flight:              flight,
 	})
 
 	stop := make(chan struct{})
@@ -76,19 +108,57 @@ func run() int {
 	if *allowShutdown {
 		onShutdown = func() { close(stop) }
 	}
-	h := server.NewHandler(engine, registry, onShutdown)
-	mux := h.Mux()
-	var handler http.Handler = mux
-	if *verbose {
-		handler = logRequests(mux)
-	}
+	h := server.NewHandler(server.HandlerConfig{
+		Engine:     engine,
+		Registry:   registry,
+		Flight:     flight,
+		Log:        log,
+		OnShutdown: onShutdown,
+		SLO:        server.SLOConfig{P99MS: *sloP99, ErrorRate: *sloErrRate},
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		return fail(err)
+		return fail(log, err)
 	}
-	srv := &http.Server{Handler: handler}
-	fmt.Fprintf(os.Stderr, "gocheckd: serving on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: h.Root()}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fail(log, err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go debugSrv.Serve(dln)
+		defer debugSrv.Close()
+	}
+
+	// One structured startup line with the fully resolved configuration,
+	// so a log capture alone reconstructs how the daemon was running.
+	log.Info("starting",
+		"version", server.Version,
+		"go_version", runtime.Version(),
+		"addr", ln.Addr().String(),
+		"debug_addr", *debugAddr,
+		"cache_dir", *cacheDir,
+		"skeleton_cache", *skelCache,
+		"parallel", *parallel,
+		"memory_budget_mb", *budgetMB,
+		"memo_entries", *memoEntries,
+		"allow_shutdown", *allowShutdown,
+		"flight_entries", *flightEntries,
+		"flight_slowest", *flightSlowest,
+		"slow_ms", *slowMS,
+		"flight_dir", *flightDir,
+		"log_level", level.String(),
+	)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -97,12 +167,12 @@ func run() int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "gocheckd: %v, shutting down\n", s)
+		log.Info("shutting down", "reason", s.String())
 	case <-stop:
-		fmt.Fprintln(os.Stderr, "gocheckd: shutdown requested, shutting down")
+		log.Info("shutting down", "reason", "shutdown requested")
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return fail(err)
+			return fail(log, err)
 		}
 		return 0
 	}
@@ -110,24 +180,24 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		return fail(err)
+		return fail(log, err)
 	}
 	st := engine.Stats()
-	fmt.Fprintf(os.Stderr, "gocheckd: served %d request(s), %d error(s), %d resident program(s)\n",
-		st.Requests, st.Errors, st.ResidentPrograms)
+	fs := flight.Stats()
+	log.Info("stopped",
+		"requests", st.Requests,
+		"errors", st.Errors,
+		"resident_programs", st.ResidentPrograms,
+		"flight_recorded", fs.Recorded,
+	)
 	return 0
 }
 
-// logRequests is a minimal stderr access log for -verbose.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		next.ServeHTTP(w, r)
-		fmt.Fprintf(os.Stderr, "gocheckd: %s %s %s\n", r.Method, r.URL.Path, time.Since(t0).Round(time.Microsecond))
-	})
-}
-
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "gocheckd:", err)
+func fail(log *obs.Logger, err error) int {
+	if log != nil {
+		log.Error("fatal", "error", err.Error())
+	} else {
+		os.Stderr.WriteString("gocheckd: " + err.Error() + "\n")
+	}
 	return 1
 }

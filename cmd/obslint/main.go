@@ -1,13 +1,14 @@
 // Command obslint validates gocheck's observability artifacts in CI:
-// the Chrome trace-event JSON written by -trace-out, the metrics
-// snapshot written by -metrics-json, and (optionally) that every
-// finding of an -explain run's JSON report carries a non-empty
-// provenance chain.
+// the Chrome trace-event JSON written by -trace-out (and the daemon's
+// flight-recorder dumps), the metrics snapshot written by
+// -metrics-json, a Prometheus text exposition scraped from gocheckd's
+// /v1/metrics?format=prometheus, and (optionally) that every finding of
+// an -explain run's JSON report carries a non-empty provenance chain.
 //
 // Usage:
 //
 //	obslint [-trace f.json] [-metrics f.json] [-require-metrics name,...]
-//	        [-require-histograms name,...]
+//	        [-require-histograms name,...] [-prometheus f.prom]
 //	        [-findings report.json] [-require-provenance]
 //
 // Exit status is 1 when any named artifact fails validation, 2 on
@@ -30,12 +31,13 @@ func main() {
 	metrics := flag.String("metrics", "", "validate this metrics snapshot JSON file")
 	requireMetrics := flag.String("require-metrics", "", "with -metrics: comma-separated metric names that must be present in the snapshot")
 	requireHists := flag.String("require-histograms", "", "with -metrics: comma-separated histogram names that must be present with samples and self-consistent buckets")
+	prometheus := flag.String("prometheus", "", "validate this Prometheus text-format exposition (as scraped from gocheckd /v1/metrics?format=prometheus)")
 	findings := flag.String("findings", "", "validate this gocheck -format json report")
 	requireProv := flag.Bool("require-provenance", false, "with -findings: every diagnostic must carry a non-empty provenance chain")
 	flag.Parse()
 
-	if *trace == "" && *metrics == "" && *findings == "" {
-		fmt.Fprintln(os.Stderr, "usage: obslint [-trace f.json] [-metrics f.json] [-findings report.json] [-require-provenance]")
+	if *trace == "" && *metrics == "" && *prometheus == "" && *findings == "" {
+		fmt.Fprintln(os.Stderr, "usage: obslint [-trace f.json] [-metrics f.json] [-prometheus f.prom] [-findings report.json] [-require-provenance]")
 		os.Exit(2)
 	}
 
@@ -59,6 +61,9 @@ func main() {
 		if *requireHists != "" {
 			check(*metrics+" required histograms", requireHistogramNames(*metrics, *requireHists))
 		}
+	}
+	if *prometheus != "" {
+		check(*prometheus, validateFile(*prometheus, obs.ValidatePrometheus))
 	}
 	if *findings != "" {
 		check(*findings, validateFindings(*findings, *requireProv))

@@ -105,6 +105,17 @@ type Report struct {
 	// Cache summarizes incremental-cache effectiveness; nil when the run
 	// had no cache, keeping cacheless reports byte-identical to before.
 	Cache *CacheStats `json:"cache,omitempty"`
+
+	// Request telemetry, populated by the resident Engine and excluded
+	// from every rendered form (json:"-") so findings and reports stay
+	// byte-identical whether or not telemetry is on. TraceID identifies
+	// the request; TraceJSON holds its Chrome trace when the request
+	// asked for one inline; MemoHits/MemoMisses count this request's
+	// job-memo lookups.
+	TraceID    string `json:"-"`
+	TraceJSON  []byte `json:"-"`
+	MemoHits   int64  `json:"-"`
+	MemoMisses int64  `json:"-"`
 }
 
 // SolverStats aggregates constraint-system sizes across jobs.

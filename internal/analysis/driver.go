@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rasc/internal/core"
 	"rasc/internal/gosrc"
@@ -360,6 +361,10 @@ func analyze(pkg *Package, cfg Config, mem *jobMemo) (*Report, error) {
 	results := make([][]Diagnostic, len(jobs))
 	stats := make([]core.Stats, len(jobs))
 	errs := make([]error, len(jobs))
+	// Per-request memo accounting (job-level lookups only), carried on
+	// the Report for the server's access logs and flight recorder; the
+	// memo's own counters stay engine-wide.
+	var memoHits, memoMisses atomic.Int64
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
@@ -368,16 +373,24 @@ func analyze(pkg *Package, cfg Config, mem *jobMemo) (*Report, error) {
 			defer wg.Done()
 			for i := range idx {
 				c, e := jobs[i].checker, jobs[i].entry
-				sp := ob.span("job:" + c.Name + "/" + e)
+				// The memo is consulted before the job span opens: a memo
+				// hit is a map lookup, and spanning each of them would put
+				// the always-on flight recorder's cost on the fully-warm
+				// hot path (hundreds of span allocations per request for
+				// sub-microsecond work). Jobs that actually look at the
+				// disk cache or solve — the ones that make a request slow
+				// and worth inspecting — keep their full span tree; the
+				// request span's memo hit/miss counts cover the rest.
 				if mem != nil {
 					if ds, st, ok := mem.loadJob(memoRegFP, memoOpts, memoProg, c.fingerprint(), e, summaryOf(e)); ok {
+						memoHits.Add(1)
 						results[i], stats[i] = ds, st
-						sp.SetAttr("memo", "hit")
-						sp.Finish()
 						ob.jobDone(false)
 						continue
 					}
+					memoMisses.Add(1)
 				}
+				sp := ob.span("job:" + c.Name + "/" + e)
 				cs := disk.get()
 				if cs != nil {
 					lsp := sp.Child("cache.lookup")
@@ -425,11 +438,13 @@ func analyze(pkg *Package, cfg Config, mem *jobMemo) (*Report, error) {
 	}
 
 	rep := &Report{
-		Notes:     pkg.Prog.Notes,
-		Files:     len(pkg.Files),
-		Functions: len(pkg.Prog.Funcs),
-		Entries:   entries,
-		Jobs:      len(jobs),
+		Notes:      pkg.Prog.Notes,
+		Files:      len(pkg.Files),
+		Functions:  len(pkg.Prog.Funcs),
+		Entries:    entries,
+		Jobs:       len(jobs),
+		MemoHits:   memoHits.Load(),
+		MemoMisses: memoMisses.Load(),
 	}
 	// Aggregate solver statistics; a sum is independent of completion
 	// order, so the report stays deterministic under any -parallel. Job

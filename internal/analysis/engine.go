@@ -25,6 +25,7 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -63,8 +64,15 @@ type EngineConfig struct {
 	// Metrics, when non-nil, receives the per-run bundles (solver, pdm,
 	// cache, driver) plus the engine's server.* bundle.
 	Metrics *obs.Registry
-	// Trace, when non-nil, records request roots and per-run phase spans.
+	// Trace, when non-nil, records request roots and per-run phase spans
+	// into one process-wide tracer. When Flight is set (or a request asks
+	// for its trace inline) the engine instead runs each request under
+	// its own tracer, so per-request span trees stay separable.
 	Trace *obs.Tracer
+	// Flight, when non-nil, records every request — trace ID, outcome,
+	// duration, memo accounting and full span tree — into the flight
+	// recorder.
+	Flight *obs.Flight
 }
 
 // Engine is a resident, concurrency-safe analysis service over any
@@ -178,19 +186,42 @@ type CheckRequest struct {
 	Explain        bool
 	// Parallel overrides the engine's per-request worker bound when > 0.
 	Parallel int
+
+	// TraceID identifies the request in the flight recorder and access
+	// logs; empty means the engine mints one when tracing is active.
+	TraceID string
+	// WantTrace asks for the request's Chrome trace inline on
+	// Report.TraceJSON even without a flight recorder.
+	WantTrace bool
 }
 
 // Check runs one request. It applies the file delta (re-lowering only
 // changed files), analyzes the resulting snapshot, and returns the same
-// Report a one-shot Analyze over the same sources would return.
+// Report a one-shot Analyze over the same sources would return —
+// findings are byte-identical whether telemetry is on or off; tracing
+// only adds the json:"-" telemetry fields.
 func (e *Engine) Check(req CheckRequest) (*Report, error) {
 	t0 := time.Now()
 	e.requests.Add(1)
 	if e.serverM != nil {
 		e.serverM.Requests.Inc()
 	}
-	sp := e.span("request:" + programName(req.Program))
-	rep, err := e.check(req)
+	// With a flight recorder (or an inline-trace request) the request
+	// runs under its own tracer and trace ID, so its span tree can be
+	// recorded, returned and persisted independently of other requests.
+	var tr *obs.Tracer
+	traceID := req.TraceID
+	if e.cfg.Flight != nil || req.WantTrace {
+		tr = obs.NewTracer()
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+	}
+	sp := e.span(tr, "request:"+programName(req.Program))
+	if traceID != "" {
+		sp.SetAttr("trace_id", traceID)
+	}
+	rep, err := e.check(req, tr)
 	if err != nil {
 		e.errors.Add(1)
 		if e.serverM != nil {
@@ -202,6 +233,29 @@ func (e *Engine) Check(req CheckRequest) (*Report, error) {
 	if e.serverM != nil {
 		e.serverM.RequestMs.Observe(time.Since(t0).Milliseconds())
 	}
+	if rep != nil {
+		rep.TraceID = traceID
+		if req.WantTrace && tr != nil {
+			var buf bytes.Buffer
+			if werr := tr.WriteJSON(&buf); werr == nil {
+				rep.TraceJSON = buf.Bytes()
+			}
+		}
+	}
+	if e.cfg.Flight != nil {
+		meta := obs.FlightMeta{
+			TraceID: traceID,
+			Program: programName(req.Program),
+			DurUS:   time.Since(t0).Microseconds(),
+		}
+		if err != nil {
+			meta.Err = err.Error()
+		}
+		if rep != nil {
+			meta.MemoHits, meta.MemoMisses = rep.MemoHits, rep.MemoMisses
+		}
+		e.cfg.Flight.Record(meta, tr)
+	}
 	return rep, err
 }
 
@@ -212,7 +266,7 @@ func programName(name string) string {
 	return name
 }
 
-func (e *Engine) check(req CheckRequest) (*Report, error) {
+func (e *Engine) check(req CheckRequest, tr *obs.Tracer) (*Report, error) {
 	checkers, err := checkersByName(req.Checkers)
 	if err != nil {
 		return nil, err
@@ -230,6 +284,10 @@ func (e *Engine) check(req CheckRequest) (*Report, error) {
 	if parallel <= 0 {
 		parallel = e.cfg.Parallel
 	}
+	trace := e.cfg.Trace
+	if tr != nil {
+		trace = tr
+	}
 	cfg := Config{
 		Checkers:            checkers,
 		Entries:             req.Entries,
@@ -238,7 +296,7 @@ func (e *Engine) check(req CheckRequest) (*Report, error) {
 		KeepSuppressed:      req.KeepSuppressed,
 		Cache:               e.cfg.Cache,
 		NoSkeletonSnapshots: e.cfg.NoSkeletonSnapshots,
-		Trace:               e.cfg.Trace,
+		Trace:               trace,
 		Metrics:             e.cfg.Metrics,
 		Explain:             req.Explain,
 	}
@@ -427,8 +485,12 @@ func (e *Engine) account(st *CacheStats) {
 	e.skeletonMisses.Add(int64(st.SkeletonMisses))
 }
 
-// span opens a request-root trace span; nil-safe.
-func (e *Engine) span(name string) *obs.Span {
+// span opens a request-root trace span on the per-request tracer when
+// one is active, otherwise on the engine's static tracer; nil-safe.
+func (e *Engine) span(tr *obs.Tracer, name string) *obs.Span {
+	if tr != nil {
+		return tr.Start(name)
+	}
 	if e.cfg.Trace == nil {
 		return nil
 	}

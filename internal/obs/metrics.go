@@ -261,13 +261,19 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		snap.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		// Count is derived from the bucket counts actually read, not the
+		// histogram's own counter: under concurrent Observe the two can
+		// disagree transiently, and every snapshot must satisfy the
+		// "bucket counts sum to count" invariant the schema validators
+		// (JSON and Prometheus) enforce.
+		hs := HistSnapshot{Sum: h.sum.Load()}
 		for i := range h.counts {
 			b := HistBucket{Count: h.counts[i].Load()}
 			if i < len(h.bounds) {
 				le := h.bounds[i]
 				b.LE = &le
 			}
+			hs.Count += b.Count
 			hs.Buckets = append(hs.Buckets, b)
 		}
 		snap.Histograms[name] = hs

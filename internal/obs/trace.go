@@ -152,6 +152,11 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			return a.TID < b.TID
 		})
 	}
+	return writeTraceFile(w, out)
+}
+
+// writeTraceFile encodes one trace envelope as indented JSON.
+func writeTraceFile(w io.Writer, out traceFile) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -8,19 +8,28 @@
 //
 // Endpoints (all under /v1/):
 //
-//	POST /v1/check     body CheckRequest -> CheckResponse
-//	GET  /v1/manifest  ?program=NAME     -> ManifestResponse (name -> sha256)
-//	GET  /v1/list      registered checkers, text/plain
-//	GET  /v1/metrics                     -> MetricsResponse
-//	GET  /v1/health                      -> HealthResponse
-//	POST /v1/shutdown  graceful stop (when the daemon enables it)
+//	POST /v1/check         body CheckRequest -> CheckResponse (?trace=1
+//	                       returns the request's Chrome trace inline)
+//	GET  /v1/manifest      ?program=NAME     -> ManifestResponse (name -> sha256)
+//	GET  /v1/list          registered checkers, text/plain
+//	GET  /v1/metrics       -> MetricsResponse (?format=prometheus for
+//	                       text exposition v0.0.4)
+//	GET  /v1/health        -> HealthResponse (SLO-aware: ok/degraded)
+//	GET  /v1/debug/flight  flight-recorder traces, Chrome trace JSON
+//	                       (?trace=ID for one request, ?list=1 for metadata)
+//	GET  /v1/debug/vars    plain-text telemetry summary
+//	POST /v1/shutdown      graceful stop (when the daemon enables it)
+//
+// Every response carries the request's trace ID in X-Rasc-Trace-Id.
 //
 // Determinism contract: the report returned for a CheckRequest is
 // byte-identical (after JSON round-trip) to a one-shot analysis.Analyze
 // over the same sources with the same options; the Cache block is
 // stripped server-side exactly like the one-shot CLI strips it before
 // rendering, so client-side renders match one-shot renders byte for
-// byte.
+// byte. Telemetry (flight recorder, request tracing, access logs)
+// rides entirely on json:"-" report fields and response envelope
+// fields, so the contract holds with telemetry on or off.
 package server
 
 import (
@@ -61,9 +70,15 @@ type CheckRequest struct {
 	Explain        bool `json:"explain,omitempty"`
 }
 
-// CheckResponse is the body of a successful POST /v1/check.
+// CheckResponse is the body of a successful POST /v1/check. TraceID
+// and Trace are envelope-level telemetry: the report itself renders
+// identically with or without them.
 type CheckResponse struct {
-	Report *analysis.Report `json:"report"`
+	Report  *analysis.Report `json:"report"`
+	TraceID string           `json:"trace_id,omitempty"`
+	// Trace is the request's Chrome trace, present when the request
+	// asked for it with ?trace=1.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // ManifestResponse maps a resident program's file names to the SHA-256
@@ -84,10 +99,18 @@ type MetricsResponse struct {
 	Metrics obs.MetricsSnapshot `json:"metrics"`
 }
 
-// HealthResponse is the body of GET /v1/health.
+// HealthResponse is the body of GET /v1/health. The endpoint always
+// answers HTTP 200; Status is "ok" or "degraded" (with Reasons) judged
+// from the sliding windows against the configured SLO thresholds, and
+// OK is simply Status == "ok".
 type HealthResponse struct {
-	OK       bool  `json:"ok"`
-	UptimeMS int64 `json:"uptime_ms"`
+	OK        bool                       `json:"ok"`
+	Status    string                     `json:"status"`
+	Reasons   []string                   `json:"reasons,omitempty"`
+	Version   string                     `json:"version"`
+	GoVersion string                     `json:"go_version"`
+	UptimeMS  int64                      `json:"uptime_ms"`
+	Windows   map[string]obs.WindowStats `json:"windows"`
 }
 
 // errorResponse is every endpoint's failure body.
@@ -99,9 +122,13 @@ type errorResponse struct {
 type Handler struct {
 	engine   *Engine
 	registry *obs.Registry
+	flight   *obs.Flight
+	log      *obs.Logger
 	serverM  *obs.ServerMetrics
+	slo      SLOConfig
+	windows  *obs.Window
 	start    time.Time
-	// OnShutdown, when non-nil, enables POST /v1/shutdown and is called
+	// onShutdown, when non-nil, enables POST /v1/shutdown and is called
 	// (once, asynchronously) to stop the daemon.
 	onShutdown   func()
 	shutdownOnce sync.Once
@@ -116,21 +143,46 @@ type Handler struct {
 // Engine is the handler's view of the resident engine.
 type Engine = analysis.Engine
 
-// NewHandler builds the API handler. registry must be the same registry
-// the engine was configured with (it backs /v1/metrics); onShutdown may
-// be nil to disable the shutdown endpoint.
-func NewHandler(engine *Engine, registry *obs.Registry, onShutdown func()) *Handler {
+// HandlerConfig wires one Handler. Engine is required; everything else
+// is optional telemetry.
+type HandlerConfig struct {
+	// Engine is the resident engine requests run against.
+	Engine *Engine
+	// Registry must be the registry the engine was configured with (it
+	// backs /v1/metrics); nil disables the registry-backed metrics.
+	Registry *obs.Registry
+	// Flight, when non-nil, backs /v1/debug/flight. It should be the
+	// same recorder the engine was configured with, so engine-recorded
+	// requests are what the endpoint serves.
+	Flight *obs.Flight
+	// Log, when non-nil, receives one structured access-log line per
+	// request.
+	Log *obs.Logger
+	// OnShutdown, when non-nil, enables POST /v1/shutdown and is called
+	// (once, asynchronously) to stop the daemon.
+	OnShutdown func()
+	// SLO sets the /v1/health degradation thresholds (zero = defaults).
+	SLO SLOConfig
+}
+
+// NewHandler builds the API handler.
+func NewHandler(cfg HandlerConfig) *Handler {
 	return &Handler{
-		engine:     engine,
-		registry:   registry,
-		serverM:    obs.NewServerMetrics(registry),
+		engine:     cfg.Engine,
+		registry:   cfg.Registry,
+		flight:     cfg.Flight,
+		log:        cfg.Log,
+		serverM:    obs.NewServerMetrics(cfg.Registry),
+		slo:        cfg.SLO.withDefaults(),
+		windows:    obs.NewWindow(nil),
 		start:      time.Now(),
-		onShutdown: onShutdown,
+		onShutdown: cfg.OnShutdown,
 		manifests:  map[string]map[string]string{},
 	}
 }
 
-// Mux returns the daemon's request multiplexer.
+// Mux returns the daemon's route multiplexer, without the telemetry
+// middleware. Most callers want Root.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/check", h.handleCheck)
@@ -138,8 +190,16 @@ func (h *Handler) Mux() *http.ServeMux {
 	mux.HandleFunc("/v1/list", h.handleList)
 	mux.HandleFunc("/v1/metrics", h.handleMetrics)
 	mux.HandleFunc("/v1/health", h.handleHealth)
+	mux.HandleFunc("/v1/debug/flight", h.handleFlight)
+	mux.HandleFunc("/v1/debug/vars", h.handleVars)
 	mux.HandleFunc("/v1/shutdown", h.handleShutdown)
 	return mux
+}
+
+// Root returns the daemon's full request handler: the route mux wrapped
+// in the telemetry middleware (trace IDs, access logs, SLO windows).
+func (h *Handler) Root() http.Handler {
+	return h.telemetry(h.Mux())
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -168,7 +228,8 @@ func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
 	for i, f := range req.Upserts {
 		upserts[i] = gosrc.File{Name: f.Name, Src: f.Src}
 	}
-	rep, err := h.engine.Check(analysis.CheckRequest{
+	info := infoFrom(r)
+	areq := analysis.CheckRequest{
 		Program:        req.Program,
 		Upserts:        upserts,
 		Removes:        req.Removes,
@@ -177,17 +238,41 @@ func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
 		Entries:        req.Entries,
 		KeepSuppressed: req.KeepSuppressed,
 		Explain:        req.Explain,
-	})
+		WantTrace:      r.URL.Query().Get("trace") == "1",
+	}
+	if info != nil {
+		info.check = true
+		// The handler-minted trace ID identifies the request in the
+		// engine's flight recorder, the access log and the response
+		// header alike.
+		areq.TraceID = info.traceID
+	}
+	rep, err := h.engine.Check(areq)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
+	}
+	if info != nil {
+		info.program = programLabel(req.Program)
+		info.memoHits, info.memoMisses = rep.MemoHits, rep.MemoMisses
 	}
 	h.updateManifest(req)
 	// Strip cache telemetry exactly like the one-shot CLI does before
 	// rendering: the client's render must be byte-identical to a
 	// one-shot run's.
 	rep.Cache = nil
-	writeJSON(w, http.StatusOK, CheckResponse{Report: rep})
+	writeJSON(w, http.StatusOK, CheckResponse{
+		Report:  rep,
+		TraceID: rep.TraceID,
+		Trace:   json.RawMessage(rep.TraceJSON),
+	})
+}
+
+func programLabel(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
 }
 
 // updateManifest folds a successfully applied delta into the tracked
@@ -250,6 +335,11 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		obs.WritePrometheus(w, h.registry.Snapshot())
+		return
+	}
 	resp := MetricsResponse{
 		Engine:   h.engine.Stats(),
 		Programs: h.engine.Programs(),
@@ -266,7 +356,7 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{OK: true, UptimeMS: time.Since(h.start).Milliseconds()})
+	writeJSON(w, http.StatusOK, h.health(time.Now()))
 }
 
 func (h *Handler) handleShutdown(w http.ResponseWriter, r *http.Request) {

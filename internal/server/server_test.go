@@ -3,11 +3,16 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"rasc/internal/analysis"
 	"rasc/internal/gosrc"
@@ -44,16 +49,40 @@ func ok() {
 }
 `
 
-// newTestServer stands a full daemon stack up: engine, handler,
-// httptest server, client.
+// newTestServer stands a full daemon stack up: engine, handler with
+// telemetry middleware, httptest server, client.
 func newTestServer(t *testing.T, onShutdown func()) (*Client, *analysis.Engine, *httptest.Server) {
 	t.Helper()
 	registry := obs.NewRegistry()
 	engine := analysis.NewEngine(analysis.EngineConfig{Metrics: registry})
-	h := NewHandler(engine, registry, onShutdown)
-	ts := httptest.NewServer(h.Mux())
+	h := NewHandler(HandlerConfig{Engine: engine, Registry: registry, OnShutdown: onShutdown})
+	ts := httptest.NewServer(h.Root())
 	t.Cleanup(ts.Close)
 	return NewClient(ts.URL), engine, ts
+}
+
+// newTelemetryServer is newTestServer with the full telemetry stack on:
+// flight recorder (persisting to a temp dir past slowUS) and a JSON
+// access log captured in the returned buffer.
+func newTelemetryServer(t *testing.T, slowUS int64, dir string, logBuf *bytes.Buffer, slo SLOConfig) (*Client, *httptest.Server) {
+	t.Helper()
+	registry := obs.NewRegistry()
+	flight := obs.NewFlight(obs.FlightConfig{SlowUS: slowUS, Dir: dir, Metrics: registry})
+	engine := analysis.NewEngine(analysis.EngineConfig{Metrics: registry, Flight: flight})
+	var log *obs.Logger
+	if logBuf != nil {
+		log = obs.NewLogger(logBuf, obs.LevelInfo)
+	}
+	h := NewHandler(HandlerConfig{
+		Engine:   engine,
+		Registry: registry,
+		Flight:   flight,
+		Log:      log,
+		SLO:      slo,
+	})
+	ts := httptest.NewServer(h.Root())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), ts
 }
 
 // oneShot is the reference: a fresh in-process Analyze over the same
@@ -366,5 +395,320 @@ func TestServerMetricsSchema(t *testing.T) {
 	}
 	if _, ok := snap.Histograms["server.request_ms"]; !ok {
 		t.Error("registry snapshot lacks server.request_ms histogram")
+	}
+}
+
+// TestServerTelemetryByteIdentity: with the flight recorder and
+// request tracing on, rendered findings are byte-identical to a plain
+// server and to a one-shot run, every response carries a trace ID, and
+// ?trace=1 returns a valid inline Chrome trace.
+func TestServerTelemetryByteIdentity(t *testing.T) {
+	var logBuf bytes.Buffer
+	client, ts := newTelemetryServer(t, 0, "", &logBuf, SLOConfig{})
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}, {Name: "b.go", Src: srvBSrc}}
+
+	rep, err := client.CheckFiles("default", files, CheckRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oneShot(t, files, false)
+	if got, exp := sarifOf(t, rep), sarifOf(t, want); got != exp {
+		t.Fatalf("telemetry-on SARIF differs from one-shot:\n%s\nvs\n%s", got, exp)
+	}
+	if got, exp := jsonOf(t, rep), jsonOf(t, want); got != exp {
+		t.Fatal("telemetry-on JSON differs from one-shot")
+	}
+	if len(rep.TraceID) != 16 {
+		t.Fatalf("report trace id = %q", rep.TraceID)
+	}
+
+	// The response header carries the same trace ID the report does.
+	resp, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get(TraceHeader); len(id) != 16 {
+		t.Fatalf("health response %s = %q", TraceHeader, id)
+	}
+
+	// ?trace=1 returns the request's span tree inline, and the report
+	// still renders identically.
+	traced, err := client.CheckTraced(CheckRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.TraceJSON) == 0 {
+		t.Fatal("traced check returned no inline trace")
+	}
+	if err := obs.ValidateTraceJSON(traced.TraceJSON); err != nil {
+		t.Fatalf("inline trace invalid: %v", err)
+	}
+	if !strings.Contains(string(traced.TraceJSON), "request:default") {
+		t.Fatal("inline trace lacks the request root span")
+	}
+	if got, exp := jsonOf(t, traced), jsonOf(t, want); got != exp {
+		t.Fatal("traced JSON differs from one-shot")
+	}
+
+	// Access log: one JSON line per request, with program and memo
+	// accounting on check lines and the trace ID on every line.
+	var checkLine map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("access log line is not JSON: %s", line)
+		}
+		if m["trace_id"] == nil {
+			t.Fatalf("access log line lacks trace_id: %s", line)
+		}
+		if m["path"] == "/v1/check" && checkLine == nil {
+			checkLine = m
+		}
+	}
+	if checkLine == nil {
+		t.Fatal("no /v1/check access log line")
+	}
+	for _, key := range []string{"method", "status", "dur_ms", "program", "memo_hits", "memo_misses"} {
+		if _, ok := checkLine[key]; !ok {
+			t.Fatalf("check log line lacks %q: %v", key, checkLine)
+		}
+	}
+	if checkLine["program"] != "default" {
+		t.Fatalf("check log program = %v", checkLine["program"])
+	}
+}
+
+// TestServerFlightEndpoint: /v1/debug/flight dumps retained request
+// traces as valid Chrome trace JSON, narrows by trace ID, lists
+// metadata, and 404s on unknown traces; a breached latency threshold
+// persists the offending trace to disk.
+func TestServerFlightEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	// SlowUS=1: every real request breaches the threshold and persists.
+	client, ts := newTelemetryServer(t, 1, dir, nil, SLOConfig{})
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}}
+	rep, err := client.CheckFiles("default", files, CheckRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	status, body := get("/v1/debug/flight")
+	if status != http.StatusOK {
+		t.Fatalf("flight dump = %d: %s", status, body)
+	}
+	if err := obs.ValidateTraceJSON(body); err != nil {
+		t.Fatalf("flight dump invalid: %v", err)
+	}
+	if !strings.Contains(string(body), "request:default") {
+		t.Fatal("flight dump lacks request spans")
+	}
+
+	status, body = get("/v1/debug/flight?trace=" + rep.TraceID)
+	if status != http.StatusOK || !strings.Contains(string(body), "request:default") {
+		t.Fatalf("single-trace dump = %d: %s", status, body)
+	}
+	if status, _ := get("/v1/debug/flight?trace=nosuchtrace"); status != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", status)
+	}
+
+	status, body = get("/v1/debug/flight?list=1")
+	if status != http.StatusOK {
+		t.Fatalf("flight list = %d", status)
+	}
+	var entries []obs.FlightEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.TraceID == rep.TraceID {
+			found = true
+			if !e.Persisted {
+				t.Fatalf("slow request not marked persisted: %+v", e)
+			}
+			if e.MemoMisses == 0 {
+				t.Fatalf("cold request shows no memo misses: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("flight list %v lacks trace %s", entries, rep.TraceID)
+	}
+
+	// The breach persisted the trace to disk, valid and inspectable.
+	data, err := os.ReadFile(filepath.Join(dir, "flight-"+rep.TraceID+".json"))
+	if err != nil {
+		t.Fatalf("slow trace not persisted: %v", err)
+	}
+	if err := obs.ValidateTraceJSON(data); err != nil {
+		t.Fatalf("persisted trace invalid: %v", err)
+	}
+}
+
+// TestServerHealthSLO: health reports ok with build info on an idle
+// daemon and degrades with reasons once the error-rate threshold is
+// breached.
+func TestServerHealthSLO(t *testing.T) {
+	client, _ := newTelemetryServer(t, 0, "", nil, SLOConfig{ErrorRate: 0.001, MinRequests: 1})
+
+	h, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Status != "ok" || h.Version != Version || h.GoVersion == "" {
+		t.Fatalf("idle health = %+v", h)
+	}
+	if _, ok := h.Windows["1m"]; !ok {
+		t.Fatalf("health lacks 1m window: %+v", h)
+	}
+
+	// A failing check (fileless program) breaches the 0.1%% error SLO.
+	if _, err := client.Check(CheckRequest{Program: "empty"}); err == nil {
+		t.Fatal("fileless check succeeded")
+	}
+	h, err = client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OK || h.Status != "degraded" || len(h.Reasons) == 0 {
+		t.Fatalf("post-error health = %+v, want degraded with reasons", h)
+	}
+	if !strings.Contains(strings.Join(h.Reasons, " "), "error rate") {
+		t.Fatalf("reasons = %v", h.Reasons)
+	}
+}
+
+// TestServerPrometheusEndpoint: ?format=prometheus serves valid text
+// exposition mapped from the live registry.
+func TestServerPrometheusEndpoint(t *testing.T) {
+	client, _, ts := newTestServer(t, nil)
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}}
+	if _, err := client.CheckFiles("default", files, CheckRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"# TYPE server_requests counter",
+		"server_requests 1",
+		"# TYPE server_request_ms histogram",
+		`server_request_ms_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestServerDebugVars: the plain-text summary names the daemon, its
+// windows and the engine counters.
+func TestServerDebugVars(t *testing.T) {
+	client, ts := newTelemetryServer(t, 0, "", nil, SLOConfig{})
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}}
+	if _, err := client.CheckFiles("default", files, CheckRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, want := range []string{"gocheckd " + Version, "uptime:", "engine: requests=1", "window 1m:", "window 5m:", "flight: recorded=1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("vars missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// flakyTransport fails the first N round trips with connection-refused
+// before delegating to the real transport.
+type flakyTransport struct {
+	mu       sync.Mutex
+	failures int
+	attempts int
+	inner    http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.attempts++
+	fail := f.failures > 0
+	if fail {
+		f.failures--
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}
+	}
+	return f.inner.RoundTrip(r)
+}
+
+// TestClientRetryOnConnRefused: one connection-refused failure is
+// retried after backoff and succeeds; with retries exhausted (or
+// disabled) the refusal surfaces.
+func TestClientRetryOnConnRefused(t *testing.T) {
+	_, _, ts := newTestServer(t, nil)
+
+	c := NewClientWith(ts.URL, ClientOptions{Retries: 1, Backoff: time.Millisecond})
+	ft := &flakyTransport{failures: 1, inner: http.DefaultTransport}
+	c.http.Transport = ft
+	if _, err := c.Health(); err != nil {
+		t.Fatalf("health with one refusal and one retry: %v", err)
+	}
+	if ft.attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", ft.attempts)
+	}
+
+	// POST bodies must survive the retry (fresh reader per attempt).
+	c.http.Transport = &flakyTransport{failures: 1, inner: http.DefaultTransport}
+	files := []gosrc.File{{Name: "a.go", Src: srvASrc}}
+	if _, err := c.CheckFiles("default", files, CheckRequest{}); err != nil {
+		t.Fatalf("check with refusal mid-flow: %v", err)
+	}
+
+	// Too many refusals: the error surfaces as connection refused.
+	c.http.Transport = &flakyTransport{failures: 5, inner: http.DefaultTransport}
+	if _, err := c.Health(); err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("exhausted retries: %v", err)
+	}
+
+	// Retries only cover connection-refused, not HTTP errors — and HTTP
+	// errors carry the trace ID for log correlation.
+	c.http.Transport = http.DefaultTransport
+	_, err := c.Check(CheckRequest{Program: "empty"})
+	if err == nil || !strings.Contains(err.Error(), "(trace ") {
+		t.Fatalf("HTTP error lacks trace id: %v", err)
+	}
+
+	if got := NewClientWith(ts.URL, ClientOptions{Timeout: 7 * time.Second}); got.http.Timeout != 7*time.Second {
+		t.Fatalf("timeout option not applied: %v", got.http.Timeout)
 	}
 }
